@@ -1,0 +1,77 @@
+"""Figure 11: memory-budget compression — consumed vs assigned space.
+
+Use-case 2: 15 groups with randomly drawn byte budgets are compressed
+through the model (80% target headroom).  The paper's result: measured
+consumption clusters around the 80% target and only ~5% of groups
+overflow the assigned space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import wave_snapshots
+from repro.usecases.memory_target import MemoryBudgetCompressor
+from repro.utils.tables import format_table
+
+N_GROUPS = 15
+
+
+@pytest.fixture(scope="module")
+def groups():
+    rng = np.random.default_rng(42)
+    # late-time snapshots: the wavefield has filled the domain, matching
+    # the dense RTM volumes of the paper's Fig. 11
+    snaps = wave_snapshots(
+        (44, 44, 44), n_snapshots=8, steps_between=22, seed=5
+    )
+    compressor = MemoryBudgetCompressor(predictor="lorenzo")
+    rows = []
+    for group in range(N_GROUPS):
+        snap = snaps[rng.integers(4, len(snaps))]
+        divisor = float(rng.uniform(4, 40))
+        budget = max(int(snap.nbytes / divisor), 2048)
+        reportp = compressor.compress(snap, budget)
+        rows.append(
+            (
+                group,
+                budget,
+                reportp.result.compressed_bytes,
+                reportp.utilization,
+                reportp.fits,
+            )
+        )
+    return rows
+
+
+def test_fig11(benchmark, groups, report):
+    report(
+        format_table(
+            ["group", "assigned B", "measured B", "ratio", "fits"],
+            groups,
+            float_spec=".3f",
+            title=(
+                "Figure 11: measured/assigned space over 15 random "
+                "groups (RTM snapshots, 80% target).\nPaper: most "
+                "groups land near/above 80% yet within budget; ~5% "
+                "overflow."
+            ),
+        )
+    )
+    utilizations = np.array([g[3] for g in groups])
+    fits = np.array([g[4] for g in groups])
+    overflow_rate = 1.0 - fits.mean()
+    report(
+        f"mean utilization {utilizations.mean():.3f}, overflow rate "
+        f"{overflow_rate:.2%} (paper: ~5%)"
+    )
+    assert overflow_rate <= 0.2
+    # the model errs on the conservative side for wave data (the real
+    # dictionary coder beats the RLE approximation), so utilization sits
+    # below the 80% target but never endangers the budget
+    assert 0.3 <= utilizations.mean() <= 1.0
+
+    snap = wave_snapshots((32, 32, 32), 3, steps_between=10, seed=6)[-1]
+    compressor = MemoryBudgetCompressor()
+    benchmark(lambda: compressor.compress(snap, snap.nbytes // 10))

@@ -1,0 +1,122 @@
+"""Figure 14: parallel data-dumping time — Traditional vs TAE vs Model.
+
+The end-to-end data-management result on the simulated 8-node/128-rank
+cluster (throughputs calibrated by real single-process runs, see
+DESIGN.md §3): per-snapshot dump time split into optimization,
+compression and I/O.  Paper: the model-based pipeline cuts total dumping
+time by up to 3.4x vs the traditional offline bound and up to 2.2x vs
+in-situ trial-and-error, with a visibly lower worst-case dump.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compressor import CompressionConfig
+from repro.datasets import wave_snapshots
+from repro.storage.cluster import (
+    ClusterSimulator,
+    ClusterSpec,
+    ThroughputProfile,
+)
+from repro.usecases.baselines import offline_worst_case_error_bound
+from repro.utils.tables import format_table
+
+TARGET_PSNR = 56.0
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    snaps = wave_snapshots(
+        (40, 40, 40), n_snapshots=6, steps_between=8, seed=37
+    )
+    config = CompressionConfig(predictor="lorenzo")
+    vrange = max(float(np.ptp(s)) for s in snaps)
+    candidates = [vrange * 10 ** (-e) for e in (1, 2, 3, 4, 5)]
+
+    # the traditional bound comes from the offline worst-case study
+    offline = offline_worst_case_error_bound(
+        list(snaps), config, candidates, TARGET_PSNR
+    )
+
+    # Bandwidth/latency scaled so the dump is I/O-bound like the paper's
+    # Lustre runs (raw dump ~0.17 s per 256 KiB snapshot, latency well
+    # below the compressed write time).
+    spec = ClusterSpec(
+        n_nodes=8,
+        ranks_per_node=16,
+        aggregate_write_bandwidth=1.5e6,
+        write_latency=0.001,
+    )
+    profile = ThroughputProfile.measure(
+        snaps[-1], config.with_error_bound(candidates[2]), TARGET_PSNR
+    )
+    sim = ClusterSimulator(spec, profile, config)
+
+    rows = []
+    totals = {"traditional": [], "tae": [], "model": []}
+    for i, snap in enumerate(snaps):
+        reports = {
+            "traditional": sim.dump_traditional(
+                snap, i, offline.chosen_error_bound
+            ),
+            "tae": sim.dump_tae(snap, i, candidates, TARGET_PSNR),
+            "model": sim.dump_model(snap, i, TARGET_PSNR),
+        }
+        for strategy, rep in reports.items():
+            totals[strategy].append(rep.total_time)
+            rows.append(
+                (
+                    i,
+                    strategy,
+                    rep.times.get("optimize"),
+                    rep.times.get("compress"),
+                    rep.times.get("io"),
+                    rep.total_time,
+                )
+            )
+    raw_time = sim.baseline_raw_dump_time(snaps[-1])
+    return rows, totals, raw_time
+
+
+def test_fig14(benchmark, experiment, report):
+    rows, totals, raw_time = experiment
+    report(
+        format_table(
+            ["snapshot", "strategy", "Op s", "Comp s", "I/O s", "total s"],
+            rows,
+            float_spec=".4f",
+            title=(
+                "Figure 14: simulated 128-rank dump time per snapshot "
+                "(Tr=traditional offline bound, TAE=in-situ trial-and-"
+                "error, Model=ratio-quality model).\nExpected shape: "
+                "Model lowest and most stable; TAE pays optimization; "
+                "Tr pays I/O for its worst-case bound."
+            ),
+        )
+    )
+    tr = np.array(totals["traditional"])
+    tae = np.array(totals["tae"])
+    model = np.array(totals["model"])
+    report(
+        f"totals: Tr {tr.sum():.3f}s  TAE {tae.sum():.3f}s  Model "
+        f"{model.sum():.3f}s  (raw dump per snapshot {raw_time:.3f}s)\n"
+        f"speedup vs Tr: {tr.sum() / model.sum():.2f}x (paper <=3.4x), "
+        f"vs TAE: {tae.sum() / model.sum():.2f}x (paper <=2.2x)\n"
+        f"max dump: Tr {tr.max():.3f}s TAE {tae.max():.3f}s Model "
+        f"{model.max():.3f}s"
+    )
+    assert model.sum() < tr.sum()
+    assert model.sum() < tae.sum()
+    assert model.max() <= tae.max()
+    # compression is always worth it vs raw dumping
+    assert model.mean() < raw_time
+
+    snap = wave_snapshots((32, 32, 32), 2, steps_between=10, seed=41)[-1]
+    config = CompressionConfig()
+    profile = ThroughputProfile.measure(
+        snap, config.with_error_bound(1e-4)
+    )
+    sim = ClusterSimulator(ClusterSpec(), profile, config)
+    benchmark(lambda: sim.dump_model(snap, 0, TARGET_PSNR))

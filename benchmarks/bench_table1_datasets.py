@@ -1,0 +1,53 @@
+"""Table I: the evaluated dataset suite.
+
+Regenerates the dataset inventory (name, dims, size, description,
+format) for the synthetic stand-ins at their benchmark scale, plus the
+generation throughput of the heaviest generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import DATASETS, load_field
+from repro.utils.tables import format_table
+
+SCALE = 0.5
+
+
+def _human(nbytes: float) -> str:
+    for unit in ("B", "KB", "MB", "GB"):
+        if nbytes < 1024:
+            return f"{nbytes:.1f}{unit}"
+        nbytes /= 1024
+    return f"{nbytes:.1f}TB"
+
+
+def test_table1(benchmark, report):
+    rows = []
+    for spec in DATASETS.values():
+        field = spec.fields[0]
+        data = field.load(SCALE)
+        total = sum(
+            int(np.prod([max(8, int(round(n * SCALE))) for n in f.shape]))
+            * 4
+            for f in spec.fields
+        )
+        rows.append(
+            (
+                spec.name,
+                f"{spec.dims}D",
+                _human(total),
+                spec.description,
+                spec.fmt,
+                "x".join(str(s) for s in data.shape),
+            )
+        )
+    report(
+        format_table(
+            ["Name", "Dim", "Size", "Description", "Format", "BenchShape"],
+            rows,
+            title="Table I: tested datasets (synthetic stand-ins, scale=0.5)",
+        )
+    )
+    benchmark(lambda: load_field("CESM", "TS", SCALE))

@@ -1,0 +1,46 @@
+"""Shared infrastructure for the paper-regeneration benchmarks.
+
+Every benchmark module regenerates one table or figure of the paper and
+prints its rows through the ``report`` fixture, which (a) bypasses
+pytest's output capture so the tables always appear on the console and
+(b) tees them to ``benchmarks/results/<name>.txt`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def report(request):
+    """Print a report block uncaptured and persist it to results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    capman = request.config.pluginmanager.getplugin("capturemanager")
+    module = request.module.__name__
+
+    def _report(text: str, name: str | None = None) -> None:
+        block = f"\n{text}\n"
+        if capman is not None:
+            with capman.global_and_fixture_disabled():
+                print(block)
+        else:
+            print(block)
+        path = os.path.join(RESULTS_DIR, f"{name or module}.txt")
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(block)
+
+    return _report
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results_dir():
+    """Start each benchmark session with a clean results directory."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    for name in os.listdir(RESULTS_DIR):
+        if name.endswith(".txt"):
+            os.remove(os.path.join(RESULTS_DIR, name))
+    yield

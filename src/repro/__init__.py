@@ -1,0 +1,33 @@
+"""repro — ratio-quality modeling for prediction-based lossy compression.
+
+Reproduction of Jin et al., "Improving Prediction-Based Lossy Compression
+Dramatically via Ratio-Quality Modeling" (ICDE 2022).
+
+Public entry points:
+
+* :class:`repro.compressor.SZCompressor` — the SZ3-like compressor.
+* :class:`repro.core.RatioQualityModel` — the analytical model.
+* :mod:`repro.datasets` — synthetic stand-ins for the paper's datasets.
+* :mod:`repro.usecases` — predictor selection, memory targeting, in-situ
+  optimization.
+* :mod:`repro.storage` — HDF5-like container and cluster I/O simulator.
+"""
+
+from repro.compressor import (
+    CompressionConfig,
+    CompressionResult,
+    ErrorBoundMode,
+    SZCompressor,
+)
+from repro.harness import RateDistortionStudy
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompressionConfig",
+    "CompressionResult",
+    "ErrorBoundMode",
+    "SZCompressor",
+    "RateDistortionStudy",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Post-hoc analysis metrics: PSNR, SSIM, power spectrum, halo finding."""
+
+from repro.analysis.halo import Halo, find_halos, halo_match_f1, mass_function
+from repro.analysis.metrics import (
+    max_abs_error,
+    mse,
+    nrmse,
+    psnr,
+    rmse,
+    ssim_global,
+    ssim_windowed,
+)
+from repro.analysis.spectrum import (
+    power_spectrum,
+    predicted_spectrum_relative_error,
+    spectrum_relative_error,
+)
+
+__all__ = [
+    "mse",
+    "rmse",
+    "nrmse",
+    "psnr",
+    "max_abs_error",
+    "ssim_global",
+    "ssim_windowed",
+    "power_spectrum",
+    "spectrum_relative_error",
+    "predicted_spectrum_relative_error",
+    "Halo",
+    "find_halos",
+    "halo_match_f1",
+    "mass_function",
+]

@@ -1,0 +1,135 @@
+"""Reconstruction-quality metrics: MSE, PSNR, SSIM.
+
+These are the *measured* quantities the ratio-quality model estimates
+(§III-D).  ``ssim_global`` follows the paper's Eq. 16 — the whole-array
+statistics version the analytical model propagates errors through;
+``ssim_windowed`` is the conventional sliding-window variant for
+completeness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.stats import value_range
+
+__all__ = [
+    "mse",
+    "rmse",
+    "nrmse",
+    "psnr",
+    "max_abs_error",
+    "ssim_global",
+    "ssim_windowed",
+    "SSIM_C3_FACTOR",
+]
+
+# SSIM stabilisation constants: C4 = (k1 * L)^2, C3 = (k2 * L)^2 with the
+# conventional k1 = 0.01, k2 = 0.03 and L the value range.  The paper's
+# Eq. 15-16 names the luminance constant C4 and the structure constant C3.
+SSIM_C4_FACTOR = 0.01**2
+SSIM_C3_FACTOR = 0.03**2
+
+
+def _pair(original: np.ndarray, reconstructed: np.ndarray):
+    a = np.asarray(original, dtype=np.float64)
+    b = np.asarray(reconstructed, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError("original and reconstructed shapes differ")
+    if a.size == 0:
+        raise ValueError("empty arrays have no quality metrics")
+    return a, b
+
+
+def mse(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Mean squared error."""
+    a, b = _pair(original, reconstructed)
+    return float(np.mean((a - b) ** 2))
+
+
+def rmse(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Root mean squared error."""
+    return float(np.sqrt(mse(original, reconstructed)))
+
+
+def nrmse(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """RMSE normalized by the value range."""
+    return rmse(original, reconstructed) / value_range(original)
+
+
+def max_abs_error(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Maximum point-wise absolute error (the error-bound check)."""
+    a, b = _pair(original, reconstructed)
+    return float(np.max(np.abs(a - b)))
+
+
+def psnr(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Peak signal-to-noise ratio in dB (Eq. 14).
+
+    Returns ``inf`` for a perfect reconstruction.
+    """
+    err = mse(original, reconstructed)
+    if err == 0:
+        return float("inf")
+    vrange = value_range(original)
+    return float(10.0 * np.log10(vrange**2 / err))
+
+
+def ssim_global(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Whole-array SSIM (the paper's Eq. 16).
+
+    Uses global means/variances/covariance with the standard stabilising
+    constants scaled by the value range.
+    """
+    a, b = _pair(original, reconstructed)
+    vrange = value_range(a)
+    c4 = SSIM_C4_FACTOR * vrange**2
+    c3 = SSIM_C3_FACTOR * vrange**2
+    mu_a, mu_b = a.mean(), b.mean()
+    var_a, var_b = a.var(), b.var()
+    cov = float(np.mean((a - mu_a) * (b - mu_b)))
+    luminance = (2 * mu_a * mu_b + c4) / (mu_a**2 + mu_b**2 + c4)
+    structure = (2 * cov + c3) / (var_a + var_b + c3)
+    return float(luminance * structure)
+
+
+def ssim_windowed(
+    original: np.ndarray, reconstructed: np.ndarray, window: int = 7
+) -> float:
+    """Mean SSIM over non-overlapping windows.
+
+    A light-weight sliding-window SSIM (non-overlapping tiles instead of
+    a Gaussian-weighted convolution) adequate for trend comparisons.
+    """
+    a, b = _pair(original, reconstructed)
+    if window < 2:
+        raise ValueError("window must be at least 2")
+    vrange = value_range(a)
+    c4 = SSIM_C4_FACTOR * vrange**2
+    c3 = SSIM_C3_FACTOR * vrange**2
+
+    trimmed = tuple(slice(0, (n // window) * window) for n in a.shape)
+    a_t, b_t = a[trimmed], b[trimmed]
+    if a_t.size == 0:
+        return ssim_global(a, b)
+    new_shape: list[int] = []
+    for n in a_t.shape:
+        new_shape.extend((n // window, window))
+    a_tiles = a_t.reshape(new_shape)
+    b_tiles = b_t.reshape(new_shape)
+    ndim = a.ndim
+    tile_axes = tuple(2 * i + 1 for i in range(ndim))
+    perm = tuple(2 * i for i in range(ndim)) + tile_axes
+    a_tiles = a_tiles.transpose(perm).reshape(-1, window**ndim)
+    b_tiles = b_tiles.transpose(perm).reshape(-1, window**ndim)
+
+    mu_a = a_tiles.mean(axis=1)
+    mu_b = b_tiles.mean(axis=1)
+    var_a = a_tiles.var(axis=1)
+    var_b = b_tiles.var(axis=1)
+    cov = np.mean(
+        (a_tiles - mu_a[:, None]) * (b_tiles - mu_b[:, None]), axis=1
+    )
+    lum = (2 * mu_a * mu_b + c4) / (mu_a**2 + mu_b**2 + c4)
+    struct = (2 * cov + c3) / (var_a + var_b + c3)
+    return float(np.mean(lum * struct))

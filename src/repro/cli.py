@@ -1,0 +1,213 @@
+"""Command-line interface: estimate, compress, decompress, inspect.
+
+Entry point for the library's day-to-day workflow on ``.npy`` arrays::
+
+    python -m repro estimate field.npy --predictor lorenzo --eb 1e-3
+    python -m repro compress field.npy out.rqsz --psnr 60
+    python -m repro decompress out.rqsz back.npy
+    python -m repro inspect out.rqsz
+    python -m repro datasets
+    python -m repro generate Nyx temperature field.npy --scale 0.5
+
+``compress`` accepts exactly one targeting flag: ``--eb`` (direct
+bound), ``--ratio`` (model-derived bound for a target ratio) or
+``--psnr`` (model-derived bound for a target quality).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from repro.compressor import CompressionConfig, ErrorBoundMode, SZCompressor
+from repro.core.model import RatioQualityModel
+from repro.datasets import DATASETS, load_field
+from repro.utils.tables import format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ratio-quality-modelled lossy compression for arrays",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    est = sub.add_parser("estimate", help="model forecasts for an array")
+    est.add_argument("input", help=".npy array to profile")
+    est.add_argument("--predictor", default="lorenzo")
+    est.add_argument(
+        "--mode", default="abs", choices=["abs", "rel", "pw_rel"]
+    )
+    est.add_argument(
+        "--eb",
+        type=float,
+        nargs="+",
+        required=True,
+        help="error bound(s) to estimate at",
+    )
+
+    comp = sub.add_parser("compress", help="compress a .npy array")
+    comp.add_argument("input", help=".npy array")
+    comp.add_argument("output", help="destination .rqsz blob")
+    comp.add_argument("--predictor", default="lorenzo")
+    comp.add_argument(
+        "--mode", default="abs", choices=["abs", "rel", "pw_rel"]
+    )
+    group = comp.add_mutually_exclusive_group(required=True)
+    group.add_argument("--eb", type=float, help="error bound")
+    group.add_argument(
+        "--ratio", type=float, help="target compression ratio (model)"
+    )
+    group.add_argument(
+        "--psnr", type=float, help="target PSNR in dB (model)"
+    )
+
+    dec = sub.add_parser("decompress", help="decompress a .rqsz blob")
+    dec.add_argument("input", help=".rqsz blob")
+    dec.add_argument("output", help="destination .npy")
+
+    ins = sub.add_parser("inspect", help="print a blob's header")
+    ins.add_argument("input", help=".rqsz blob")
+
+    sub.add_parser("datasets", help="list the synthetic dataset suite")
+
+    gen = sub.add_parser("generate", help="generate a synthetic field")
+    gen.add_argument("dataset")
+    gen.add_argument("field")
+    gen.add_argument("output", help="destination .npy")
+    gen.add_argument("--scale", type=float, default=1.0)
+
+    return parser
+
+
+def _load_array(path: str) -> np.ndarray:
+    data = np.load(path)
+    if not isinstance(data, np.ndarray):
+        raise SystemExit(f"{path} does not contain a numpy array")
+    return data
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    data = _load_array(args.input)
+    model = RatioQualityModel(
+        predictor=args.predictor, mode=ErrorBoundMode(args.mode)
+    ).fit(data)
+    rows = [
+        (
+            eb,
+            est.bitrate,
+            est.ratio,
+            est.p0,
+            est.psnr,
+            est.ssim,
+        )
+        for eb in args.eb
+        for est in [model.estimate(eb)]
+    ]
+    print(
+        format_table(
+            ["eb", "bits/pt", "ratio", "p0", "PSNR", "SSIM"],
+            rows,
+            float_spec=".4g",
+            title=f"{args.input}: {data.shape} {data.dtype}, "
+            f"predictor={args.predictor}, mode={args.mode}",
+        )
+    )
+    return 0
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    data = _load_array(args.input)
+    mode = ErrorBoundMode(args.mode)
+    if args.eb is not None:
+        eb = args.eb
+    else:
+        model = RatioQualityModel(
+            predictor=args.predictor, mode=mode
+        ).fit(data)
+        if args.ratio is not None:
+            eb = model.error_bound_for_ratio(args.ratio)
+        else:
+            eb = model.error_bound_for_psnr(args.psnr)
+        print(f"model-selected error bound: {eb:.6g}")
+    config = CompressionConfig(
+        predictor=args.predictor, mode=mode, error_bound=float(eb)
+    )
+    result = SZCompressor().compress(data, config)
+    with open(args.output, "wb") as fh:
+        fh.write(result.blob)
+    print(
+        f"{args.input} -> {args.output}: {result.original_bytes} -> "
+        f"{result.compressed_bytes} bytes ({result.ratio:.2f}x, "
+        f"{result.bit_rate:.3f} bits/pt, p0={result.p0:.3f})"
+    )
+    return 0
+
+
+def _cmd_decompress(args: argparse.Namespace) -> int:
+    with open(args.input, "rb") as fh:
+        blob = fh.read()
+    data = SZCompressor().decompress(blob)
+    np.save(args.output, data)
+    print(f"{args.input} -> {args.output}: {data.shape} {data.dtype}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    with open(args.input, "rb") as fh:
+        blob = fh.read()
+    header, sections = SZCompressor._disassemble(blob)
+    header["section_bytes"] = {
+        name: len(section)
+        for name, section in zip(
+            ["codes", "outlier_positions", "outlier_values", "side", "signs"],
+            sections,
+        )
+    }
+    print(json.dumps(header, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_datasets(_: argparse.Namespace) -> int:
+    rows = [
+        (spec.name, f"{spec.dims}D", ", ".join(f.name for f in spec.fields))
+        for spec in DATASETS.values()
+    ]
+    print(format_table(["dataset", "dims", "fields"], rows))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    data = load_field(args.dataset, args.field, size_scale=args.scale)
+    np.save(args.output, data)
+    print(
+        f"{args.dataset}/{args.field} -> {args.output}: "
+        f"{data.shape} {data.dtype}"
+    )
+    return 0
+
+
+_COMMANDS = {
+    "estimate": _cmd_estimate,
+    "compress": _cmd_compress,
+    "decompress": _cmd_decompress,
+    "inspect": _cmd_inspect,
+    "datasets": _cmd_datasets,
+    "generate": _cmd_generate,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""SZ3-like prediction-based error-bounded lossy compressor.
+
+The substrate the ratio-quality model describes: predictors
+(Lorenzo / interpolation / regression), a linear-scaling quantizer,
+Huffman coding and optional lossless back-ends, assembled by
+:class:`repro.compressor.sz.SZCompressor`.
+"""
+
+from repro.compressor.config import (
+    DEFAULT_QUANT_RADIUS,
+    CompressionConfig,
+    ErrorBoundMode,
+)
+from repro.compressor.quantizer import LinearQuantizer, QuantizedBlock
+from repro.compressor.sz import CompressionResult, SZCompressor, StageSizes
+
+__all__ = [
+    "CompressionConfig",
+    "ErrorBoundMode",
+    "DEFAULT_QUANT_RADIUS",
+    "LinearQuantizer",
+    "QuantizedBlock",
+    "SZCompressor",
+    "CompressionResult",
+    "StageSizes",
+]

@@ -1,0 +1,223 @@
+"""Bit-level I/O used by the entropy coders.
+
+``BitWriter`` packs variable-length codes into bytes; ``BitReader``
+extracts them.  Both are vectorized with NumPy: the writer expands all
+codewords into a flat bit matrix in one shot, the reader exposes a sliding
+16-bit window so table-driven Huffman decoding touches Python only once
+per symbol.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BitWriter", "BitReader", "pack_codes", "bits_to_bytes"]
+
+
+def pack_codes(codes: np.ndarray, lengths: np.ndarray) -> tuple[bytes, int]:
+    """Concatenate variable-length big-endian codewords into bytes.
+
+    Parameters
+    ----------
+    codes:
+        ``uint64`` array; entry *i* holds the codeword value, MSB-first
+        within its ``lengths[i]`` low bits.
+    lengths:
+        ``uint8``/int array of bit lengths (1..57).
+
+    Returns
+    -------
+    (payload, total_bits):
+        Packed bytes (zero-padded to a byte boundary) and the exact number
+        of meaningful bits.
+    """
+    codes = np.asarray(codes, dtype=np.uint64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if codes.shape != lengths.shape:
+        raise ValueError("codes and lengths must have the same shape")
+    if codes.size == 0:
+        return b"", 0
+    max_len = int(lengths.max())
+    if max_len > 57:
+        raise ValueError(f"codeword length {max_len} exceeds 57 bits")
+    total_bits = int(lengths.sum())
+
+    # Expand every codeword into its bits: row i holds the bits of code i
+    # left-aligned in `max_len` slots, then select the meaningful ones.
+    # Work in chunks to bound peak memory to ~32 MB.
+    chunk = max(1, (1 << 25) // max(max_len, 1))
+    pieces: list[np.ndarray] = []
+    shifts = np.arange(max_len, dtype=np.uint64)
+    for start in range(0, codes.size, chunk):
+        c = codes[start : start + chunk, None]
+        ln = lengths[start : start + chunk, None]
+        # bit j (0-based from MSB of this codeword) = (c >> (len-1-j)) & 1
+        shift = ln - 1 - shifts[None, :].astype(np.int64)
+        valid = shift >= 0
+        bits = (c >> np.where(valid, shift, 0).astype(np.uint64)) & np.uint64(1)
+        pieces.append(bits[valid].astype(np.uint8))
+    flat = np.concatenate(pieces)
+    return bits_to_bytes(flat), total_bits
+
+
+def bits_to_bytes(bits: np.ndarray) -> bytes:
+    """Pack a 0/1 ``uint8`` array into MSB-first bytes."""
+    return np.packbits(np.asarray(bits, dtype=np.uint8)).tobytes()
+
+
+class BitWriter:
+    """Incremental bit writer for small headers and escape payloads.
+
+    The hot encoding path uses :func:`pack_codes`; this class covers the
+    small, irregular writes (code tables, outlier lists).
+    """
+
+    def __init__(self) -> None:
+        self._bits: list[np.ndarray] = []
+        self._nbits = 0
+
+    def write(self, value: int, nbits: int) -> None:
+        """Append the low *nbits* of *value*, MSB first."""
+        if nbits < 0 or nbits > 64:
+            raise ValueError("nbits must be within [0, 64]")
+        if nbits == 0:
+            return
+        if value < 0 or (nbits < 64 and value >> nbits):
+            raise ValueError(f"value {value} does not fit in {nbits} bits")
+        arr = np.array(
+            [(value >> (nbits - 1 - i)) & 1 for i in range(nbits)],
+            dtype=np.uint8,
+        )
+        self._bits.append(arr)
+        self._nbits += nbits
+
+    def write_gamma(self, value: int) -> None:
+        """Append *value* >= 1 in Elias-gamma code.
+
+        ``value = 2^k + r`` is written as *k* zero bits followed by the
+        ``k + 1``-bit binary form — short codes for small values, which
+        is ideal for the near-unit deltas of sorted quantization-code
+        alphabets.
+        """
+        if value < 1:
+            raise ValueError("Elias gamma encodes integers >= 1")
+        k = value.bit_length() - 1
+        if k:
+            self.write(0, k)
+        self.write(value, k + 1)
+
+    def write_array(self, values: np.ndarray, nbits: int) -> None:
+        """Append every entry of *values* using *nbits* bits each."""
+        values = np.asarray(values, dtype=np.uint64)
+        if values.size == 0:
+            return
+        if nbits <= 0 or nbits > 64:
+            raise ValueError("nbits must be within [1, 64]")
+        if nbits < 64 and np.any(values >> np.uint64(nbits)):
+            raise ValueError(f"some values do not fit in {nbits} bits")
+        shifts = np.arange(nbits - 1, -1, -1, dtype=np.uint64)
+        bits = ((values[:, None] >> shifts[None, :]) & np.uint64(1)).astype(
+            np.uint8
+        )
+        self._bits.append(bits.ravel())
+        self._nbits += nbits * values.size
+
+    @property
+    def nbits(self) -> int:
+        """Number of bits written so far."""
+        return self._nbits
+
+    def getvalue(self) -> bytes:
+        """Return the packed bytes (zero-padded to a byte boundary)."""
+        if not self._bits:
+            return b""
+        return bits_to_bytes(np.concatenate(self._bits))
+
+
+class BitReader:
+    """Bit reader with a vectorized sliding 16-bit window.
+
+    ``window16`` exposes, for every bit offset, the next 16 bits as an
+    integer; the Huffman decoder indexes it once per symbol.
+    """
+
+    WINDOW = 16
+
+    def __init__(self, payload: bytes, nbits: int | None = None) -> None:
+        raw = np.frombuffer(payload, dtype=np.uint8)
+        bits = np.unpackbits(raw)
+        if nbits is not None:
+            if nbits > bits.size:
+                raise ValueError("nbits exceeds available payload bits")
+            bits = bits[:nbits]
+        self._bits = bits
+        self.pos = 0
+        self._window: np.ndarray | None = None
+
+    @property
+    def nbits(self) -> int:
+        """Total number of readable bits."""
+        return int(self._bits.size)
+
+    def read(self, nbits: int) -> int:
+        """Read *nbits* MSB-first and return them as an int."""
+        if nbits < 0:
+            raise ValueError("nbits must be non-negative")
+        if self.pos + nbits > self._bits.size:
+            raise EOFError("bitstream exhausted")
+        chunk = self._bits[self.pos : self.pos + nbits]
+        self.pos += nbits
+        value = 0
+        for bit in chunk:
+            value = (value << 1) | int(bit)
+        return value
+
+    def read_gamma(self) -> int:
+        """Read one Elias-gamma value (inverse of ``write_gamma``)."""
+        k = 0
+        while True:
+            if self.pos >= self._bits.size:
+                raise EOFError("bitstream exhausted")
+            bit = int(self._bits[self.pos])
+            self.pos += 1
+            if bit:
+                break
+            k += 1
+        value = 1
+        for _ in range(k):
+            if self.pos >= self._bits.size:
+                raise EOFError("bitstream exhausted")
+            value = (value << 1) | int(self._bits[self.pos])
+            self.pos += 1
+        return value
+
+    def read_array(self, count: int, nbits: int) -> np.ndarray:
+        """Read *count* fixed-width fields of *nbits* bits each."""
+        if count < 0 or nbits <= 0 or nbits > 64:
+            raise ValueError("invalid count or nbits")
+        need = count * nbits
+        if self.pos + need > self._bits.size:
+            raise EOFError("bitstream exhausted")
+        chunk = self._bits[self.pos : self.pos + need]
+        self.pos += need
+        bits = chunk.reshape(count, nbits).astype(np.uint64)
+        shifts = np.arange(nbits - 1, -1, -1, dtype=np.uint64)
+        return (bits << shifts[None, :]).sum(axis=1, dtype=np.uint64)
+
+    def window16(self) -> np.ndarray:
+        """Sliding window: entry *i* packs bits ``[i, i+16)`` MSB-first.
+
+        The stream is conceptually zero-padded at the end so the window is
+        defined for every bit position.
+        """
+        if self._window is None:
+            padded = np.concatenate(
+                [self._bits, np.zeros(self.WINDOW, dtype=np.uint8)]
+            ).astype(np.uint32)
+            window = np.zeros(self._bits.size + 1, dtype=np.uint32)
+            acc = np.zeros(self._bits.size + 1, dtype=np.uint32)
+            for k in range(self.WINDOW):
+                acc = padded[k : k + self._bits.size + 1]
+                window = (window << np.uint32(1)) | acc
+            self._window = window
+        return self._window

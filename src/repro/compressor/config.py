@@ -1,0 +1,128 @@
+"""Compression configuration: error-bound modes and compressor settings.
+
+Prediction-based error-bounded lossy compressors (the SZ family) expose an
+*error-bound mode* plus a numeric bound.  The three modes the paper uses:
+
+``ABS``
+    Point-wise absolute bound: ``|x - x'| <= eb``.
+``REL``
+    Value-range relative bound: ``|x - x'| <= eb * (max(D) - min(D))``.
+``PW_REL``
+    Point-wise relative bound: ``|x - x'| <= eb * |x|``, implemented via a
+    logarithmic transform before compression (Liang et al., CLUSTER'18),
+    which turns the point-wise relative bound into an absolute bound in
+    log space.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.utils.stats import value_range
+
+__all__ = [
+    "ErrorBoundMode",
+    "CompressionConfig",
+    "DEFAULT_QUANT_RADIUS",
+]
+
+# Default half-width of the quantization code alphabet: codes lie in
+# [-radius, radius]; values whose code falls outside are stored verbatim
+# ("unpredictable" data in SZ terminology).  SZ uses 2^15 by default.
+DEFAULT_QUANT_RADIUS = 32768
+
+
+class ErrorBoundMode(enum.Enum):
+    """User-facing error-bound modes."""
+
+    ABS = "abs"
+    REL = "rel"
+    PW_REL = "pw_rel"
+
+
+@dataclass(frozen=True)
+class CompressionConfig:
+    """Immutable settings for one compression run.
+
+    Parameters
+    ----------
+    predictor:
+        One of ``"lorenzo"``, ``"interpolation"``, ``"regression"``.
+    mode:
+        Error-bound mode (see :class:`ErrorBoundMode`).
+    error_bound:
+        The bound value; its meaning depends on ``mode``.
+    quant_radius:
+        Half-width of the quantization code alphabet.
+    lossless:
+        Name of the optional lossless stage applied after Huffman:
+        ``"zstd_like"``, ``"gzip_like"``, ``"rle"`` or ``None``.
+    lorenzo_levels:
+        Order of the Lorenzo predictor (1 or 2).
+    regression_block:
+        Block edge length for the regression predictor (paper: 6).
+    interp_direction:
+        Axis ordering for the interpolation predictor sweeps.
+    """
+
+    predictor: str = "lorenzo"
+    mode: ErrorBoundMode = ErrorBoundMode.ABS
+    error_bound: float = 1e-3
+    quant_radius: int = DEFAULT_QUANT_RADIUS
+    lossless: str | None = "zstd_like"
+    lorenzo_levels: int = 1
+    regression_block: int = 6
+    interp_direction: tuple[int, ...] = field(default=())
+
+    _KNOWN_PREDICTORS = ("lorenzo", "interpolation", "regression")
+    _KNOWN_LOSSLESS = ("zstd_like", "gzip_like", "rle", None)
+
+    def __post_init__(self) -> None:
+        if self.predictor not in self._KNOWN_PREDICTORS:
+            raise ValueError(
+                f"unknown predictor {self.predictor!r}; "
+                f"expected one of {self._KNOWN_PREDICTORS}"
+            )
+        if self.lossless not in self._KNOWN_LOSSLESS:
+            raise ValueError(
+                f"unknown lossless stage {self.lossless!r}; "
+                f"expected one of {self._KNOWN_LOSSLESS}"
+            )
+        if not isinstance(self.mode, ErrorBoundMode):
+            raise TypeError("mode must be an ErrorBoundMode")
+        if self.error_bound <= 0:
+            raise ValueError("error_bound must be positive")
+        if self.quant_radius < 2:
+            raise ValueError("quant_radius must be at least 2")
+        if self.lorenzo_levels not in (1, 2):
+            raise ValueError("lorenzo_levels must be 1 or 2")
+        if self.regression_block < 2:
+            raise ValueError("regression_block must be at least 2")
+
+    def absolute_bound(self, data: np.ndarray) -> float:
+        """Resolve the *absolute* bound this config implies on *data*.
+
+        ``ABS`` returns the bound unchanged; ``REL`` scales it by the value
+        range; ``PW_REL`` returns the absolute bound in the log-transformed
+        domain, ``log1p(eb)``, which guarantees ``|x'/x - 1| <= eb`` for
+        positive values after the inverse transform.
+        """
+        if self.mode is ErrorBoundMode.ABS:
+            return float(self.error_bound)
+        if self.mode is ErrorBoundMode.REL:
+            return float(self.error_bound) * value_range(data)
+        # PW_REL: bound in log space.  |log x' - log x| <= log(1+eb)
+        # implies x' / x in [1/(1+eb), 1+eb], i.e. the point-wise relative
+        # error is within eb on the upper side and eb/(1+eb) on the lower.
+        return float(np.log1p(self.error_bound))
+
+    def with_error_bound(self, error_bound: float) -> "CompressionConfig":
+        """Return a copy with a different bound (used by optimizers)."""
+        return replace(self, error_bound=error_bound)
+
+    def with_predictor(self, predictor: str) -> "CompressionConfig":
+        """Return a copy with a different predictor."""
+        return replace(self, predictor=predictor)

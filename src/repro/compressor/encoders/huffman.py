@@ -1,0 +1,318 @@
+"""Canonical Huffman coding over integer symbol streams.
+
+This is the first (and dominant) encoding stage of prediction-based lossy
+compression: quantization codes are Huffman coded, then an optional
+lossless stage mops up residual redundancy (see §III-B of the paper).
+
+The implementation is written for NumPy throughput:
+
+* the tree is built once per stream with ``heapq`` over the histogram
+  (alphabet-sized, not data-sized);
+* codes are *canonical*, so only the code lengths ship in the header;
+* encoding maps symbols through lookup tables and packs all codewords in
+  one vectorized pass (:func:`repro.compressor.bitstream.pack_codes`);
+* decoding walks a 16-bit primary lookup table (one Python step per
+  symbol); codes longer than 16 bits take a per-bit canonical walk, which
+  is rare because long codes correspond to near-zero-probability symbols.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compressor.bitstream import BitReader, BitWriter, pack_codes
+
+__all__ = ["HuffmanCode", "HuffmanEncoder", "huffman_code_lengths"]
+
+_PRIMARY_BITS = 16
+_MAX_CODE_LEN = 57
+
+
+def huffman_code_lengths(counts: np.ndarray) -> np.ndarray:
+    """Return optimal prefix-code lengths for symbol *counts*.
+
+    Standard Huffman construction over ``(count, index)`` heap entries.
+    Symbols with zero count get length 0 (they never occur).  A singleton
+    alphabet gets length 1.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    if counts.ndim != 1 or counts.size == 0:
+        raise ValueError("counts must be a non-empty 1-D array")
+    if np.any(counts < 0):
+        raise ValueError("counts must be non-negative")
+    present = np.flatnonzero(counts > 0)
+    lengths = np.zeros(counts.size, dtype=np.int64)
+    if present.size == 0:
+        raise ValueError("at least one symbol must have a positive count")
+    if present.size == 1:
+        lengths[present[0]] = 1
+        return lengths
+
+    # Heap items: (count, tiebreak, node). Leaves are ints, internal nodes
+    # are [left, right] lists; depths are assigned by a final traversal.
+    heap: list[tuple[int, int, object]] = [
+        (int(counts[i]), int(i), int(i)) for i in present
+    ]
+    heapq.heapify(heap)
+    tiebreak = counts.size
+    while len(heap) > 1:
+        c1, _, n1 = heapq.heappop(heap)
+        c2, _, n2 = heapq.heappop(heap)
+        heapq.heappush(heap, (c1 + c2, tiebreak, [n1, n2]))
+        tiebreak += 1
+    root = heap[0][2]
+
+    stack: list[tuple[object, int]] = [(root, 0)]
+    while stack:
+        node, depth = stack.pop()
+        if isinstance(node, int):
+            lengths[node] = max(depth, 1)
+        else:
+            left, right = node
+            stack.append((left, depth + 1))
+            stack.append((right, depth + 1))
+    if int(lengths.max()) > _MAX_CODE_LEN:
+        raise ValueError("Huffman code length exceeds the supported maximum")
+    return lengths
+
+
+def _canonical_codes(lengths: np.ndarray) -> np.ndarray:
+    """Assign canonical codewords from code lengths.
+
+    Symbols are ranked by ``(length, symbol-index)``; codewords count up
+    within each length, shifting left at every length increase.  Length-0
+    symbols (absent from the stream) receive code 0 and must never be
+    encoded.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    codes = np.zeros(lengths.size, dtype=np.uint64)
+    order = np.lexsort((np.arange(lengths.size), lengths))
+    order = order[lengths[order] > 0]
+    code = 0
+    prev_len = 0
+    for idx in order:
+        ln = int(lengths[idx])
+        code <<= ln - prev_len
+        codes[idx] = code
+        code += 1
+        prev_len = ln
+    return codes
+
+
+@dataclass
+class HuffmanCode:
+    """A canonical Huffman code over a dense alphabet.
+
+    ``symbols[i]`` is the original symbol value for dense index *i*;
+    ``lengths[i]``/``codes[i]`` its code length and canonical codeword.
+    """
+
+    symbols: np.ndarray
+    lengths: np.ndarray
+    codes: np.ndarray
+
+    @classmethod
+    def from_stream(cls, stream: np.ndarray) -> "HuffmanCode":
+        """Build the optimal code for the given integer stream."""
+        symbols, counts = np.unique(
+            np.asarray(stream, dtype=np.int64).ravel(), return_counts=True
+        )
+        lengths = huffman_code_lengths(counts)
+        return cls(symbols, lengths, _canonical_codes(lengths))
+
+    @classmethod
+    def from_histogram(
+        cls, symbols: np.ndarray, counts: np.ndarray
+    ) -> "HuffmanCode":
+        """Build the code from a precomputed ``(symbols, counts)`` pair."""
+        symbols = np.asarray(symbols, dtype=np.int64)
+        counts = np.asarray(counts, dtype=np.int64)
+        if symbols.shape != counts.shape:
+            raise ValueError("symbols and counts must align")
+        keep = counts > 0
+        symbols, counts = symbols[keep], counts[keep]
+        order = np.argsort(symbols)
+        symbols, counts = symbols[order], counts[order]
+        lengths = huffman_code_lengths(counts)
+        return cls(symbols, lengths, _canonical_codes(lengths))
+
+    def expected_bits_per_symbol(self, probabilities: np.ndarray) -> float:
+        """Average code length under the given symbol probabilities."""
+        p = np.asarray(probabilities, dtype=np.float64)
+        if p.shape != self.lengths.shape:
+            raise ValueError("probability vector must match the alphabet")
+        return float(np.sum(p * self.lengths))
+
+
+class HuffmanEncoder:
+    """Encode/decode integer symbol streams with canonical Huffman codes.
+
+    The serialized container is self-describing::
+
+        [n_symbols:u32][symbol values: zigzag u64 varbits]
+        [code lengths: 6 bits each][n_data:u64][payload bits]
+    """
+
+    def encode(self, stream: np.ndarray) -> bytes:
+        """Compress *stream* (any integer dtype) to bytes."""
+        stream = np.asarray(stream, dtype=np.int64).ravel()
+        if stream.size == 0:
+            return self._serialize_empty()
+        code = HuffmanCode.from_stream(stream)
+        dense = np.searchsorted(code.symbols, stream)
+        payload, total_bits = pack_codes(
+            code.codes[dense], code.lengths[dense]
+        )
+        return self._serialize(code, stream.size, payload, total_bits)
+
+    def decode(self, blob: bytes) -> np.ndarray:
+        """Invert :meth:`encode`, returning an ``int64`` array."""
+        code, n_data, payload, total_bits = self._deserialize(blob)
+        if n_data == 0:
+            return np.zeros(0, dtype=np.int64)
+        dense = self._decode_payload(code, n_data, payload, total_bits)
+        return code.symbols[dense]
+
+    def encoded_size_bits(self, stream: np.ndarray) -> int:
+        """Exact payload size in bits without packing the bitstream.
+
+        Used by "size-only" measurement paths (the header is excluded, as
+        in the paper's bit-rate accounting).
+        """
+        stream = np.asarray(stream, dtype=np.int64).ravel()
+        if stream.size == 0:
+            return 0
+        code = HuffmanCode.from_stream(stream)
+        dense = np.searchsorted(code.symbols, stream)
+        return int(code.lengths[dense].sum())
+
+    # -- serialization -----------------------------------------------------
+
+    def _serialize_empty(self) -> bytes:
+        writer = BitWriter()
+        writer.write(0, 32)
+        header = writer.getvalue()
+        return len(header).to_bytes(4, "big") + header
+
+    def _serialize(
+        self, code: HuffmanCode, n_data: int, payload: bytes, total_bits: int
+    ) -> bytes:
+        writer = BitWriter()
+        writer.write(code.symbols.size, 32)
+        # Compact symbol table: the alphabet is sorted, so store the
+        # first value (zigzag, 64 bits) and Elias-gamma deltas — near-unit
+        # for quantization codes, ~2 bits per symbol instead of 64.
+        first = int(code.symbols[0])
+        writer.write((first << 1 ^ first >> 63) & (2**64 - 1), 64)
+        for delta in np.diff(code.symbols):
+            writer.write_gamma(int(delta))
+        writer.write_array(code.lengths.astype(np.uint64), 6)
+        writer.write(n_data, 64)
+        writer.write(total_bits, 64)
+        header = writer.getvalue()
+        return len(header).to_bytes(4, "big") + header + payload
+
+    def _deserialize(
+        self, blob: bytes
+    ) -> tuple[HuffmanCode, int, bytes, int]:
+        header_len = int.from_bytes(blob[:4], "big")
+        header = BitReader(blob[4 : 4 + header_len])
+        n_symbols = header.read(32)
+        if n_symbols == 0:
+            return HuffmanCode(
+                np.zeros(0, dtype=np.int64),
+                np.zeros(0, dtype=np.int64),
+                np.zeros(0, dtype=np.uint64),
+            ), 0, b"", 0
+        zz_first = header.read(64)
+        first = (zz_first >> 1) ^ -(zz_first & 1)
+        symbols = np.empty(n_symbols, dtype=np.int64)
+        symbols[0] = first
+        value = first
+        for i in range(1, n_symbols):
+            value += header.read_gamma()
+            symbols[i] = value
+        lengths = header.read_array(n_symbols, 6).astype(np.int64)
+        n_data = header.read(64)
+        total_bits = header.read(64)
+        code = HuffmanCode(symbols, lengths, _canonical_codes(lengths))
+        return code, n_data, blob[4 + header_len :], total_bits
+
+    # -- decoding ----------------------------------------------------------
+
+    def _decode_payload(
+        self, code: HuffmanCode, n_data: int, payload: bytes, total_bits: int
+    ) -> np.ndarray:
+        reader = BitReader(payload, nbits=total_bits)
+        window = reader.window16()
+        sym_table, len_table = self._primary_tables(code)
+        long_codes = self._long_code_index(code)
+
+        out = np.empty(n_data, dtype=np.int64)
+        pos = 0
+        for i in range(n_data):
+            prefix = int(window[pos])
+            ln = int(len_table[prefix])
+            if ln:
+                out[i] = sym_table[prefix]
+                pos += ln
+            else:
+                dense, ln = self._decode_long(window, pos, long_codes)
+                out[i] = dense
+                pos += ln
+        if pos > total_bits:
+            raise ValueError("Huffman payload truncated")
+        return out
+
+    def _primary_tables(
+        self, code: HuffmanCode
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Build the 16-bit primary decode table.
+
+        ``len_table[prefix]`` is the code length when a full code of
+        length <= 16 matches the prefix, else 0 (escape to the slow path).
+        """
+        sym_table = np.zeros(1 << _PRIMARY_BITS, dtype=np.int64)
+        len_table = np.zeros(1 << _PRIMARY_BITS, dtype=np.uint8)
+        for dense in range(code.lengths.size):
+            ln = int(code.lengths[dense])
+            if ln == 0 or ln > _PRIMARY_BITS:
+                continue
+            base = int(code.codes[dense]) << (_PRIMARY_BITS - ln)
+            span = 1 << (_PRIMARY_BITS - ln)
+            sym_table[base : base + span] = dense
+            len_table[base : base + span] = ln
+        return sym_table, len_table
+
+    def _long_code_index(
+        self, code: HuffmanCode
+    ) -> dict[tuple[int, int], int]:
+        """Map ``(length, codeword)`` to dense index for codes > 16 bits."""
+        index: dict[tuple[int, int], int] = {}
+        for dense in range(code.lengths.size):
+            ln = int(code.lengths[dense])
+            if ln > _PRIMARY_BITS:
+                index[(ln, int(code.codes[dense]))] = dense
+        return index
+
+    def _decode_long(
+        self,
+        window: np.ndarray,
+        pos: int,
+        long_codes: dict[tuple[int, int], int],
+    ) -> tuple[int, int]:
+        """Per-bit canonical walk for codes longer than 16 bits."""
+        value = int(window[pos])
+        ln = _PRIMARY_BITS
+        while ln < _MAX_CODE_LEN:
+            ln += 1
+            nxt = pos + ln - 1
+            bit = int(window[nxt]) >> (_PRIMARY_BITS - 1) if nxt < window.size else 0
+            value = (value << 1) | bit
+            hit = long_codes.get((ln, value))
+            if hit is not None:
+                return hit, ln
+        raise ValueError("invalid Huffman payload: no code matched")

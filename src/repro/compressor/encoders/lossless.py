@@ -1,0 +1,102 @@
+"""Lossless byte-stream backends for the optional post-Huffman stage.
+
+The paper applies Zstandard (and compares Gzip) after the Huffman stage.
+Neither is available here, so we build equivalent coders from our own
+primitives:
+
+``zstd_like``
+    LZ77 with a large window, followed by a byte-level Huffman pass over
+    the token stream — the same match-then-entropy-code architecture as
+    Zstandard.
+``gzip_like``
+    LZ77 with the Deflate-sized 32 KiB window and shorter matches,
+    followed by the same Huffman pass.
+``rle``
+    Byte-level zero-run RLE + Huffman; the degenerate coder the paper's
+    model (Eq. 4) reduces the lossless stage to.
+
+All backends share the trivial container ``[method:u8][body]`` and an
+escape: when the coded body would exceed the input, the raw input is
+stored instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compressor.encoders.huffman import HuffmanEncoder
+from repro.compressor.encoders.lz77 import Lz77Codec, Lz77Params
+from repro.compressor.encoders.rle import ZeroRunLengthEncoder
+
+__all__ = ["LosslessBackend", "get_lossless_backend", "LOSSLESS_BACKENDS"]
+
+_RAW = 0
+_CODED = 1
+
+
+class LosslessBackend:
+    """One named lossless coder with a stored/raw escape."""
+
+    def __init__(self, name: str) -> None:
+        if name not in LOSSLESS_BACKENDS:
+            raise ValueError(
+                f"unknown lossless backend {name!r}; "
+                f"expected one of {sorted(LOSSLESS_BACKENDS)}"
+            )
+        self.name = name
+        self._huffman = HuffmanEncoder()
+        if name == "zstd_like":
+            self._lz = Lz77Codec(Lz77Params(window_bits=20))
+        elif name == "gzip_like":
+            self._lz = Lz77Codec(Lz77Params(window_bits=15, max_match=258))
+        else:  # rle
+            self._lz = None
+            self._rle = ZeroRunLengthEncoder()
+
+    def compress(self, data: bytes) -> bytes:
+        """Compress *data*; never larger than ``len(data) + 1``."""
+        body = self._compress_body(data)
+        if len(body) >= len(data):
+            return bytes([_RAW]) + data
+        return bytes([_CODED]) + body
+
+    def decompress(self, payload: bytes) -> bytes:
+        """Invert :meth:`compress`."""
+        if not payload:
+            raise ValueError("empty lossless payload")
+        method, body = payload[0], payload[1:]
+        if method == _RAW:
+            return body
+        if method != _CODED:
+            raise ValueError(f"unknown lossless container method {method}")
+        return self._decompress_body(body)
+
+    # -- bodies -------------------------------------------------------------
+
+    def _compress_body(self, data: bytes) -> bytes:
+        if self._lz is not None:
+            tokens = self._lz.encode(data)
+            return self._huffman.encode(
+                np.frombuffer(tokens, dtype=np.uint8)
+            )
+        symbols = np.frombuffer(data, dtype=np.uint8).astype(np.int64)
+        tokens, _ = self._rle.encode(symbols, zero_symbol=0)
+        return self._huffman.encode(tokens)
+
+    def _decompress_body(self, body: bytes) -> bytes:
+        decoded = self._huffman.decode(body)
+        if self._lz is not None:
+            tokens = decoded.astype(np.uint8).tobytes()
+            return self._lz.decode(tokens)
+        symbols = self._rle.decode(decoded, zero_symbol=0)
+        if symbols.size and (symbols.min() < 0 or symbols.max() > 255):
+            raise ValueError("corrupt RLE byte stream")
+        return symbols.astype(np.uint8).tobytes()
+
+
+LOSSLESS_BACKENDS = ("zstd_like", "gzip_like", "rle")
+
+
+def get_lossless_backend(name: str) -> LosslessBackend:
+    """Factory for a named backend."""
+    return LosslessBackend(name)

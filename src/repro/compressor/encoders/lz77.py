@@ -1,0 +1,226 @@
+"""A small LZ77 dictionary coder (LZ4-flavoured token stream).
+
+This is the substrate for the "optional lossless encoder" stage (the paper
+uses Zstandard/Gzip there).  Parsing is greedy with a hash table over
+4-byte prefixes — one candidate per bucket, like LZ4 — which is fast in
+pure Python because the zero-dominated Huffman output produces long
+matches that let the parser skip ahead.
+
+Token stream (all fields byte-aligned):
+
+``[literal_len varint][literal bytes][match_len varint][dist:u24]``
+
+A final block may omit the match (match_len 0, dist 0).  Varints are
+LEB128.  ``window_bits`` bounds match distances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Lz77Codec", "Lz77Params", "Lz77Stats"]
+
+_MIN_MATCH = 4
+_HASH_BITS = 16
+
+
+def _write_varint(out: bytearray, value: int) -> None:
+    """Append *value* as LEB128."""
+    if value < 0:
+        raise ValueError("varints are unsigned")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _read_varint(data: bytes, pos: int) -> tuple[int, int]:
+    """Read a LEB128 varint at *pos*; return ``(value, new_pos)``."""
+    value = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise ValueError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos
+        shift += 7
+
+
+@dataclass(frozen=True)
+class Lz77Params:
+    """Tuning knobs; presets model Zstandard-like vs Gzip-like coders."""
+
+    window_bits: int = 17
+    max_match: int = 1 << 16
+
+    def __post_init__(self) -> None:
+        if not 8 <= self.window_bits <= 24:
+            raise ValueError("window_bits must be within [8, 24]")
+        if self.max_match < _MIN_MATCH:
+            raise ValueError("max_match must be at least the minimum match")
+
+    @property
+    def window(self) -> int:
+        """Maximum backward match distance in bytes."""
+        return 1 << self.window_bits
+
+
+@dataclass(frozen=True)
+class Lz77Stats:
+    """Parsing statistics for one encode pass."""
+
+    n_input: int
+    n_output: int
+    n_matches: int
+    n_literals: int
+
+    @property
+    def ratio(self) -> float:
+        """Input bytes per output byte."""
+        if self.n_output == 0:
+            return 1.0
+        return self.n_input / self.n_output
+
+
+class Lz77Codec:
+    """Greedy LZ77 with a single-candidate hash table."""
+
+    def __init__(self, params: Lz77Params | None = None) -> None:
+        self.params = params or Lz77Params()
+
+    def encode(self, data: bytes) -> bytes:
+        """Compress *data*; always decodable by :meth:`decode`."""
+        payload, _ = self.encode_with_stats(data)
+        return payload
+
+    def encode_with_stats(self, data: bytes) -> tuple[bytes, Lz77Stats]:
+        """Compress and return parsing statistics."""
+        n = len(data)
+        out = bytearray()
+        _write_varint(out, n)
+        if n == 0:
+            return bytes(out), Lz77Stats(0, len(out), 0, 0)
+
+        window = self.params.window
+        max_match = self.params.max_match
+        # Hash of the 4 bytes starting at every position (vectorized).
+        arr = np.frombuffer(data, dtype=np.uint8)
+        if n >= _MIN_MATCH:
+            quad = (
+                arr[: n - 3].astype(np.uint32)
+                | (arr[1 : n - 2].astype(np.uint32) << np.uint32(8))
+                | (arr[2 : n - 1].astype(np.uint32) << np.uint32(16))
+                | (arr[3:n].astype(np.uint32) << np.uint32(24))
+            )
+            hashes = ((quad * np.uint32(2654435761)) >> np.uint32(
+                32 - _HASH_BITS
+            )).astype(np.int64)
+        else:
+            hashes = np.zeros(0, dtype=np.int64)
+        table = np.full(1 << _HASH_BITS, -1, dtype=np.int64)
+
+        pos = 0
+        literal_start = 0
+        n_matches = 0
+        n_literals = 0
+        limit = n - _MIN_MATCH + 1
+        while pos < limit:
+            h = hashes[pos]
+            candidate = table[h]
+            table[h] = pos
+            if (
+                candidate >= 0
+                and pos - candidate <= window
+                and data[candidate : candidate + _MIN_MATCH]
+                == data[pos : pos + _MIN_MATCH]
+            ):
+                length = self._extend_match(data, candidate, pos, max_match)
+                literals = data[literal_start:pos]
+                _write_varint(out, len(literals))
+                out.extend(literals)
+                _write_varint(out, length)
+                out.extend(int(pos - candidate).to_bytes(3, "big"))
+                n_matches += 1
+                n_literals += len(literals)
+                pos += length
+                literal_start = pos
+            else:
+                pos += 1
+        # Trailing literals with an empty match.
+        literals = data[literal_start:]
+        _write_varint(out, len(literals))
+        out.extend(literals)
+        _write_varint(out, 0)
+        out.extend((0).to_bytes(3, "big"))
+        n_literals += len(literals)
+        stats = Lz77Stats(n, len(out), n_matches, n_literals)
+        return bytes(out), stats
+
+    @staticmethod
+    def _extend_match(
+        data: bytes, candidate: int, pos: int, max_match: int
+    ) -> int:
+        """Length of the common prefix of data[candidate:] / data[pos:].
+
+        Compares in growing chunks so long (zero-run) matches cost few
+        Python operations.
+        """
+        n = len(data)
+        length = _MIN_MATCH
+        step = 64
+        while length < max_match and pos + length < n:
+            take = min(step, max_match - length, n - pos - length)
+            if (
+                data[candidate + length : candidate + length + take]
+                == data[pos + length : pos + length + take]
+            ):
+                length += take
+                step = min(step * 2, 1 << 16)
+                continue
+            # Binary-search the divergence point inside the chunk.
+            lo, hi = 0, take
+            while lo < hi:
+                mid = (lo + hi + 1) // 2
+                if (
+                    data[candidate + length : candidate + length + mid]
+                    == data[pos + length : pos + length + mid]
+                ):
+                    lo = mid
+                else:
+                    hi = mid - 1
+            return length + lo
+        return length
+
+    def decode(self, payload: bytes) -> bytes:
+        """Invert :meth:`encode`."""
+        expected, pos = _read_varint(payload, 0)
+        out = bytearray()
+        while len(out) < expected:
+            lit_len, pos = _read_varint(payload, pos)
+            out.extend(payload[pos : pos + lit_len])
+            pos += lit_len
+            match_len, pos = _read_varint(payload, pos)
+            dist = int.from_bytes(payload[pos : pos + 3], "big")
+            pos += 3
+            if match_len:
+                if dist <= 0 or dist > len(out):
+                    raise ValueError("invalid match distance")
+                start = len(out) - dist
+                if dist >= match_len:
+                    out.extend(out[start : start + match_len])
+                else:
+                    # Overlapping copy (e.g. runs): byte-by-byte semantics.
+                    for i in range(match_len):
+                        out.append(out[start + i])
+        if len(out) != expected:
+            raise ValueError("corrupt LZ77 stream")
+        return bytes(out)

@@ -1,0 +1,38 @@
+"""Predictors for the prediction-based lossy compression pipeline."""
+
+from repro.compressor.predictors.base import Predictor, PredictorOutput
+from repro.compressor.predictors.interpolation import InterpolationPredictor
+from repro.compressor.predictors.lorenzo import (
+    ClassicLorenzoPredictor,
+    LorenzoPredictor,
+)
+from repro.compressor.predictors.regression import RegressionPredictor
+
+__all__ = [
+    "Predictor",
+    "PredictorOutput",
+    "LorenzoPredictor",
+    "ClassicLorenzoPredictor",
+    "InterpolationPredictor",
+    "RegressionPredictor",
+    "make_predictor",
+]
+
+
+def make_predictor(name: str, **kwargs) -> Predictor:
+    """Instantiate a predictor by config name.
+
+    ``kwargs`` forwards predictor-specific options (``order`` for
+    Lorenzo, ``max_level`` for interpolation, ``block`` for regression).
+    """
+    registry = {
+        "lorenzo": LorenzoPredictor,
+        "lorenzo_classic": ClassicLorenzoPredictor,
+        "interpolation": InterpolationPredictor,
+        "regression": RegressionPredictor,
+    }
+    if name not in registry:
+        raise ValueError(
+            f"unknown predictor {name!r}; expected one of {sorted(registry)}"
+        )
+    return registry[name](**kwargs)

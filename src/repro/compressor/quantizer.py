@@ -1,0 +1,97 @@
+"""Linear-scaling quantization (Tao et al., IPDPS'17).
+
+Prediction errors are mapped to integer *quantization codes* with bin
+width ``2 * eb``::
+
+    code = round(err / (2 * eb))          reconstruction: pred + 2*eb*code
+
+so any in-range code guarantees ``|original - reconstructed| <= eb``.
+Codes outside ``[-radius, radius]`` mark the point *unpredictable*: its
+value ships verbatim in the outlier stream, exactly as SZ does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LinearQuantizer", "QuantizedBlock"]
+
+
+@dataclass
+class QuantizedBlock:
+    """Quantizer output for a stream of prediction errors.
+
+    ``codes`` uses the *shifted* convention internally favoured by SZ
+    (zero means unpredictable); here we keep signed codes plus an explicit
+    outlier mask, which reads more clearly:
+
+    * ``codes`` — int32 array, clipped to the radius; only meaningful
+      where ``~outlier_mask``;
+    * ``outlier_mask`` — bool array marking unpredictable points;
+    * ``outlier_values`` — the original values at those points.
+    """
+
+    codes: np.ndarray
+    outlier_mask: np.ndarray
+    outlier_values: np.ndarray
+
+    @property
+    def n_outliers(self) -> int:
+        """Number of unpredictable points."""
+        return int(self.outlier_mask.sum())
+
+
+class LinearQuantizer:
+    """Quantize prediction errors with bin width ``2 * error_bound``."""
+
+    def __init__(self, error_bound: float, radius: int = 32768) -> None:
+        if error_bound <= 0:
+            raise ValueError("error_bound must be positive")
+        if radius < 2:
+            raise ValueError("radius must be at least 2")
+        self.error_bound = float(error_bound)
+        self.radius = int(radius)
+
+    @property
+    def bin_width(self) -> float:
+        """Quantization interval size (twice the error bound)."""
+        return 2.0 * self.error_bound
+
+    def quantize(
+        self, errors: np.ndarray, original: np.ndarray
+    ) -> QuantizedBlock:
+        """Quantize *errors*; *original* supplies outlier values.
+
+        Points whose code overflows the radius — or whose reconstruction
+        would still violate the bound due to floating-point rounding —
+        are flagged as outliers.
+        """
+        errors = np.asarray(errors, dtype=np.float64)
+        original = np.asarray(original, dtype=np.float64)
+        if errors.shape != original.shape:
+            raise ValueError("errors and original must have the same shape")
+        codes_f = np.rint(errors / self.bin_width)
+        overflow = np.abs(codes_f) > self.radius
+        codes_f = np.where(overflow, 0.0, codes_f)
+        codes = codes_f.astype(np.int64)
+        # Verify the bound actually holds after rounding; flag violators.
+        recon_err = np.abs(errors - codes * self.bin_width)
+        violates = recon_err > self.error_bound * (1 + 1e-12)
+        outlier_mask = overflow | violates
+        codes[outlier_mask] = 0
+        return QuantizedBlock(
+            codes=codes.astype(np.int32),
+            outlier_mask=outlier_mask,
+            outlier_values=original[outlier_mask].astype(np.float64),
+        )
+
+    def dequantize(self, codes: np.ndarray) -> np.ndarray:
+        """Map codes back to error values (bin centres)."""
+        return np.asarray(codes, dtype=np.float64) * self.bin_width
+
+    def codes_for_errors(self, errors: np.ndarray) -> np.ndarray:
+        """Codes only (no outlier handling) — used by the model's sampler."""
+        errors = np.asarray(errors, dtype=np.float64)
+        return np.rint(errors / self.bin_width).astype(np.int64)

@@ -1,0 +1,322 @@
+"""The end-to-end prediction-based lossy compressor (SZ3-like pipeline).
+
+Pipeline: (optional log transform for PW_REL) -> predictor + linear-scaling
+quantization -> Huffman coding of the quantization codes -> optional
+lossless stage -> self-describing container.  Decompression inverts every
+stage and, by construction, honours the configured error bound.
+
+The container format (little-endian):
+
+``b"RQSZ" | version:u8 | header_len:u32 | header JSON | sections``
+
+where each section is ``length:u64 | bytes`` and the header records the
+section order.  Sections: Huffman/lossless code payload, outlier
+positions, outlier values, predictor side payload, PW_REL sign payload.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.compressor.config import CompressionConfig, ErrorBoundMode
+from repro.compressor.encoders.huffman import HuffmanEncoder
+from repro.compressor.encoders.lossless import get_lossless_backend
+from repro.compressor.predictors import make_predictor
+from repro.compressor.predictors.base import PredictorOutput
+from repro.compressor.transform import inverse_log_transform, log_transform
+from repro.utils.timer import StageTimes, Timer
+
+__all__ = ["SZCompressor", "CompressionResult", "StageSizes"]
+
+_MAGIC = b"RQSZ"
+_VERSION = 2
+
+
+@dataclass(frozen=True)
+class StageSizes:
+    """Byte sizes of the container sections (header included)."""
+
+    header: int
+    codes: int
+    huffman_only: int
+    outliers: int
+    side: int
+    signs: int
+
+    @property
+    def total(self) -> int:
+        """Container size in bytes."""
+        return (
+            len(_MAGIC)
+            + 1
+            + 4
+            + self.header
+            + 5 * 8
+            + self.codes
+            + self.outliers
+            + self.side
+            + self.signs
+        )
+
+
+@dataclass
+class CompressionResult:
+    """Outcome of one compression run.
+
+    ``blob`` is the decodable container; the remaining fields are the
+    measurements the paper's evaluation plots (bit-rate, ratio, zero-code
+    fraction p0, stage breakdowns).
+    """
+
+    blob: bytes
+    n_points: int
+    original_bytes: int
+    sizes: StageSizes
+    p0: float
+    n_outliers: int
+    times: StageTimes = field(default_factory=StageTimes)
+
+    @property
+    def compressed_bytes(self) -> int:
+        """Container size in bytes."""
+        return len(self.blob)
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio (original / compressed)."""
+        return self.original_bytes / self.compressed_bytes
+
+    @property
+    def bit_rate(self) -> float:
+        """Bits per data point of the full container."""
+        return 8.0 * self.compressed_bytes / self.n_points
+
+    @property
+    def huffman_bit_rate(self) -> float:
+        """Bits per point of the Huffman-coded quantization codes only."""
+        return 8.0 * self.sizes.huffman_only / self.n_points
+
+
+class SZCompressor:
+    """Facade bundling predictors, quantization and encoders."""
+
+    def __init__(self) -> None:
+        self._huffman = HuffmanEncoder()
+
+    # -- public API ------------------------------------------------------------
+
+    def compress(
+        self, data: np.ndarray, config: CompressionConfig
+    ) -> CompressionResult:
+        """Compress *data* under *config*; returns blob plus measurements."""
+        data = np.asarray(data)
+        original_bytes = data.nbytes
+        times = StageTimes()
+
+        with Timer() as t:
+            work, transform_meta, signs_payload = self._forward_transform(
+                data, config
+            )
+            abs_eb = config.absolute_bound(data)
+        times.add("transform", t.elapsed)
+
+        predictor = self._make_predictor(config)
+        with Timer() as t:
+            output = predictor.decompose(work, abs_eb, config.quant_radius)
+        times.add("predict_quantize", t.elapsed)
+
+        with Timer() as t:
+            huffman_payload = self._huffman.encode(output.codes)
+        times.add("huffman", t.elapsed)
+
+        codes_payload = huffman_payload
+        if config.lossless is not None:
+            with Timer() as t:
+                backend = get_lossless_backend(config.lossless)
+                codes_payload = backend.compress(huffman_payload)
+            times.add("lossless", t.elapsed)
+
+        p0 = (
+            float(np.count_nonzero(output.codes == 0) / output.codes.size)
+            if output.codes.size
+            else 1.0
+        )
+        with Timer() as t:
+            blob, sizes = self._assemble(
+                data,
+                config,
+                abs_eb,
+                output,
+                codes_payload,
+                len(huffman_payload),
+                transform_meta,
+                signs_payload,
+            )
+        times.add("serialize", t.elapsed)
+
+        return CompressionResult(
+            blob=blob,
+            n_points=int(data.size),
+            original_bytes=original_bytes,
+            sizes=sizes,
+            p0=p0,
+            n_outliers=output.n_outliers,
+            times=times,
+        )
+
+    def decompress(self, blob: bytes) -> np.ndarray:
+        """Decompress a container produced by :meth:`compress`."""
+        header, sections = self._disassemble(blob)
+        config = self._config_from_header(header)
+        codes_payload, pos_b, val_b, side, signs = sections
+
+        if config.lossless is not None:
+            backend = get_lossless_backend(config.lossless)
+            huffman_payload = backend.decompress(codes_payload)
+        else:
+            huffman_payload = codes_payload
+        codes = self._huffman.decode(huffman_payload)
+
+        out_dtype = np.int64 if header["outlier_kind"] == "codes" else np.float64
+        output = PredictorOutput(
+            codes=codes,
+            outlier_positions=np.frombuffer(pos_b, dtype=np.int64),
+            outlier_values=np.frombuffer(val_b, dtype=out_dtype),
+            side_payload=side,
+            meta=header["predictor_meta"],
+        )
+        predictor = self._make_predictor(config)
+        shape = tuple(header["shape"])
+        work = predictor.reconstruct(output, shape, header["abs_eb"])
+        data = self._inverse_transform(work, header, signs)
+        return data.astype(np.dtype(header["dtype"]))
+
+    def roundtrip(
+        self, data: np.ndarray, config: CompressionConfig
+    ) -> tuple[CompressionResult, np.ndarray]:
+        """Compress then decompress; returns ``(result, reconstruction)``."""
+        result = self.compress(data, config)
+        return result, self.decompress(result.blob)
+
+    # -- transforms ------------------------------------------------------------
+
+    @staticmethod
+    def _forward_transform(
+        data: np.ndarray, config: CompressionConfig
+    ) -> tuple[np.ndarray, dict, bytes]:
+        """Apply the PW_REL log transform when configured."""
+        if config.mode is not ErrorBoundMode.PW_REL:
+            return np.asarray(data, dtype=np.float64), {}, b""
+        return log_transform(data)
+
+    @staticmethod
+    def _inverse_transform(
+        work: np.ndarray, header: dict, signs_payload: bytes
+    ) -> np.ndarray:
+        """Invert :meth:`_forward_transform`."""
+        if not header.get("transform", {}).get("pw_rel"):
+            return work
+        return inverse_log_transform(
+            work, tuple(header["shape"]), signs_payload
+        )
+
+    # -- helpers ------------------------------------------------------------
+
+    @staticmethod
+    def _make_predictor(config: CompressionConfig):
+        if config.predictor == "lorenzo":
+            return make_predictor("lorenzo", order=config.lorenzo_levels)
+        if config.predictor == "interpolation":
+            return make_predictor("interpolation")
+        return make_predictor("regression", block=config.regression_block)
+
+    def _assemble(
+        self,
+        data: np.ndarray,
+        config: CompressionConfig,
+        abs_eb: float,
+        output: PredictorOutput,
+        codes_payload: bytes,
+        huffman_only_bytes: int,
+        transform_meta: dict,
+        signs_payload: bytes,
+    ) -> tuple[bytes, StageSizes]:
+        outlier_kind = (
+            "codes" if output.outlier_values.dtype == np.int64 else "values"
+        )
+        header = {
+            "predictor": config.predictor,
+            "mode": config.mode.value,
+            "error_bound": config.error_bound,
+            "abs_eb": abs_eb,
+            "quant_radius": config.quant_radius,
+            "lossless": config.lossless,
+            "lorenzo_levels": config.lorenzo_levels,
+            "regression_block": config.regression_block,
+            "shape": list(data.shape),
+            "dtype": np.asarray(data).dtype.str,
+            "predictor_meta": output.meta,
+            "outlier_kind": outlier_kind,
+            "transform": transform_meta,
+        }
+        header_bytes = json.dumps(header, sort_keys=True).encode()
+        pos_b = output.outlier_positions.astype(np.int64).tobytes()
+        val_b = output.outlier_values.tobytes()
+        sections = [
+            codes_payload,
+            pos_b,
+            val_b,
+            output.side_payload,
+            signs_payload,
+        ]
+        parts = [_MAGIC, bytes([_VERSION])]
+        parts.append(len(header_bytes).to_bytes(4, "little"))
+        parts.append(header_bytes)
+        for section in sections:
+            parts.append(len(section).to_bytes(8, "little"))
+            parts.append(section)
+        blob = b"".join(parts)
+        sizes = StageSizes(
+            header=len(header_bytes),
+            codes=len(codes_payload),
+            huffman_only=huffman_only_bytes,
+            outliers=len(pos_b) + len(val_b),
+            side=len(output.side_payload),
+            signs=len(signs_payload),
+        )
+        return blob, sizes
+
+    @staticmethod
+    def _disassemble(blob: bytes) -> tuple[dict, list[bytes]]:
+        if blob[: len(_MAGIC)] != _MAGIC:
+            raise ValueError("not an RQSZ container")
+        version = blob[len(_MAGIC)]
+        if version != _VERSION:
+            raise ValueError(f"unsupported container version {version}")
+        pos = len(_MAGIC) + 1
+        header_len = int.from_bytes(blob[pos : pos + 4], "little")
+        pos += 4
+        header = json.loads(blob[pos : pos + header_len].decode())
+        pos += header_len
+        sections: list[bytes] = []
+        for _ in range(5):
+            size = int.from_bytes(blob[pos : pos + 8], "little")
+            pos += 8
+            sections.append(blob[pos : pos + size])
+            pos += size
+        return header, sections
+
+    @staticmethod
+    def _config_from_header(header: dict) -> CompressionConfig:
+        return CompressionConfig(
+            predictor=header["predictor"],
+            mode=ErrorBoundMode(header["mode"]),
+            error_bound=header["error_bound"],
+            quant_radius=header["quant_radius"],
+            lossless=header["lossless"],
+            lorenzo_levels=header["lorenzo_levels"],
+            regression_block=header["regression_block"],
+        )

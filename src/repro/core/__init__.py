@@ -1,0 +1,69 @@
+"""The analytical ratio-quality model (the paper's core contribution)."""
+
+from repro.core.accuracy import estimation_accuracy, estimation_error
+from repro.core.encoder_model import (
+    DEFAULT_RLE_C1,
+    HuffmanAnchorModel,
+    combined_bitrate,
+    error_bound_for_bitrate_eq2,
+    huffman_bitrate,
+    p0_for_rle_ratio,
+    rle_ratio,
+)
+from repro.core.error_distribution import (
+    ErrorDistributionModel,
+    uniform_error_variance,
+)
+from repro.core.histogram import (
+    BIN_TRANSFER_C2,
+    BIN_TRANSFER_THRESHOLD,
+    QuantizedHistogram,
+    build_code_histogram,
+    central_bin_variance,
+)
+from repro.core.injection import inject_errors, predict_analysis_impact
+from repro.core.model import RatioQualityModel, RQEstimate
+from repro.core.optimizer import PartitionOptimizer, PartitionPlan
+from repro.core.quality import (
+    error_variance_for_psnr,
+    mse_model,
+    psnr_model,
+    ssim_model,
+)
+from repro.core.sampling import (
+    DEFAULT_SAMPLE_RATE,
+    SampleResult,
+    sample_prediction_errors,
+)
+
+__all__ = [
+    "RatioQualityModel",
+    "RQEstimate",
+    "inject_errors",
+    "predict_analysis_impact",
+    "PartitionOptimizer",
+    "PartitionPlan",
+    "estimation_accuracy",
+    "estimation_error",
+    "HuffmanAnchorModel",
+    "huffman_bitrate",
+    "combined_bitrate",
+    "error_bound_for_bitrate_eq2",
+    "rle_ratio",
+    "p0_for_rle_ratio",
+    "DEFAULT_RLE_C1",
+    "ErrorDistributionModel",
+    "uniform_error_variance",
+    "QuantizedHistogram",
+    "build_code_histogram",
+    "central_bin_variance",
+    "BIN_TRANSFER_C2",
+    "BIN_TRANSFER_THRESHOLD",
+    "psnr_model",
+    "ssim_model",
+    "mse_model",
+    "error_variance_for_psnr",
+    "SampleResult",
+    "sample_prediction_errors",
+    "DEFAULT_SAMPLE_RATE",
+]

@@ -1,0 +1,32 @@
+"""The paper's estimation-accuracy metric (Eq. 20).
+
+Accuracy of a set of estimates against measurements is defined through
+the standard deviation of the measured/estimated ratio:
+
+    error = 1 - (1 + STD(R / R' - 1))^-1,     accuracy = 1 - error
+
+where R are measured values and R' the model's estimates.  Table II
+reports the *error* percentages ("error rate of 5.16% means the
+prediction accuracy of 94.84%").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.stats import relative_std_error
+
+__all__ = ["estimation_error", "estimation_accuracy"]
+
+
+def estimation_error(measured, estimated) -> float:
+    """Eq. 20 error in [0, 1): 0 is a perfect estimator."""
+    measured = np.asarray(measured, dtype=np.float64)
+    estimated = np.asarray(estimated, dtype=np.float64)
+    std = relative_std_error(measured, estimated)
+    return 1.0 - 1.0 / (1.0 + std)
+
+
+def estimation_accuracy(measured, estimated) -> float:
+    """Eq. 20 accuracy in (0, 1]: 1 is a perfect estimator."""
+    return 1.0 - estimation_error(measured, estimated)

@@ -1,0 +1,79 @@
+"""Compression-error distribution model (§III-D1).
+
+For moderate error bounds the point-wise compression error of a
+prediction-based compressor is uniform over ``[-eb, eb]``::
+
+    mu(E) = 0,   sigma^2(E) = eb^2 / 3                       (Eq. 10)
+
+Under *high* error bounds the quantization bin is wide relative to the
+prediction-error spread, so central-bin points keep their (small)
+prediction error unchanged while the remaining points stay near-uniform.
+The refined mixture (Eq. 11) weights the two parts with the zero-code
+probability p0::
+
+    sigma^2(E) = (1 - p0) * eb^2 / 3 + p0 * sigma^2(B[0])    (Eq. 11)
+
+where ``sigma^2(B[0])`` is the variance of prediction errors inside the
+central bin, computed from the model's sampled errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ErrorDistributionModel", "uniform_error_variance"]
+
+
+def uniform_error_variance(error_bound: float) -> float:
+    """Eq. 10: variance of a uniform error over [-eb, eb]."""
+    if error_bound < 0:
+        raise ValueError("error_bound cannot be negative")
+    return error_bound**2 / 3.0
+
+
+@dataclass(frozen=True)
+class ErrorDistributionModel:
+    """Estimated error distribution at one error bound.
+
+    Attributes mirror the quantities the quality models consume: the
+    bound, the zero-code probability and the central-bin variance.
+    """
+
+    error_bound: float
+    p0: float
+    central_var: float
+
+    def variance(self, refined: bool = True) -> float:
+        """Error variance; Eq. 11 when *refined*, else Eq. 10."""
+        uniform = uniform_error_variance(self.error_bound)
+        if not refined:
+            return uniform
+        p0 = min(max(self.p0, 0.0), 1.0)
+        return (1.0 - p0) * uniform + p0 * self.central_var
+
+    def std(self, refined: bool = True) -> float:
+        """Error standard deviation."""
+        return float(np.sqrt(self.variance(refined)))
+
+    def sample(
+        self, n: int, rng: np.random.Generator, refined: bool = True
+    ) -> np.ndarray:
+        """Draw synthetic compression errors from the model.
+
+        Used for hypothetical error injection when propagating errors
+        through analyses with no closed form.  The refined variant mixes
+        a centred normal (matching the central-bin variance) with the
+        uniform component.
+        """
+        if n < 0:
+            raise ValueError("n cannot be negative")
+        uniform = rng.uniform(-self.error_bound, self.error_bound, size=n)
+        if not refined or self.p0 <= 0:
+            return uniform
+        central = rng.normal(
+            0.0, np.sqrt(max(self.central_var, 0.0)), size=n
+        )
+        pick_central = rng.random(n) < self.p0
+        return np.where(pick_central, central, uniform)

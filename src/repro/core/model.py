@@ -1,0 +1,516 @@
+"""The ratio-quality model facade (§III-A).
+
+:class:`RatioQualityModel` is the paper's contribution assembled: fit
+once per (dataset, predictor) with a single 1% sampling pass, then answer
+— for *any* error bound, with no compression run —
+
+* the expected bit-rate / compression ratio (predictor histogram ->
+  Huffman model -> RLE-modelled lossless stage, §III-B/C),
+* the expected error distribution and post-hoc quality (PSNR, SSIM,
+  optional FFT-spectrum degradation, §III-D),
+
+plus the inverse queries the use-cases need: the error bound for a
+target bit-rate, ratio, or PSNR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.encoder_model import (
+    DEFAULT_RLE_C1,
+    HuffmanAnchorModel,
+    combined_bitrate,
+)
+from repro.compressor.config import ErrorBoundMode
+from repro.compressor.transform import log_transform
+from repro.core.error_distribution import ErrorDistributionModel
+from repro.core.histogram import QuantizedHistogram
+from repro.core.quality import (
+    error_variance_for_psnr,
+    psnr_model,
+    ssim_model,
+)
+from repro.core.sampling import (
+    DEFAULT_SAMPLE_RATE,
+    SampleResult,
+    sample_prediction_errors,
+)
+
+__all__ = ["RatioQualityModel", "RQEstimate", "OUTLIER_BITS"]
+
+#: Container cost of one unpredictable point: 64-bit position + 64-bit
+#: verbatim value/lattice code.
+OUTLIER_BITS = 128.0
+
+#: Fixed container overhead: JSON header, magic, section lengths and the
+#: Huffman coder's own framing (measured on the RQSZ format).
+CONTAINER_HEADER_BYTES = 470
+
+#: Huffman code-table cost per occupied symbol: Elias-gamma delta
+#: (~2 bits for near-contiguous code alphabets) + 6-bit code length.
+HUFFMAN_TABLE_BITS_PER_SYMBOL = 8.0
+
+
+@dataclass(frozen=True)
+class RQEstimate:
+    """Model output for one error bound."""
+
+    error_bound: float
+    huffman_bitrate: float
+    lossless_ratio: float
+    bitrate: float
+    ratio: float
+    p0: float
+    error_variance: float
+    psnr: float
+    ssim: float
+
+    def as_row(self) -> tuple:
+        """Tuple form for table printing."""
+        return (
+            self.error_bound,
+            self.bitrate,
+            self.ratio,
+            self.p0,
+            self.psnr,
+            self.ssim,
+        )
+
+
+class RatioQualityModel:
+    """Analytical ratio/quality estimator for one array + predictor.
+
+    Parameters
+    ----------
+    predictor:
+        ``"lorenzo"``, ``"interpolation"`` or ``"regression"``.
+    sample_rate:
+        Sampling coverage for the one-time profiling pass (paper: 1%).
+    radius:
+        Quantization code radius (matches the compressor's).
+    use_lossless:
+        Model the optional lossless stage (RLE approximation) on top of
+        Huffman coding.
+    rle_c1:
+        Fixed bit cost of a run token (Eq. 4's C1).
+    seed:
+        Sampling RNG seed.
+    mode:
+        Error-bound mode the queries are expressed in.  ``ABS`` (default)
+        takes absolute bounds; ``REL`` takes value-range-relative bounds;
+        ``PW_REL`` takes point-wise relative bounds — the model then fits
+        on the log-transformed magnitudes exactly like the compressor,
+        and quality estimates (PSNR/SSIM/error variance) refer to the
+        log-transformed domain.
+    """
+
+    def __init__(
+        self,
+        predictor: str = "lorenzo",
+        sample_rate: float = DEFAULT_SAMPLE_RATE,
+        radius: int = 32768,
+        use_lossless: bool = True,
+        rle_c1: float = DEFAULT_RLE_C1,
+        seed: int | None = 0,
+        mode: ErrorBoundMode = ErrorBoundMode.ABS,
+    ) -> None:
+        self.predictor = predictor
+        self.sample_rate = sample_rate
+        self.radius = radius
+        self.use_lossless = use_lossless
+        self.rle_c1 = rle_c1
+        self.seed = seed
+        self.mode = mode
+        self._rel_scale = 1.0
+        self.sample: SampleResult | None = None
+        self._huffman: HuffmanAnchorModel | None = None
+        self._overhead_bits: float = 0.0
+        self._residual_grid: tuple[np.ndarray, np.ndarray] | None = None
+
+    # -- fitting ------------------------------------------------------------
+
+    def fit(self, data: np.ndarray) -> "RatioQualityModel":
+        """Run the one-time sampling pass over *data*."""
+        data = np.asarray(data)
+        if self.mode is ErrorBoundMode.REL:
+            work = data
+            flat = data.astype(np.float64, copy=False)
+            self._rel_scale = float(flat.max() - flat.min())
+        elif self.mode is ErrorBoundMode.PW_REL:
+            log_data, _, _ = log_transform(data)
+            # preserve the original storage width for ratio accounting
+            work = log_data.astype(data.dtype, copy=False)
+        else:
+            work = data
+        self.sample = sample_prediction_errors(
+            work,
+            predictor=self.predictor,
+            rate=self.sample_rate,
+            seed=self.seed,
+        )
+        # The Eq. 9 bin-transfer correction models prediction from
+        # *reconstructed* values.  Our production Lorenzo is the
+        # dual-quantization formulation whose codes can be *replayed
+        # exactly* from sampled stencils, so it bypasses both the
+        # rint(err/2eb) approximation and the correction layer; the
+        # correction applies to the interpolation predictor only.
+        histogram_predictor = (
+            self.predictor if self.predictor != "lorenzo" else None
+        )
+        codes_fn = None
+        if (
+            self.sample.stencil_values is not None
+            and self.sample.stencil_signs is not None
+        ):
+            stencils = self.sample.stencil_values
+            signs = self.sample.stencil_signs
+
+            def codes_fn(error_bound: float) -> np.ndarray:
+                width = 2.0 * error_bound
+                lattice = np.rint(stencils / width)
+                # Clamp far beyond any quantizer radius: keeps the cast
+                # to int64 exact at absurdly small bounds, where these
+                # points are outliers regardless.
+                np.clip(lattice, -1e15, 1e15, out=lattice)
+                return (lattice @ signs).astype(np.int64)
+
+        self._huffman = HuffmanAnchorModel(
+            self.sample.errors,
+            self.radius,
+            histogram_predictor,
+            codes_fn=codes_fn,
+        )
+        self._overhead_bits = self._side_overhead_bits(self.sample.shape)
+        if self.predictor == "lorenzo":
+            self._fit_residual_curve(work)
+        return self
+
+    def _fit_residual_curve(self, data: np.ndarray) -> None:
+        """Exact value-residual variance curve for dual-quant Lorenzo.
+
+        The dual-quantization reconstruction is ``2 eb * rint(x/2 eb)``
+        point-wise, so the error variance at any bound is the second
+        moment of the scalar quantization residual of the values — a
+        vectorized O(N) reduction per grid point, robust against the
+        heavy-tailed value distributions that defeat 1% sampling.
+        A systematic stride subsample caps the cost on huge arrays.
+        """
+        flat = np.asarray(data, dtype=np.float64).ravel()
+        max_points = 1 << 21
+        if flat.size > max_points:
+            flat = flat[:: flat.size // max_points + 1]
+        vrange = float(flat.max() - flat.min())
+        if vrange <= 0:
+            self._residual_grid = None
+            return
+        grid = np.geomspace(vrange * 1e-9, vrange * 4.0, 48)
+        variances = np.empty_like(grid)
+        for i, eb in enumerate(grid):
+            width = 2.0 * eb
+            residual = flat - width * np.rint(flat / width)
+            variances[i] = float(np.mean(residual**2))
+        self._residual_grid = (np.log(grid), variances)
+
+    def _require_fit(self) -> SampleResult:
+        if self.sample is None or self._huffman is None:
+            raise RuntimeError("call fit(data) before querying the model")
+        return self.sample
+
+    # -- error-bound mode conversions ------------------------------------------
+
+    def _to_abs(self, error_bound: float) -> float:
+        """Query-mode bound -> absolute bound in the fitted domain."""
+        if error_bound <= 0:
+            raise ValueError("error_bound must be positive")
+        if self.mode is ErrorBoundMode.REL:
+            return error_bound * self._rel_scale
+        if self.mode is ErrorBoundMode.PW_REL:
+            return float(np.log1p(error_bound))
+        return error_bound
+
+    def _from_abs(self, abs_eb: float) -> float:
+        """Absolute bound in the fitted domain -> query-mode bound."""
+        if self.mode is ErrorBoundMode.REL:
+            return abs_eb / self._rel_scale if self._rel_scale else abs_eb
+        if self.mode is ErrorBoundMode.PW_REL:
+            return float(np.expm1(abs_eb))
+        return abs_eb
+
+    def _side_overhead_bits(self, shape: tuple[int, ...]) -> float:
+        """Predictor side-payload bits per point (anchors/coefficients).
+
+        Analytic, from the array shape: interpolation stores float64
+        anchors on the coarsest lattice; regression stores ``ndim + 1``
+        float32 coefficients per block.  Lorenzo has no side payload.
+        """
+        n = int(np.prod(shape))
+        if self.predictor == "interpolation":
+            from repro.compressor.predictors.interpolation import (
+                InterpolationPredictor,
+            )
+
+            levels = InterpolationPredictor()._levels(shape)
+            stride = 1 << levels
+            anchors = int(
+                np.prod([(dim + stride - 1) // stride for dim in shape])
+            )
+            return 64.0 * anchors / n
+        if self.predictor == "regression":
+            block = 6
+            blocks = int(
+                np.prod([(dim + block - 1) // block for dim in shape])
+            )
+            return 32.0 * (len(shape) + 1) * blocks / n
+        return 0.0
+
+    def _mean_zero_run(self, error_bound: float) -> float | None:
+        """Measured mean zero-run length from the replayed sample rows.
+
+        Returns None when no row replay is available (non-Lorenzo
+        predictors fall back to Eq. 7's independence assumption).
+        """
+        sample = self._require_fit()
+        if (
+            sample.row_stencils is None
+            or sample.stencil_signs is None
+        ):
+            return None
+        width = 2.0 * error_bound
+        lattice = np.rint(sample.row_stencils / width)
+        np.clip(lattice, -1e15, 1e15, out=lattice)
+        codes = (lattice @ sample.stencil_signs).astype(np.int64)
+        from repro.compressor.encoders.rle import zero_run_lengths
+
+        runs = [
+            zero_run_lengths(row) for row in codes
+        ]
+        lengths = np.concatenate(runs) if runs else np.zeros(0)
+        if lengths.size == 0:
+            return None
+        return float(lengths.mean())
+
+    # -- forward estimates ------------------------------------------------------
+
+    def histogram(self, error_bound: float) -> QuantizedHistogram:
+        """Estimated quantization-code histogram at *error_bound*.
+
+        *error_bound* is expressed in the model's ``mode`` (like every
+        public query); it is converted to the fitted domain internally.
+        """
+        self._require_fit()
+        assert self._huffman is not None
+        return self._huffman.histogram(self._to_abs(error_bound))
+
+    def error_distribution(self, error_bound: float) -> ErrorDistributionModel:
+        """Estimated compression-error distribution at *error_bound*.
+
+        The distribution lives in the fitted domain (log domain for
+        PW_REL mode).
+        """
+        abs_eb = self._to_abs(error_bound)
+        hist = self.histogram(error_bound)
+        return ErrorDistributionModel(
+            error_bound=abs_eb,
+            p0=hist.p0,
+            central_var=hist.central_var,
+        )
+
+    def error_variance(
+        self, error_bound: float, refined: bool = True
+    ) -> float:
+        """Predicted compression-error variance at *error_bound*.
+
+        The refined estimate is predictor-aware:
+
+        * dual-quantization Lorenzo reconstructs exactly
+          ``2 eb * rint(x / 2 eb)``, so its error is the scalar
+          quantization residual of the *values* — computed exactly from
+          the value sample in every regime, including lattice collapse
+          at huge bounds;
+        * interpolation/regression follow the paper's mixture model
+          (Eq. 11), whose central-bin term correctly captures their
+          collapse (anchors/coefficients ship verbatim).
+
+        ``refined=False`` gives the uniform-only Eq. 10 baseline.
+        """
+        sample = self._require_fit()
+        abs_eb = self._to_abs(error_bound)
+        if not refined:
+            return self.error_distribution(error_bound).variance(
+                refined=False
+            )
+        if self.predictor == "lorenzo":
+            if self._residual_grid is not None:
+                log_grid, variances = self._residual_grid
+                return float(
+                    np.interp(np.log(abs_eb), log_grid, variances)
+                )
+            if sample.values is not None:
+                # fallback: sampled non-zero values, sparsity-weighted
+                width = 2.0 * abs_eb
+                residual = sample.values - width * np.rint(
+                    sample.values / width
+                )
+                return float(
+                    (1.0 - sample.sparsity) * np.mean(residual**2)
+                )
+        return self.error_distribution(error_bound).variance(refined=True)
+
+    def estimate(
+        self, error_bound: float, refined_distribution: bool = True
+    ) -> RQEstimate:
+        """Full ratio + quality estimate at *error_bound*."""
+        sample = self._require_fit()
+        assert self._huffman is not None
+        abs_eb = self._to_abs(error_bound)
+        hist = self._huffman.histogram(abs_eb)
+        cont = self._huffman.continuous_bitrate(abs_eb)
+        mean_run = self._mean_zero_run(abs_eb)
+        if self.use_lossless:
+            bitrate, b_huff, rle = combined_bitrate(
+                hist,
+                self.rle_c1,
+                continuous_bitrate=cont,
+                mean_run=mean_run,
+            )
+        else:
+            b_huff = combined_bitrate(
+                hist, self.rle_c1, continuous_bitrate=cont
+            )[1]
+            rle = 1.0
+            bitrate = b_huff
+        container_bits = (
+            8.0 * CONTAINER_HEADER_BYTES
+            + HUFFMAN_TABLE_BITS_PER_SYMBOL * hist.n_bins
+        ) / sample.n_total
+        if self.mode is ErrorBoundMode.PW_REL:
+            # the log transform ships one sign bit and one zero-mask bit
+            # per point as side payload
+            container_bits += 2.0
+        bitrate_total = (
+            bitrate
+            + self._overhead_bits
+            + hist.outlier_fraction * OUTLIER_BITS
+            + container_bits
+        )
+        variance = self.error_variance(
+            error_bound, refined=refined_distribution
+        )
+        vrange = sample.value_range
+        return RQEstimate(
+            error_bound=float(error_bound),
+            huffman_bitrate=b_huff,
+            lossless_ratio=rle,
+            bitrate=bitrate_total,
+            ratio=sample.dtype_bits / bitrate_total,
+            p0=hist.p0,
+            error_variance=variance,
+            psnr=psnr_model(vrange, variance) if vrange > 0 else float("inf"),
+            ssim=ssim_model(sample.data_variance, variance, vrange)
+            if vrange > 0
+            else 1.0,
+        )
+
+    def estimate_curve(
+        self, error_bounds, refined_distribution: bool = True
+    ) -> list[RQEstimate]:
+        """Estimates over an error-bound sweep (the rate-distortion curve)."""
+        return [
+            self.estimate(float(eb), refined_distribution)
+            for eb in np.asarray(error_bounds, dtype=np.float64)
+        ]
+
+    # -- inverse queries ------------------------------------------------------
+
+    def error_bound_for_bitrate(self, target_bitrate: float) -> float:
+        """Error bound whose *total* bit-rate estimate hits the target.
+
+        The Huffman-regime inversion (Eq. 2 / anchors) provides the seed;
+        a short monotone bisection on the full estimate (including the
+        lossless stage and side overhead) refines it.
+        """
+        self._require_fit()
+        assert self._huffman is not None
+        if target_bitrate <= self._overhead_bits:
+            raise ValueError(
+                "target bit-rate is below the predictor side overhead"
+            )
+        seed_abs = self._huffman.error_bound_for_bitrate(
+            max(target_bitrate - self._overhead_bits, 1e-6)
+        )
+        return self._bisect_bitrate(
+            target_bitrate, self._from_abs(seed_abs)
+        )
+
+    def _bisect_bitrate(self, target: float, seed_eb: float) -> float:
+        lo, hi = seed_eb, seed_eb
+        for _ in range(60):
+            if self.estimate(lo).bitrate < target:
+                lo /= 2.0
+            else:
+                break
+        for _ in range(60):
+            if self.estimate(hi).bitrate > target:
+                hi *= 2.0
+            else:
+                break
+        if self.estimate(hi).bitrate > target:
+            return hi  # saturated: cannot reach so low a rate
+        for _ in range(50):
+            mid = np.sqrt(lo * hi)
+            if self.estimate(mid).bitrate > target:
+                lo = mid
+            else:
+                hi = mid
+        return float(np.sqrt(lo * hi))
+
+    def error_bound_for_ratio(self, target_ratio: float) -> float:
+        """Error bound for a target compression ratio."""
+        sample = self._require_fit()
+        if target_ratio <= 0:
+            raise ValueError("target_ratio must be positive")
+        return self.error_bound_for_bitrate(
+            sample.dtype_bits / target_ratio
+        )
+
+    def error_bound_for_psnr(
+        self, target_psnr: float, refined_distribution: bool = True
+    ) -> float:
+        """Error bound whose predicted PSNR equals *target_psnr*.
+
+        Uses the uniform-distribution closed form as a seed and bisects
+        the refined model (predicted PSNR decreases with eb).
+        """
+        sample = self._require_fit()
+        target_var = error_variance_for_psnr(
+            sample.value_range, target_psnr
+        )
+        seed_eb = self._from_abs(float(np.sqrt(3.0 * target_var)))
+        if not refined_distribution:
+            return seed_eb
+        # Past the value range the lattice has fully collapsed and the
+        # predicted PSNR is flat, so the search never needs to go higher.
+        eb_cap = max(self._from_abs(sample.value_range), seed_eb)
+        lo, hi = seed_eb, seed_eb
+        for _ in range(60):
+            est = self.estimate(lo)
+            if est.psnr < target_psnr:
+                lo /= 2.0
+            else:
+                break
+        for _ in range(60):
+            est = self.estimate(hi)
+            if est.psnr > target_psnr and hi < eb_cap:
+                hi = min(hi * 2.0, eb_cap)
+            else:
+                break
+        for _ in range(50):
+            mid = np.sqrt(lo * hi)
+            if self.estimate(mid).psnr > target_psnr:
+                lo = mid
+            else:
+                hi = mid
+        return float(np.sqrt(lo * hi))

@@ -1,0 +1,79 @@
+"""Post-hoc analysis quality models (§III-D2-4).
+
+Given the estimated error variance sigma^2(E) (Eq. 10/11), the quality of
+generic analyses follows by error propagation:
+
+PSNR (Eq. 12)::
+
+    PSNR = 20 log10(minmax) - 10 log10(sigma^2(E))
+
+SSIM (Eq. 15)::
+
+    SSIM = (2 sigma_D^2 + C3) / (2 sigma_D^2 + C3 + sigma^2(E))
+
+FFT/power-spectrum degradation: white compression noise adds a flat
+``sigma^2 * N`` floor to every unnormalized power bin (implemented in
+:mod:`repro.analysis.spectrum`, re-exported through the model facade).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.metrics import SSIM_C3_FACTOR
+
+__all__ = [
+    "psnr_model",
+    "ssim_model",
+    "mse_model",
+    "error_variance_for_psnr",
+]
+
+
+def mse_model(error_variance: float) -> float:
+    """Eq. 13: expected MSE equals the error variance (zero-mean errors)."""
+    if error_variance < 0:
+        raise ValueError("error_variance cannot be negative")
+    return float(error_variance)
+
+
+def psnr_model(value_range: float, error_variance: float) -> float:
+    """Eq. 12: predicted PSNR in dB.
+
+    Returns ``inf`` for zero predicted error variance.
+    """
+    if value_range <= 0:
+        raise ValueError("value_range must be positive")
+    if error_variance < 0:
+        raise ValueError("error_variance cannot be negative")
+    if error_variance == 0:
+        return float("inf")
+    return float(
+        20.0 * np.log10(value_range) - 10.0 * np.log10(error_variance)
+    )
+
+
+def error_variance_for_psnr(value_range: float, target_psnr: float) -> float:
+    """Invert Eq. 12: error variance achieving *target_psnr*."""
+    if value_range <= 0:
+        raise ValueError("value_range must be positive")
+    return float(value_range**2 * 10.0 ** (-target_psnr / 10.0))
+
+
+def ssim_model(
+    data_variance: float, error_variance: float, value_range: float
+) -> float:
+    """Eq. 15: predicted (global) SSIM.
+
+    ``C3 = (0.03 * value_range)^2`` matches the measured
+    :func:`repro.analysis.metrics.ssim_global` constant.
+    """
+    if data_variance < 0 or error_variance < 0:
+        raise ValueError("variances cannot be negative")
+    if value_range <= 0:
+        raise ValueError("value_range must be positive")
+    c3 = SSIM_C3_FACTOR * value_range**2
+    return float(
+        (2.0 * data_variance + c3)
+        / (2.0 * data_variance + c3 + error_variance)
+    )

@@ -1,0 +1,39 @@
+"""Synthetic stand-ins for the paper's 10-dataset evaluation suite."""
+
+from repro.datasets.generators import (
+    fractional_brownian_1d,
+    gaussian_random_field,
+    lognormal_field,
+    orbital_field,
+    particle_positions_1d,
+    particle_velocities_1d,
+    photon_events_4d,
+    wave_snapshots,
+)
+from repro.datasets.registry import (
+    DATASETS,
+    TABLE2_FIELDS,
+    DatasetSpec,
+    FieldSpec,
+    get_dataset,
+    list_fields,
+    load_field,
+)
+
+__all__ = [
+    "gaussian_random_field",
+    "fractional_brownian_1d",
+    "lognormal_field",
+    "wave_snapshots",
+    "particle_positions_1d",
+    "particle_velocities_1d",
+    "photon_events_4d",
+    "orbital_field",
+    "DatasetSpec",
+    "FieldSpec",
+    "DATASETS",
+    "TABLE2_FIELDS",
+    "get_dataset",
+    "load_field",
+    "list_fields",
+]

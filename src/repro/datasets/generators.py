@@ -1,0 +1,266 @@
+"""Procedural generators for the synthetic scientific datasets.
+
+The paper evaluates on 10 SDRBench datasets (Table I).  Those files are
+not redistributable here, so each dataset is replaced by a generator that
+reproduces the *statistical character the ratio-quality model actually
+depends on*: dimensionality, smoothness (spectral slope), value
+distribution (Gaussian, lognormal, heavy-tailed), and sparsity.  See
+DESIGN.md §3 for the substitution argument.
+
+The workhorse is :func:`gaussian_random_field` — white noise shaped in
+Fourier space to a power-law spectrum ``P(k) ~ k^-slope`` — plus a small
+finite-difference acoustic wave solver for the RTM snapshots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "gaussian_random_field",
+    "fractional_brownian_1d",
+    "lognormal_field",
+    "wave_snapshots",
+    "particle_positions_1d",
+    "particle_velocities_1d",
+    "photon_events_4d",
+    "orbital_field",
+]
+
+
+def _radial_wavenumber(shape: tuple[int, ...]) -> np.ndarray:
+    """|k| on the FFT grid of *shape* (DC entry set to the k-min)."""
+    axes = [np.fft.fftfreq(n) * n for n in shape]
+    grids = np.meshgrid(*axes, indexing="ij")
+    k2 = np.zeros(shape, dtype=np.float64)
+    for g in grids:
+        k2 += g * g
+    k = np.sqrt(k2)
+    kmin = 1.0
+    k[k == 0] = kmin
+    return k
+
+
+def gaussian_random_field(
+    shape: tuple[int, ...],
+    slope: float = 3.0,
+    seed: int = 0,
+    mean: float = 0.0,
+    std: float = 1.0,
+) -> np.ndarray:
+    """Gaussian random field with isotropic power spectrum ``k^-slope``.
+
+    Larger *slope* means smoother data (easier to predict, higher
+    compression ratio) — the knob that differentiates climate fields from
+    turbulence in our synthetic Table I.
+    """
+    rng = np.random.default_rng(seed)
+    white = rng.standard_normal(shape)
+    spectrum = np.fft.fftn(white)
+    k = _radial_wavenumber(shape)
+    spectrum *= k ** (-slope / 2.0)
+    field = np.real(np.fft.ifftn(spectrum))
+    sigma = field.std()
+    if sigma > 0:
+        field = (field - field.mean()) / sigma
+    return (mean + std * field).astype(np.float32)
+
+
+def fractional_brownian_1d(
+    n: int, hurst: float = 0.5, seed: int = 0, std: float = 1.0
+) -> np.ndarray:
+    """1-D fractional Brownian motion (Hurst 0.5 = plain Brownian walk).
+
+    The SDRBench "Brown" dataset is literally synthetic Brownian data, so
+    this generator matches the original construction.
+    """
+    if not 0 < hurst < 1:
+        raise ValueError("hurst must be within (0, 1)")
+    rng = np.random.default_rng(seed)
+    if abs(hurst - 0.5) < 1e-12:
+        walk = np.cumsum(rng.standard_normal(n))
+    else:
+        # Spectral synthesis: P(f) ~ f^-(2H+1).
+        freqs = np.fft.rfftfreq(n)
+        freqs[0] = freqs[1] if n > 1 else 1.0
+        amplitude = freqs ** (-(2 * hurst + 1) / 2.0)
+        phases = rng.uniform(0, 2 * np.pi, size=freqs.size)
+        spectrum = amplitude * np.exp(1j * phases)
+        spectrum[0] = 0.0
+        walk = np.fft.irfft(spectrum, n=n)
+    sigma = walk.std()
+    if sigma > 0:
+        walk = walk / sigma
+    return (std * walk).astype(np.float32)
+
+
+def lognormal_field(
+    shape: tuple[int, ...],
+    slope: float = 2.5,
+    seed: int = 0,
+    contrast: float = 2.0,
+) -> np.ndarray:
+    """Exponentiated GRF — matter-density-like with heavy upper tail.
+
+    Mimics the Nyx dark-matter density field: mostly near the mean with
+    rare dense "halos" orders of magnitude above it.
+    """
+    base = gaussian_random_field(shape, slope=slope, seed=seed).astype(
+        np.float64
+    )
+    return np.exp(contrast * base).astype(np.float32)
+
+
+def wave_snapshots(
+    shape: tuple[int, int, int],
+    n_snapshots: int,
+    steps_between: int = 8,
+    seed: int = 0,
+    courant: float = 0.4,
+    n_sources: int = 3,
+) -> list[np.ndarray]:
+    """Acoustic wavefield snapshots from a leapfrog FDTD solver.
+
+    Stands in for the RTM (reverse time migration) dataset: RTM forward
+    modeling stores the pressure wavefield at selected timesteps, so we
+    run a small 3-D constant-density acoustic simulation with a few
+    Ricker-wavelet point sources and capture snapshots.  Early snapshots
+    are sparse (wavefront only), later ones fill the volume — the
+    non-stationarity the paper's in-situ use-case exploits.
+    """
+    rng = np.random.default_rng(seed)
+    nx, ny, nz = shape
+    velocity = 1.0 + 0.3 * gaussian_random_field(
+        shape, slope=3.5, seed=seed + 1
+    ).astype(np.float64)
+    c2 = (courant * velocity / velocity.max()) ** 2
+
+    prev = np.zeros(shape, dtype=np.float64)
+    curr = np.zeros(shape, dtype=np.float64)
+    sources = [
+        (
+            rng.integers(nx // 4, 3 * nx // 4),
+            rng.integers(ny // 4, 3 * ny // 4),
+            rng.integers(nz // 4, 3 * nz // 4),
+        )
+        for _ in range(n_sources)
+    ]
+    f0 = 0.08  # normalized dominant frequency of the Ricker wavelet
+
+    def ricker(t: float) -> float:
+        arg = (np.pi * f0 * (t - 1.5 / f0)) ** 2
+        return float((1 - 2 * arg) * np.exp(-arg))
+
+    snapshots: list[np.ndarray] = []
+    step = 0
+    total_steps = n_snapshots * steps_between
+    while step < total_steps:
+        lap = (
+            np.roll(curr, 1, 0)
+            + np.roll(curr, -1, 0)
+            + np.roll(curr, 1, 1)
+            + np.roll(curr, -1, 1)
+            + np.roll(curr, 1, 2)
+            + np.roll(curr, -1, 2)
+            - 6.0 * curr
+        )
+        nxt = 2.0 * curr - prev + c2 * lap
+        for sx, sy, sz in sources:
+            nxt[sx, sy, sz] += ricker(float(step))
+        # simple absorbing sponge at the faces
+        for axis in range(3):
+            sl_lo = [slice(None)] * 3
+            sl_hi = [slice(None)] * 3
+            sl_lo[axis] = slice(0, 2)
+            sl_hi[axis] = slice(-2, None)
+            nxt[tuple(sl_lo)] *= 0.85
+            nxt[tuple(sl_hi)] *= 0.85
+        prev, curr = curr, nxt
+        step += 1
+        if step % steps_between == 0:
+            snapshots.append(curr.astype(np.float32))
+    return snapshots
+
+
+def particle_positions_1d(n: int, seed: int = 0, box: float = 256.0) -> np.ndarray:
+    """HACC-like particle coordinate stream.
+
+    Cosmology particle dumps store coordinates in particle-id order:
+    locally correlated (particles near each other in id are near in
+    space) with cluster-scale jumps.  We emulate that with a clustered
+    random walk folded into the box.
+    """
+    rng = np.random.default_rng(seed)
+    n_clusters = max(1, n // 4096)
+    centres = rng.uniform(0, box, size=n_clusters)
+    sizes = rng.multinomial(n, np.ones(n_clusters) / n_clusters)
+    pieces: list[np.ndarray] = []
+    for centre, size in zip(centres, sizes):
+        if size == 0:
+            continue
+        walk = np.cumsum(rng.standard_normal(size)) * 0.05
+        pieces.append((centre + walk) % box)
+    out = np.concatenate(pieces)[:n]
+    if out.size < n:
+        out = np.pad(out, (0, n - out.size), mode="edge")
+    return out.astype(np.float32)
+
+
+def particle_velocities_1d(n: int, seed: int = 0) -> np.ndarray:
+    """HACC-like velocity stream: Gaussian mixture over cluster bulk flows."""
+    rng = np.random.default_rng(seed)
+    n_clusters = max(1, n // 4096)
+    bulk = rng.normal(0, 300.0, size=n_clusters)
+    sizes = rng.multinomial(n, np.ones(n_clusters) / n_clusters)
+    pieces = [
+        rng.normal(b, 120.0, size=s) for b, s in zip(bulk, sizes) if s > 0
+    ]
+    out = np.concatenate(pieces)[:n]
+    if out.size < n:
+        out = np.pad(out, (0, n - out.size), mode="edge")
+    return out.astype(np.float32)
+
+
+def photon_events_4d(
+    shape: tuple[int, int, int, int], seed: int = 0, n_peaks: int = 24
+) -> np.ndarray:
+    """EXAFEL-like instrument imaging: 4-D stack of detector panels.
+
+    Poisson-ish background with sharp Bragg-peak Gaussians at random
+    panel positions — noisy, hard-to-predict data, the low-ratio end of
+    Table I.
+    """
+    rng = np.random.default_rng(seed)
+    events, panels, height, width = shape
+    data = rng.poisson(3.0, size=shape).astype(np.float64)
+    yy, xx = np.meshgrid(
+        np.arange(height), np.arange(width), indexing="ij"
+    )
+    for _ in range(n_peaks):
+        e = rng.integers(events)
+        p = rng.integers(panels)
+        cy, cx = rng.uniform(0, height), rng.uniform(0, width)
+        amp = rng.uniform(50, 500)
+        sig = rng.uniform(1.0, 3.0)
+        data[e, p] += amp * np.exp(
+            -((yy - cy) ** 2 + (xx - cx) ** 2) / (2 * sig**2)
+        )
+    return data.astype(np.float32)
+
+
+def orbital_field(
+    shape: tuple[int, int, int], seed: int = 0, n_centres: int = 6
+) -> np.ndarray:
+    """QMCPACK-like orbital data: smooth envelopes with oscillations."""
+    rng = np.random.default_rng(seed)
+    grids = np.meshgrid(
+        *[np.linspace(-1, 1, n) for n in shape], indexing="ij"
+    )
+    field = np.zeros(shape, dtype=np.float64)
+    for _ in range(n_centres):
+        centre = rng.uniform(-0.6, 0.6, size=3)
+        width = rng.uniform(0.15, 0.4)
+        freq = rng.uniform(4, 12)
+        r2 = sum((g - c) ** 2 for g, c in zip(grids, centre))
+        field += np.exp(-r2 / (2 * width**2)) * np.cos(freq * np.sqrt(r2))
+    return field.astype(np.float32)

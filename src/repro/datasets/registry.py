@@ -1,0 +1,299 @@
+"""The synthetic Table-I dataset suite: 10 datasets, 17 evaluated fields.
+
+Each :class:`DatasetSpec` mirrors one row of the paper's Table I (name,
+dimensionality, description, native format tag) and carries generator
+callables for its fields.  Shapes default to laptop scale and grow with
+``size_scale``; the *relative* characteristics (smoothness ordering
+across datasets) are what the model evaluation depends on.
+
+The 17 evaluated fields follow Table II:
+RTM 1000/2000/3000, CESM TS/TROP_Z, Hurricane U/TC, Nyx dark-matter/
+temperature/velocity-z, HACC xx/vx, Brown pressure, Miranda vx,
+QMCPACK einspine, SCALE PRES, EXAFEL raw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.datasets import generators as gen
+
+__all__ = [
+    "DatasetSpec",
+    "FieldSpec",
+    "DATASETS",
+    "TABLE2_FIELDS",
+    "get_dataset",
+    "load_field",
+    "list_fields",
+]
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One named field of a dataset."""
+
+    dataset: str
+    name: str
+    shape: tuple[int, ...]
+    generate: Callable[[tuple[int, ...], int], np.ndarray]
+    seed: int = 0
+
+    def load(self, size_scale: float = 1.0) -> np.ndarray:
+        """Generate the field, optionally scaling the grid size.
+
+        ``size_scale`` multiplies every axis (rounded, min 8) so tests can
+        run tiny versions and benchmarks larger ones.
+        """
+        if size_scale <= 0:
+            raise ValueError("size_scale must be positive")
+        shape = tuple(
+            max(8, int(round(n * size_scale))) for n in self.shape
+        )
+        return self.generate(shape, self.seed)
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One row of Table I."""
+
+    name: str
+    dims: int
+    description: str
+    fmt: str
+    fields: tuple[FieldSpec, ...]
+
+    def field(self, name: str) -> FieldSpec:
+        """Look up a field by name."""
+        for f in self.fields:
+            if f.name == name:
+                return f
+        raise KeyError(f"dataset {self.name} has no field {name!r}")
+
+
+def _rtm_field(snapshot_index: int):
+    def build(shape: tuple[int, ...], seed: int) -> np.ndarray:
+        snaps = gen.wave_snapshots(
+            shape, n_snapshots=snapshot_index + 1, steps_between=12, seed=seed
+        )
+        return snaps[snapshot_index]
+
+    return build
+
+
+def _grf(slope: float, **kwargs):
+    def build(shape: tuple[int, ...], seed: int) -> np.ndarray:
+        return gen.gaussian_random_field(shape, slope=slope, seed=seed, **kwargs)
+
+    return build
+
+
+def _lognormal(slope: float, contrast: float):
+    def build(shape: tuple[int, ...], seed: int) -> np.ndarray:
+        return gen.lognormal_field(shape, slope=slope, seed=seed, contrast=contrast)
+
+    return build
+
+
+def _brown(shape: tuple[int, ...], seed: int) -> np.ndarray:
+    return gen.fractional_brownian_1d(shape[0], hurst=0.5, seed=seed)
+
+
+def _hacc_xx(shape: tuple[int, ...], seed: int) -> np.ndarray:
+    return gen.particle_positions_1d(shape[0], seed=seed)
+
+
+def _hacc_vx(shape: tuple[int, ...], seed: int) -> np.ndarray:
+    return gen.particle_velocities_1d(shape[0], seed=seed)
+
+
+def _temperature(shape: tuple[int, ...], seed: int) -> np.ndarray:
+    base = gen.gaussian_random_field(shape, slope=2.8, seed=seed).astype(
+        np.float64
+    )
+    return (1e4 * np.exp(1.2 * base)).astype(np.float32)
+
+
+DATASETS: dict[str, DatasetSpec] = {}
+
+
+def _register(spec: DatasetSpec) -> None:
+    DATASETS[spec.name] = spec
+
+
+_register(
+    DatasetSpec(
+        name="RTM",
+        dims=3,
+        description="Reverse time migration (seismic imaging) wavefields",
+        fmt="HDF5",
+        fields=(
+            FieldSpec("RTM", "snapshot_1000", (72, 72, 72), _rtm_field(2), 7),
+            FieldSpec("RTM", "snapshot_2000", (72, 72, 72), _rtm_field(4), 7),
+            FieldSpec("RTM", "snapshot_3000", (72, 72, 72), _rtm_field(6), 7),
+        ),
+    )
+)
+_register(
+    DatasetSpec(
+        name="CESM",
+        dims=2,
+        description="Climate simulation (atmosphere model)",
+        fmt="NetCDF",
+        fields=(
+            FieldSpec("CESM", "TS", (360, 720), _grf(3.2), 11),
+            FieldSpec("CESM", "TROP_Z", (360, 720), _grf(3.6), 12),
+        ),
+    )
+)
+_register(
+    DatasetSpec(
+        name="Hurricane",
+        dims=3,
+        description="Weather simulation (Hurricane Isabel)",
+        fmt="Binary",
+        fields=(
+            FieldSpec("Hurricane", "U", (64, 96, 96), _grf(3.4), 21),
+            FieldSpec("Hurricane", "TC", (64, 96, 96), _grf(2.9), 22),
+        ),
+    )
+)
+_register(
+    DatasetSpec(
+        name="HACC",
+        dims=1,
+        description="Cosmology simulation particle data",
+        fmt="GIO",
+        fields=(
+            FieldSpec("HACC", "xx", (1_048_576,), _hacc_xx, 31),
+            FieldSpec("HACC", "vx", (1_048_576,), _hacc_vx, 32),
+        ),
+    )
+)
+_register(
+    DatasetSpec(
+        name="Nyx",
+        dims=3,
+        description="Cosmology simulation (adaptive mesh)",
+        fmt="HDF5",
+        fields=(
+            FieldSpec(
+                "Nyx", "dark_matter_density", (96, 96, 96),
+                _lognormal(2.4, 2.2), 41,
+            ),
+            FieldSpec("Nyx", "temperature", (96, 96, 96), _temperature, 42),
+            FieldSpec("Nyx", "velocity_z", (96, 96, 96), _grf(2.6, std=5e6), 43),
+        ),
+    )
+)
+_register(
+    DatasetSpec(
+        name="SCALE",
+        dims=3,
+        description="Climate simulation (SCALE-LETKF)",
+        fmt="NetCDF",
+        fields=(
+            FieldSpec("SCALE", "PRES", (48, 120, 120), _grf(4.0, mean=1e5, std=5e3), 51),
+        ),
+    )
+)
+_register(
+    DatasetSpec(
+        name="QMCPACK",
+        dims=3,
+        description="Atoms' structure (quantum Monte Carlo orbitals)",
+        fmt="HDF5",
+        fields=(
+            FieldSpec(
+                "QMCPACK", "einspine", (69, 69, 115),
+                lambda shape, seed: gen.orbital_field(shape, seed=seed), 61,
+            ),
+        ),
+    )
+)
+_register(
+    DatasetSpec(
+        name="Miranda",
+        dims=3,
+        description="Turbulence (radiation hydrodynamics)",
+        fmt="Binary",
+        fields=(
+            FieldSpec("Miranda", "vx", (64, 96, 96), _grf(1.8), 71),
+        ),
+    )
+)
+_register(
+    DatasetSpec(
+        name="Brown",
+        dims=1,
+        description="Synthetic Brownian data",
+        fmt="Binary",
+        fields=(
+            FieldSpec("Brown", "pressure", (1_048_576,), _brown, 81),
+        ),
+    )
+)
+_register(
+    DatasetSpec(
+        name="EXAFEL",
+        dims=4,
+        description="Instrument imaging (LCLS-II detector)",
+        fmt="HDF5",
+        fields=(
+            FieldSpec(
+                "EXAFEL", "raw", (4, 8, 96, 96),
+                lambda shape, seed: gen.photon_events_4d(shape, seed=seed), 91,
+            ),
+        ),
+    )
+)
+
+#: The 17 fields of Table II as (dataset, field) pairs, in table order.
+TABLE2_FIELDS: tuple[tuple[str, str], ...] = (
+    ("RTM", "snapshot_1000"),
+    ("RTM", "snapshot_2000"),
+    ("RTM", "snapshot_3000"),
+    ("CESM", "TS"),
+    ("CESM", "TROP_Z"),
+    ("Hurricane", "U"),
+    ("Hurricane", "TC"),
+    ("Nyx", "dark_matter_density"),
+    ("Nyx", "temperature"),
+    ("Nyx", "velocity_z"),
+    ("HACC", "xx"),
+    ("HACC", "vx"),
+    ("Brown", "pressure"),
+    ("Miranda", "vx"),
+    ("QMCPACK", "einspine"),
+    ("SCALE", "PRES"),
+    ("EXAFEL", "raw"),
+)
+
+
+def get_dataset(name: str) -> DatasetSpec:
+    """Look up a dataset by Table-I name."""
+    try:
+        return DATASETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; expected one of {sorted(DATASETS)}"
+        ) from None
+
+
+def load_field(
+    dataset: str, field: str, size_scale: float = 1.0
+) -> np.ndarray:
+    """Generate one field by dataset/field name."""
+    return get_dataset(dataset).field(field).load(size_scale)
+
+
+def list_fields() -> list[tuple[str, str]]:
+    """All (dataset, field) pairs in registry order."""
+    return [
+        (spec.name, f.name)
+        for spec in DATASETS.values()
+        for f in spec.fields
+    ]

@@ -1,0 +1,18 @@
+"""Data-management substrate: HDF5-like container + cluster simulator."""
+
+from repro.storage.cluster import (
+    ClusterSimulator,
+    ClusterSpec,
+    DumpReport,
+    ThroughputProfile,
+)
+from repro.storage.hdf5sim import DatasetInfo, H5LikeFile
+
+__all__ = [
+    "H5LikeFile",
+    "DatasetInfo",
+    "ClusterSpec",
+    "ThroughputProfile",
+    "ClusterSimulator",
+    "DumpReport",
+]

@@ -1,0 +1,247 @@
+"""An HDF5-like chunked container with lossy-compression filters.
+
+The paper's data-management experiments run through parallel HDF5 with
+the H5Z-SZ filter.  This module provides the equivalent storage layer:
+a single-file container holding named datasets, each split into chunks
+that pass through an optional compression filter (our SZ pipeline) on
+write and are decompressed transparently on read — the same architecture
+as an HDF5 dataset with a dynamically loaded filter.
+
+File layout::
+
+    b"RQH5" | version:u8 | chunk payloads ... | TOC JSON | toc_len:u64
+
+The TOC records every dataset's shape/dtype/chunk grid, per-chunk
+offsets/sizes, the filter config, and user attributes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compressor import CompressionConfig, SZCompressor
+
+__all__ = ["H5LikeFile", "DatasetInfo"]
+
+_MAGIC = b"RQH5"
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class DatasetInfo:
+    """Metadata of one stored dataset."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+    chunk_shape: tuple[int, ...]
+    compressed_bytes: int
+    raw_bytes: int
+    filter_config: dict | None
+    attrs: dict
+
+    @property
+    def ratio(self) -> float:
+        """Storage compression ratio of this dataset."""
+        if self.compressed_bytes == 0:
+            return float("inf")
+        return self.raw_bytes / self.compressed_bytes
+
+
+def _chunk_slices(
+    shape: tuple[int, ...], chunk_shape: tuple[int, ...]
+):
+    """Yield the slice tuple of every chunk in C order."""
+    counts = [
+        (n + c - 1) // c for n, c in zip(shape, chunk_shape)
+    ]
+    for flat in range(int(np.prod(counts))):
+        idx = np.unravel_index(flat, counts)
+        yield tuple(
+            slice(i * c, min((i + 1) * c, n))
+            for i, c, n in zip(idx, chunk_shape, shape)
+        )
+
+
+class H5LikeFile:
+    """Single-file chunked store with optional lossy filters.
+
+    Usage::
+
+        with H5LikeFile(path, "w") as f:
+            f.create_dataset("pressure", data, config, attrs={"step": 3})
+        with H5LikeFile(path, "r") as f:
+            back = f.read_dataset("pressure")
+    """
+
+    def __init__(self, path: str, mode: str = "r") -> None:
+        if mode not in ("r", "w"):
+            raise ValueError("mode must be 'r' or 'w'")
+        self.path = path
+        self.mode = mode
+        self._sz = SZCompressor()
+        self._toc: dict = {"datasets": {}}
+        if mode == "w":
+            self._fh = open(path, "wb")
+            self._fh.write(_MAGIC + bytes([_VERSION]))
+            self._closed = False
+        else:
+            self._fh = open(path, "rb")
+            self._load_toc()
+            self._closed = False
+
+    # -- context management ------------------------------------------------------
+
+    def __enter__(self) -> "H5LikeFile":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Flush the TOC (write mode) and close the file."""
+        if self._closed:
+            return
+        if self.mode == "w":
+            toc = json.dumps(self._toc).encode()
+            self._fh.write(toc)
+            self._fh.write(len(toc).to_bytes(8, "little"))
+        self._fh.close()
+        self._closed = True
+
+    # -- writing ------------------------------------------------------------
+
+    def create_dataset(
+        self,
+        name: str,
+        data: np.ndarray,
+        config: CompressionConfig | None = None,
+        chunk_shape: tuple[int, ...] | None = None,
+        attrs: dict | None = None,
+    ) -> DatasetInfo:
+        """Store *data*, optionally through the lossy filter.
+
+        ``chunk_shape`` defaults to the full array (one chunk); pass a
+        smaller grid for partial-read patterns.
+        """
+        if self.mode != "w":
+            raise IOError("file is open read-only")
+        if name in self._toc["datasets"]:
+            raise ValueError(f"dataset {name!r} already exists")
+        data = np.asarray(data)
+        if chunk_shape is None:
+            chunk_shape = data.shape
+        if len(chunk_shape) != data.ndim or any(
+            c <= 0 for c in chunk_shape
+        ):
+            raise ValueError("invalid chunk shape")
+
+        chunk_records: list[dict] = []
+        total = 0
+        for slc in _chunk_slices(data.shape, chunk_shape):
+            chunk = np.ascontiguousarray(data[slc])
+            if config is not None:
+                payload = self._sz.compress(chunk, config).blob
+                kind = "sz"
+            else:
+                payload = chunk.tobytes()
+                kind = "raw"
+            offset = self._fh.tell()
+            self._fh.write(payload)
+            total += len(payload)
+            chunk_records.append(
+                {
+                    "offset": int(offset),
+                    "size": len(payload),
+                    "kind": kind,
+                    "start": [int(s.start) for s in slc],
+                    "stop": [int(s.stop) for s in slc],
+                }
+            )
+        entry = {
+            "shape": list(data.shape),
+            "dtype": data.dtype.str,
+            "chunk_shape": list(chunk_shape),
+            "chunks": chunk_records,
+            "raw_bytes": int(data.nbytes),
+            "compressed_bytes": total,
+            "filter": self._config_dict(config),
+            "attrs": attrs or {},
+        }
+        self._toc["datasets"][name] = entry
+        return self.info(name)
+
+    @staticmethod
+    def _config_dict(config: CompressionConfig | None) -> dict | None:
+        if config is None:
+            return None
+        return {
+            "predictor": config.predictor,
+            "mode": config.mode.value,
+            "error_bound": config.error_bound,
+            "lossless": config.lossless,
+        }
+
+    # -- reading ------------------------------------------------------------
+
+    def _load_toc(self) -> None:
+        self._fh.seek(0)
+        magic = self._fh.read(len(_MAGIC))
+        if magic != _MAGIC:
+            raise ValueError("not an RQH5 container")
+        self._fh.seek(-8, os.SEEK_END)
+        toc_len = int.from_bytes(self._fh.read(8), "little")
+        self._fh.seek(-8 - toc_len, os.SEEK_END)
+        self._toc = json.loads(self._fh.read(toc_len).decode())
+
+    def dataset_names(self) -> list[str]:
+        """Names of all stored datasets."""
+        return sorted(self._toc["datasets"])
+
+    def info(self, name: str) -> DatasetInfo:
+        """Metadata of one dataset."""
+        entry = self._entry(name)
+        return DatasetInfo(
+            name=name,
+            shape=tuple(entry["shape"]),
+            dtype=entry["dtype"],
+            chunk_shape=tuple(entry["chunk_shape"]),
+            compressed_bytes=entry["compressed_bytes"],
+            raw_bytes=entry["raw_bytes"],
+            filter_config=entry["filter"],
+            attrs=entry["attrs"],
+        )
+
+    def attrs(self, name: str) -> dict:
+        """User attributes of one dataset."""
+        return dict(self._entry(name)["attrs"])
+
+    def read_dataset(self, name: str) -> np.ndarray:
+        """Read (and transparently decompress) a dataset."""
+        entry = self._entry(name)
+        dtype = np.dtype(entry["dtype"])
+        out = np.zeros(tuple(entry["shape"]), dtype=dtype)
+        for record in entry["chunks"]:
+            self._fh.seek(record["offset"])
+            payload = self._fh.read(record["size"])
+            slc = tuple(
+                slice(a, b)
+                for a, b in zip(record["start"], record["stop"])
+            )
+            if record["kind"] == "sz":
+                chunk = self._sz.decompress(payload)
+            else:
+                shape = tuple(b - a for a, b in zip(record["start"], record["stop"]))
+                chunk = np.frombuffer(payload, dtype=dtype).reshape(shape)
+            out[slc] = chunk
+        return out
+
+    def _entry(self, name: str) -> dict:
+        try:
+            return self._toc["datasets"][name]
+        except KeyError:
+            raise KeyError(f"no dataset named {name!r}") from None

@@ -1,0 +1,36 @@
+"""The paper's three use-cases plus the trial-and-error baselines."""
+
+from repro.usecases.baselines import (
+    TrialAndErrorResult,
+    TrialPoint,
+    offline_worst_case_error_bound,
+    tae_select_error_bound,
+    trial_and_error_sweep,
+)
+from repro.usecases.insitu import (
+    PartitionTuner,
+    SnapshotPipeline,
+    SnapshotRecord,
+    TunedCompression,
+)
+from repro.usecases.memory_target import BudgetReport, MemoryBudgetCompressor
+from repro.usecases.predictor_selection import (
+    PredictorSelector,
+    SelectionDecision,
+)
+
+__all__ = [
+    "PredictorSelector",
+    "SelectionDecision",
+    "MemoryBudgetCompressor",
+    "BudgetReport",
+    "PartitionTuner",
+    "TunedCompression",
+    "SnapshotPipeline",
+    "SnapshotRecord",
+    "trial_and_error_sweep",
+    "tae_select_error_bound",
+    "offline_worst_case_error_bound",
+    "TrialAndErrorResult",
+    "TrialPoint",
+]

@@ -1,0 +1,192 @@
+"""Use-case 3: in-situ compression optimization (§IV-C, Figs. 12-13).
+
+Two flavours of fine-grained error-bound tuning:
+
+* :class:`PartitionTuner` — a dataset made of partitions analysed
+  together (the RTM stacked image over timesteps): jointly choose
+  per-partition bounds that minimise bits at a given aggregate quality
+  or maximise quality within a bit budget (Fig. 12's +ratio / +quality
+  trade-offs against a uniform bound);
+
+* :class:`SnapshotPipeline` — a stream of snapshots, each compressed as
+  it is produced: fit the model on the snapshot, derive the bound for
+  the target PSNR, compress (Fig. 13, vs. the offline worst-case bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.metrics import psnr
+from repro.compressor import CompressionConfig, CompressionResult, SZCompressor
+from repro.core.model import RatioQualityModel
+from repro.core.optimizer import PartitionOptimizer, PartitionPlan
+from repro.utils.timer import StageTimes, Timer
+
+__all__ = ["PartitionTuner", "TunedCompression", "SnapshotPipeline", "SnapshotRecord"]
+
+
+@dataclass
+class TunedCompression:
+    """Per-partition plan plus measured outcomes."""
+
+    plan: PartitionPlan
+    results: list[CompressionResult]
+    measured_psnr: float
+    measured_bitrate: float
+
+
+class PartitionTuner:
+    """Joint per-partition error-bound optimization."""
+
+    def __init__(
+        self,
+        predictor: str = "lorenzo",
+        sample_rate: float = 0.01,
+        grid_points: int = 40,
+        seed: int | None = 0,
+    ) -> None:
+        self.predictor = predictor
+        self.sample_rate = sample_rate
+        self.grid_points = grid_points
+        self.seed = seed
+        self.partitions: list[np.ndarray] = []
+        self.optimizer: PartitionOptimizer | None = None
+        self._sz = SZCompressor()
+
+    def fit(self, partitions: list[np.ndarray]) -> "PartitionTuner":
+        """Fit one model per partition and build the optimizer grid."""
+        if not partitions:
+            raise ValueError("need at least one partition")
+        self.partitions = [np.asarray(p) for p in partitions]
+        models = [
+            RatioQualityModel(
+                predictor=self.predictor,
+                sample_rate=self.sample_rate,
+                seed=self.seed,
+            ).fit(p)
+            for p in self.partitions
+        ]
+        self.optimizer = PartitionOptimizer(
+            models, grid_points=self.grid_points
+        )
+        return self
+
+    def _require_fit(self) -> PartitionOptimizer:
+        if self.optimizer is None:
+            raise RuntimeError("call fit(partitions) first")
+        return self.optimizer
+
+    def compress_for_psnr(self, target_psnr: float) -> TunedCompression:
+        """Minimise bits subject to aggregate PSNR >= target."""
+        plan = self._require_fit().minimize_bits_for_psnr(target_psnr)
+        return self._execute(plan)
+
+    def compress_for_bitrate(self, bit_budget: float) -> TunedCompression:
+        """Maximise aggregate PSNR within a mean bits/point budget."""
+        plan = self._require_fit().maximize_psnr_for_bits(bit_budget)
+        return self._execute(plan)
+
+    def compress_uniform(self, error_bound: float) -> TunedCompression:
+        """Baseline: one bound for all partitions (the paper's strawman)."""
+        plan = self._require_fit().uniform_plan(error_bound)
+        return self._execute(plan)
+
+    def _execute(self, plan: PartitionPlan) -> TunedCompression:
+        results: list[CompressionResult] = []
+        sq_err_sum = 0.0
+        bits_sum = 0.0
+        n_sum = 0
+        vrange = 0.0
+        for partition, eb in zip(self.partitions, plan.error_bounds):
+            config = CompressionConfig(
+                predictor=self.predictor, error_bound=float(eb)
+            )
+            result, recon = self._sz.roundtrip(partition, config)
+            results.append(result)
+            diff = partition.astype(np.float64) - recon.astype(np.float64)
+            sq_err_sum += float(np.sum(diff**2))
+            bits_sum += 8.0 * result.compressed_bytes
+            n_sum += partition.size
+            vrange = max(
+                vrange,
+                float(partition.max()) - float(partition.min()),
+            )
+        mse = sq_err_sum / n_sum
+        measured_psnr = (
+            float("inf")
+            if mse == 0
+            else float(10.0 * np.log10(vrange**2 / mse))
+        )
+        return TunedCompression(
+            plan=plan,
+            results=results,
+            measured_psnr=measured_psnr,
+            measured_bitrate=bits_sum / n_sum,
+        )
+
+
+@dataclass
+class SnapshotRecord:
+    """One snapshot's in-situ decision and measured outcome."""
+
+    index: int
+    error_bound: float
+    bit_rate: float
+    ratio: float
+    psnr: float
+    times: StageTimes = field(default_factory=StageTimes)
+
+
+class SnapshotPipeline:
+    """Streaming in-situ optimization: one decision per snapshot."""
+
+    def __init__(
+        self,
+        target_psnr: float,
+        predictor: str = "lorenzo",
+        sample_rate: float = 0.01,
+        seed: int | None = 0,
+    ) -> None:
+        self.target_psnr = target_psnr
+        self.predictor = predictor
+        self.sample_rate = sample_rate
+        self.seed = seed
+        self._sz = SZCompressor()
+        self.records: list[SnapshotRecord] = []
+
+    def process(self, snapshot: np.ndarray) -> SnapshotRecord:
+        """Fit, pick the bound for the PSNR target, compress, measure."""
+        snapshot = np.asarray(snapshot)
+        times = StageTimes()
+        with Timer() as t:
+            model = RatioQualityModel(
+                predictor=self.predictor,
+                sample_rate=self.sample_rate,
+                seed=self.seed,
+            ).fit(snapshot)
+            eb = model.error_bound_for_psnr(self.target_psnr)
+        times.add("optimize", t.elapsed)
+
+        config = CompressionConfig(
+            predictor=self.predictor, error_bound=float(eb)
+        )
+        result = self._sz.compress(snapshot, config)
+        times.merge(result.times)
+        with Timer() as t:
+            recon = self._sz.decompress(result.blob)
+            quality = psnr(snapshot, recon)
+        times.add("verify", t.elapsed)
+
+        record = SnapshotRecord(
+            index=len(self.records),
+            error_bound=float(eb),
+            bit_rate=result.bit_rate,
+            ratio=result.ratio,
+            psnr=quality,
+            times=times,
+        )
+        self.records.append(record)
+        return record

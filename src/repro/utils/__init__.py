@@ -1,0 +1,20 @@
+"""Shared utilities: statistics helpers, timers, and table formatting."""
+
+from repro.utils.stats import (
+    entropy_bits,
+    normalized_histogram,
+    safe_log2,
+    value_range,
+)
+from repro.utils.tables import format_table
+from repro.utils.timer import StageTimes, Timer
+
+__all__ = [
+    "entropy_bits",
+    "normalized_histogram",
+    "safe_log2",
+    "value_range",
+    "format_table",
+    "StageTimes",
+    "Timer",
+]

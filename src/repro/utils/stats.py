@@ -1,0 +1,88 @@
+"""Small statistics helpers used across the compressor and the model.
+
+These are deliberately tiny, explicit functions: the ratio-quality model is
+assembled from a handful of information-theoretic primitives (entropy,
+histograms, value ranges) and keeping them in one place makes the model
+modules read close to the paper's equations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "value_range",
+    "safe_log2",
+    "normalized_histogram",
+    "entropy_bits",
+    "relative_std_error",
+]
+
+
+def value_range(data: np.ndarray) -> float:
+    """Return ``max - min`` of *data* as a Python float.
+
+    The paper calls this quantity *minmax* (Eq. 12); it is the reference
+    scale both for relative error bounds and for PSNR.
+    """
+    data = np.asarray(data)
+    if data.size == 0:
+        raise ValueError("value_range of an empty array is undefined")
+    lo = float(np.min(data))
+    hi = float(np.max(data))
+    return hi - lo
+
+
+def safe_log2(p: np.ndarray) -> np.ndarray:
+    """``log2(p)`` that maps non-positive entries to 0 instead of -inf.
+
+    Entropy sums of the form ``-sum(p * log2(p))`` treat ``0 * log2(0)``
+    as 0; this helper encodes that convention.
+    """
+    p = np.asarray(p, dtype=np.float64)
+    out = np.zeros_like(p)
+    positive = p > 0
+    out[positive] = np.log2(p[positive])
+    return out
+
+
+def normalized_histogram(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(symbols, probabilities)`` for an integer symbol stream.
+
+    Probabilities sum to 1.  Symbols are returned sorted ascending, which
+    callers rely on when locating the central (zero) quantization bin.
+    """
+    values = np.asarray(values).ravel()
+    if values.size == 0:
+        raise ValueError("cannot build a histogram of an empty stream")
+    symbols, counts = np.unique(values, return_counts=True)
+    return symbols, counts / float(values.size)
+
+
+def entropy_bits(probabilities: np.ndarray) -> float:
+    """Shannon entropy in bits of a probability vector.
+
+    Zero-probability entries contribute nothing.  The vector does not need
+    to be normalized exactly (histogram rounding is tolerated) but should
+    sum to approximately 1.
+    """
+    p = np.asarray(probabilities, dtype=np.float64)
+    if p.size == 0:
+        return 0.0
+    return float(-np.sum(p * safe_log2(p)))
+
+
+def relative_std_error(measured: np.ndarray, estimated: np.ndarray) -> float:
+    """Standard deviation of the measured/estimated ratio minus one.
+
+    This is the ``STD(R / R' - 1)`` term inside the paper's accuracy
+    metric (Eq. 20).  Raises if shapes mismatch or estimates contain zeros.
+    """
+    measured = np.asarray(measured, dtype=np.float64).ravel()
+    estimated = np.asarray(estimated, dtype=np.float64).ravel()
+    if measured.shape != estimated.shape:
+        raise ValueError("measured and estimated must have the same length")
+    if np.any(estimated == 0):
+        raise ValueError("estimated values must be non-zero")
+    ratio = measured / estimated - 1.0
+    return float(np.sqrt(np.mean((ratio - np.mean(ratio)) ** 2)))

@@ -1,0 +1,64 @@
+"""Plain-text table rendering for benchmark reports.
+
+Every benchmark regenerating a paper table or figure prints its rows with
+:func:`format_table`, so the harness output can be diffed against
+EXPERIMENTS.md by eye.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table"]
+
+
+def _render_cell(value: object, spec: str) -> str:
+    """Render one cell; floats honour *spec* (e.g. ``'.3f'``)."""
+    if isinstance(value, float):
+        return format(value, spec)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_spec: str = ".3f",
+    title: str | None = None,
+) -> str:
+    """Render *rows* under *headers* as an aligned ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Iterable of row tuples; each row must match ``len(headers)``.
+    float_spec:
+        ``format`` spec applied to float cells.
+    title:
+        Optional title line printed above the table.
+    """
+    rendered: list[list[str]] = []
+    for row in rows:
+        cells = list(row)
+        if len(cells) != len(headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, expected {len(headers)}"
+            )
+        rendered.append([_render_cell(cell, float_spec) for cell in cells])
+
+    widths = [len(h) for h in headers]
+    for cells in rendered:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    parts: list[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(cells) for cells in rendered)
+    return "\n".join(parts)

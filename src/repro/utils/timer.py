@@ -1,0 +1,75 @@
+"""Wall-clock timing helpers.
+
+The paper's Figures 9 and 14 break optimization cost into stages
+(prediction/sampling, Huffman, lossless, I/O).  ``Timer`` measures one
+stage; ``StageTimes`` accumulates a named breakdown that benchmark
+harnesses can print directly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "StageTimes"]
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    Example
+    -------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+@dataclass
+class StageTimes:
+    """Accumulates per-stage wall-clock seconds.
+
+    Stages are created lazily on first :meth:`add`.  ``total`` sums all
+    stages; :meth:`merge` folds another breakdown into this one, which the
+    cluster simulator uses to aggregate per-rank breakdowns.
+    """
+
+    seconds: dict[str, float] = field(default_factory=dict)
+
+    def add(self, stage: str, elapsed: float) -> None:
+        """Add *elapsed* seconds to *stage*."""
+        if elapsed < 0:
+            raise ValueError("elapsed time cannot be negative")
+        self.seconds[stage] = self.seconds.get(stage, 0.0) + elapsed
+
+    def get(self, stage: str) -> float:
+        """Seconds recorded for *stage* (0.0 when absent)."""
+        return self.seconds.get(stage, 0.0)
+
+    @property
+    def total(self) -> float:
+        """Sum of all stage times."""
+        return sum(self.seconds.values())
+
+    def merge(self, other: "StageTimes") -> None:
+        """Fold *other*'s stages into this breakdown."""
+        for stage, elapsed in other.seconds.items():
+            self.add(stage, elapsed)
+
+    def scaled(self, factor: float) -> "StageTimes":
+        """Return a copy with every stage multiplied by *factor*."""
+        if factor < 0:
+            raise ValueError("scale factor cannot be negative")
+        return StageTimes({k: v * factor for k, v in self.seconds.items()})

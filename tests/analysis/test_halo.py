@@ -1,0 +1,103 @@
+"""Tests for the threshold halo finder."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.halo import Halo, find_halos, halo_match_f1, mass_function
+
+
+def field_with_blobs():
+    """3-D density field with three well-separated Gaussian blobs."""
+    n = 32
+    grid = np.meshgrid(*[np.arange(n)] * 3, indexing="ij")
+    field = np.zeros((n, n, n))
+    centres = [(8, 8, 8), (24, 24, 8), (8, 24, 24)]
+    for cx, cy, cz in centres:
+        r2 = (
+            (grid[0] - cx) ** 2
+            + (grid[1] - cy) ** 2
+            + (grid[2] - cz) ** 2
+        )
+        field += 10.0 * np.exp(-r2 / 8.0)
+    return field, centres
+
+
+class TestFindHalos:
+    def test_finds_all_blobs(self):
+        field, centres = field_with_blobs()
+        halos = find_halos(field, threshold=1.0)
+        assert len(halos) == len(centres)
+
+    def test_centres_recovered(self):
+        field, centres = field_with_blobs()
+        halos = find_halos(field, threshold=1.0)
+        found = {tuple(round(c) for c in h.centre) for h in halos}
+        assert found == set(centres)
+
+    def test_sorted_by_mass(self):
+        field, _ = field_with_blobs()
+        halos = find_halos(field, threshold=1.0)
+        masses = [h.mass for h in halos]
+        assert masses == sorted(masses, reverse=True)
+
+    def test_threshold_above_max_finds_nothing(self):
+        field, _ = field_with_blobs()
+        assert find_halos(field, threshold=100.0) == []
+
+    def test_min_cells_filters_speckles(self):
+        field = np.zeros((16, 16, 16))
+        field[3, 3, 3] = 5.0  # single-cell speckle
+        assert find_halos(field, threshold=1.0, min_cells=2) == []
+        assert len(find_halos(field, threshold=1.0, min_cells=1)) == 1
+
+    def test_empty_field(self):
+        assert find_halos(np.zeros(0), 1.0) == []
+
+
+class TestHaloMatching:
+    def test_perfect_match(self):
+        field, _ = field_with_blobs()
+        halos = find_halos(field, threshold=1.0)
+        assert halo_match_f1(halos, halos) == pytest.approx(1.0)
+
+    def test_both_empty(self):
+        assert halo_match_f1([], []) == 1.0
+
+    def test_one_empty(self):
+        h = [Halo(centre=(1.0,), mass=1.0, n_cells=3)]
+        assert halo_match_f1(h, []) == 0.0
+        assert halo_match_f1([], h) == 0.0
+
+    def test_noise_degrades_f1(self):
+        field, _ = field_with_blobs()
+        rng = np.random.default_rng(0)
+        ref = find_halos(field, threshold=1.0)
+        noisy = field + rng.normal(0, 1.2, field.shape)
+        cand = find_halos(noisy, threshold=1.0)
+        assert halo_match_f1(ref, cand) < 1.0
+
+    def test_small_compression_noise_keeps_f1(self):
+        field, _ = field_with_blobs()
+        rng = np.random.default_rng(1)
+        ref = find_halos(field, threshold=1.0)
+        recon = field + rng.uniform(-0.01, 0.01, field.shape)
+        cand = find_halos(recon, threshold=1.0)
+        assert halo_match_f1(ref, cand) == pytest.approx(1.0)
+
+
+class TestMassFunction:
+    def test_empty(self):
+        centres, counts = mass_function([])
+        assert centres.size == 0
+        assert counts.size == 0
+
+    def test_counts_sum_to_halo_count(self):
+        field, _ = field_with_blobs()
+        halos = find_halos(field, threshold=1.0)
+        _, counts = mass_function(halos, n_bins=5)
+        assert counts.sum() == len(halos)
+
+    def test_single_mass_bin(self):
+        halos = [Halo(centre=(0.0,), mass=2.0, n_cells=4)] * 3
+        centres, counts = mass_function(halos)
+        assert counts.sum() == 3

@@ -1,0 +1,112 @@
+"""Tests for PSNR/SSIM/MSE metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    max_abs_error,
+    mse,
+    nrmse,
+    psnr,
+    rmse,
+    ssim_global,
+    ssim_windowed,
+)
+from tests.conftest import smooth_field
+
+
+class TestMse:
+    def test_zero_for_identical(self):
+        data = smooth_field((16, 16))
+        assert mse(data, data) == 0.0
+
+    def test_known_value(self):
+        a = np.zeros(4)
+        b = np.full(4, 2.0)
+        assert mse(a, b) == 4.0
+        assert rmse(a, b) == 2.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros(3), np.zeros(4))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros(0), np.zeros(0))
+
+
+class TestPsnr:
+    def test_infinite_for_perfect(self):
+        data = smooth_field((8, 8))
+        assert psnr(data, data) == float("inf")
+
+    def test_known_value(self):
+        a = np.array([0.0, 10.0])
+        b = np.array([1.0, 10.0])
+        # range 10, mse 0.5 -> 10 log10(100/0.5)
+        assert psnr(a, b) == pytest.approx(10 * np.log10(200))
+
+    def test_decreases_with_noise(self):
+        data = smooth_field((32, 32)).astype(np.float64)
+        rng = np.random.default_rng(0)
+        mild = data + 0.001 * rng.standard_normal(data.shape)
+        heavy = data + 0.1 * rng.standard_normal(data.shape)
+        assert psnr(data, mild) > psnr(data, heavy)
+
+
+class TestNrmse:
+    def test_scale_invariance(self):
+        data = smooth_field((16, 16)).astype(np.float64)
+        noisy = data + 0.01
+        assert nrmse(data * 100, noisy * 100) == pytest.approx(
+            nrmse(data, noisy)
+        )
+
+
+class TestMaxAbsError:
+    def test_known(self):
+        assert max_abs_error(np.array([1.0, 2.0]), np.array([1.5, 2.0])) == 0.5
+
+
+class TestSsimGlobal:
+    def test_one_for_identical(self):
+        data = smooth_field((16, 16))
+        assert ssim_global(data, data) == pytest.approx(1.0)
+
+    def test_decreases_with_noise(self):
+        data = smooth_field((32, 32)).astype(np.float64)
+        rng = np.random.default_rng(1)
+        mild = data + 0.01 * rng.standard_normal(data.shape)
+        heavy = data + 0.5 * rng.standard_normal(data.shape)
+        assert ssim_global(data, mild) > ssim_global(data, heavy)
+
+    def test_bounded(self):
+        data = smooth_field((16, 16)).astype(np.float64)
+        rng = np.random.default_rng(2)
+        noisy = data + rng.standard_normal(data.shape)
+        value = ssim_global(data, noisy)
+        assert -1.0 <= value <= 1.0
+
+
+class TestSsimWindowed:
+    def test_one_for_identical(self):
+        data = smooth_field((21, 21))
+        assert ssim_windowed(data, data) == pytest.approx(1.0)
+
+    def test_tracks_global_trend(self):
+        data = smooth_field((35, 35)).astype(np.float64)
+        rng = np.random.default_rng(3)
+        noisy = data + 0.05 * rng.standard_normal(data.shape)
+        w = ssim_windowed(data, noisy)
+        g = ssim_global(data, noisy)
+        assert 0 < w <= 1
+        assert 0 < g <= 1
+
+    def test_invalid_window(self):
+        data = smooth_field((16, 16))
+        with pytest.raises(ValueError):
+            ssim_windowed(data, data, window=1)
+
+    def test_small_array_falls_back(self):
+        data = smooth_field((4,))
+        assert ssim_windowed(data, data, window=7) == pytest.approx(1.0)

@@ -1,0 +1,86 @@
+"""Tests for the FFT power-spectrum analysis and its error model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.spectrum import (
+    power_spectrum,
+    predicted_spectrum_relative_error,
+    spectrum_relative_error,
+)
+from repro.datasets import gaussian_random_field
+
+
+class TestPowerSpectrum:
+    def test_single_mode(self):
+        n = 64
+        x = np.arange(n)
+        data = np.sin(2 * np.pi * 4 * x / n)
+        k, p = power_spectrum(data)
+        peak_k = k[np.argmax(p)]
+        assert peak_k == pytest.approx(4.0, abs=0.6)
+
+    def test_power_law_slope_recovered(self):
+        field = gaussian_random_field((64, 64), slope=3.0, seed=0)
+        k, p = power_spectrum(field.astype(np.float64))
+        keep = (k > 2) & (k < 20) & (p > 0)
+        slope = np.polyfit(np.log(k[keep]), np.log(p[keep]), 1)[0]
+        assert slope == pytest.approx(-3.0, abs=0.7)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            power_spectrum(np.zeros(0))
+
+    def test_white_noise_flat(self):
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal((64, 64))
+        k, p = power_spectrum(data)
+        keep = k > 2
+        assert np.std(np.log(p[keep])) < 0.5
+
+
+class TestSpectrumError:
+    def test_zero_for_identical(self):
+        field = gaussian_random_field((32, 32), seed=1).astype(np.float64)
+        assert spectrum_relative_error(field, field) == 0.0
+
+    def test_grows_with_noise(self):
+        field = gaussian_random_field((32, 32), seed=2).astype(np.float64)
+        rng = np.random.default_rng(3)
+        mild = field + 0.01 * rng.standard_normal(field.shape)
+        heavy = field + 0.3 * rng.standard_normal(field.shape)
+        assert spectrum_relative_error(field, mild) < spectrum_relative_error(
+            field, heavy
+        )
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            spectrum_relative_error(np.zeros(4), np.zeros(5))
+
+
+class TestPredictedSpectrumError:
+    def test_matches_measured_white_noise_injection(self):
+        field = gaussian_random_field((48, 48), slope=2.5, seed=4).astype(
+            np.float64
+        )
+        rng = np.random.default_rng(5)
+        sigma = 0.05
+        noisy = field + rng.normal(0, sigma, field.shape)
+        measured = spectrum_relative_error(field, noisy)
+        predicted = predicted_spectrum_relative_error(field, sigma**2)
+        assert predicted == pytest.approx(measured, rel=0.6)
+
+    def test_zero_variance(self):
+        field = gaussian_random_field((16, 16), seed=6).astype(np.float64)
+        assert predicted_spectrum_relative_error(field, 0.0) == 0.0
+
+    def test_negative_variance_raises(self):
+        field = gaussian_random_field((16, 16), seed=7).astype(np.float64)
+        with pytest.raises(ValueError):
+            predicted_spectrum_relative_error(field, -1.0)
+
+    def test_monotone_in_variance(self):
+        field = gaussian_random_field((16, 16), seed=8).astype(np.float64)
+        a = predicted_spectrum_relative_error(field, 1e-4)
+        b = predicted_spectrum_relative_error(field, 1e-2)
+        assert b > a

@@ -1,0 +1,130 @@
+"""Unit tests for the bit-level I/O layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compressor.bitstream import (
+    BitReader,
+    BitWriter,
+    bits_to_bytes,
+    pack_codes,
+)
+
+
+class TestPackCodes:
+    def test_single_code(self):
+        payload, nbits = pack_codes(np.array([0b101]), np.array([3]))
+        assert nbits == 3
+        assert payload[0] >> 5 == 0b101
+
+    def test_empty(self):
+        payload, nbits = pack_codes(np.array([], dtype=np.uint64), np.array([]))
+        assert payload == b""
+        assert nbits == 0
+
+    def test_concatenation_order(self):
+        # 1-bit '1' then 2-bit '01' -> bits 101 -> byte 1010_0000
+        payload, nbits = pack_codes(np.array([1, 1]), np.array([1, 2]))
+        assert nbits == 3
+        assert payload[0] == 0b10100000
+
+    def test_mismatched_shapes_raise(self):
+        with pytest.raises(ValueError):
+            pack_codes(np.array([1]), np.array([1, 2]))
+
+    def test_overlong_code_raises(self):
+        with pytest.raises(ValueError):
+            pack_codes(np.array([1]), np.array([60]))
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 20), st.integers(0, 2**20 - 1)),
+            min_size=1,
+            max_size=64,
+        )
+    )
+    def test_total_bits_matches(self, items):
+        lengths = np.array([ln for ln, _ in items])
+        codes = np.array(
+            [v & ((1 << ln) - 1) for ln, v in items], dtype=np.uint64
+        )
+        payload, nbits = pack_codes(codes, lengths)
+        assert nbits == lengths.sum()
+        assert len(payload) == (nbits + 7) // 8
+
+
+class TestBitWriterReader:
+    def test_roundtrip_scalar_fields(self):
+        w = BitWriter()
+        w.write(5, 4)
+        w.write(1023, 10)
+        w.write(0, 1)
+        r = BitReader(w.getvalue(), nbits=w.nbits)
+        assert r.read(4) == 5
+        assert r.read(10) == 1023
+        assert r.read(1) == 0
+
+    def test_roundtrip_array(self):
+        w = BitWriter()
+        values = np.arange(17, dtype=np.uint64)
+        w.write_array(values, 5)
+        r = BitReader(w.getvalue())
+        out = r.read_array(17, 5)
+        np.testing.assert_array_equal(out, values)
+
+    def test_write_value_too_large_raises(self):
+        with pytest.raises(ValueError):
+            BitWriter().write(8, 3)
+
+    def test_write_negative_raises(self):
+        with pytest.raises(ValueError):
+            BitWriter().write(-1, 4)
+
+    def test_read_past_end_raises(self):
+        r = BitReader(b"\x00")
+        with pytest.raises(EOFError):
+            r.read(9)
+
+    def test_read_array_past_end_raises(self):
+        r = BitReader(b"\x00")
+        with pytest.raises(EOFError):
+            r.read_array(3, 4)
+
+    def test_nbits_truncation(self):
+        r = BitReader(b"\xff\xff", nbits=5)
+        assert r.nbits == 5
+
+    def test_nbits_exceeding_payload_raises(self):
+        with pytest.raises(ValueError):
+            BitReader(b"\xff", nbits=9)
+
+    @given(st.lists(st.integers(0, 2**16 - 1), min_size=1, max_size=50))
+    def test_array_roundtrip_random(self, values):
+        w = BitWriter()
+        w.write_array(np.array(values, dtype=np.uint64), 16)
+        r = BitReader(w.getvalue())
+        np.testing.assert_array_equal(
+            r.read_array(len(values), 16), values
+        )
+
+
+class TestWindow16:
+    def test_window_values(self):
+        # bits: 1010 1010 (one byte)
+        r = BitReader(b"\xaa")
+        window = r.window16()
+        # window[0] packs bits 0..15: 1010101000000000
+        assert window[0] == 0b1010101000000000
+        assert window[1] == 0b0101010000000000
+
+    def test_window_length(self):
+        r = BitReader(b"\x00\x00")
+        assert r.window16().size == 17  # nbits + 1
+
+
+class TestBitsToBytes:
+    def test_padding(self):
+        out = bits_to_bytes(np.array([1, 1, 1], dtype=np.uint8))
+        assert out == b"\xe0"

@@ -1,0 +1,64 @@
+"""Tests for the Elias-gamma fields of the bitstream layer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compressor.bitstream import BitReader, BitWriter
+
+
+class TestEliasGamma:
+    def test_one_is_single_bit(self):
+        w = BitWriter()
+        w.write_gamma(1)
+        assert w.nbits == 1
+        assert BitReader(w.getvalue(), nbits=1).read_gamma() == 1
+
+    def test_known_codes(self):
+        # gamma(2) = 010, gamma(3) = 011, gamma(4) = 00100
+        for value, bits in ((2, 3), (3, 3), (4, 5), (7, 5), (8, 7)):
+            w = BitWriter()
+            w.write_gamma(value)
+            assert w.nbits == bits, value
+            assert (
+                BitReader(w.getvalue(), nbits=w.nbits).read_gamma()
+                == value
+            )
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_gamma(0)
+
+    def test_sequence_roundtrip(self):
+        values = [1, 1, 5, 2, 100, 1, 65536, 3]
+        w = BitWriter()
+        for v in values:
+            w.write_gamma(v)
+        r = BitReader(w.getvalue(), nbits=w.nbits)
+        assert [r.read_gamma() for _ in values] == values
+
+    def test_truncated_stream_raises(self):
+        w = BitWriter()
+        w.write_gamma(4)  # 5 bits
+        r = BitReader(w.getvalue(), nbits=3)
+        with pytest.raises(EOFError):
+            r.read_gamma()
+
+    @given(st.lists(st.integers(1, 2**30), min_size=1, max_size=100))
+    @settings(max_examples=100)
+    def test_roundtrip_property(self, values):
+        w = BitWriter()
+        for v in values:
+            w.write_gamma(v)
+        r = BitReader(w.getvalue(), nbits=w.nbits)
+        assert [r.read_gamma() for _ in values] == values
+
+    def test_interleaved_with_fixed_fields(self):
+        w = BitWriter()
+        w.write(5, 4)
+        w.write_gamma(9)
+        w.write(2, 3)
+        r = BitReader(w.getvalue(), nbits=w.nbits)
+        assert r.read(4) == 5
+        assert r.read_gamma() == 9
+        assert r.read(3) == 2

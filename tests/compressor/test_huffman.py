@@ -1,0 +1,170 @@
+"""Unit + property tests for the Huffman codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compressor.encoders.huffman import (
+    HuffmanCode,
+    HuffmanEncoder,
+    huffman_code_lengths,
+)
+from repro.utils.stats import entropy_bits, normalized_histogram
+
+
+class TestCodeLengths:
+    def test_two_symbols(self):
+        lengths = huffman_code_lengths(np.array([5, 5]))
+        np.testing.assert_array_equal(lengths, [1, 1])
+
+    def test_singleton_gets_one_bit(self):
+        lengths = huffman_code_lengths(np.array([7]))
+        assert lengths[0] == 1
+
+    def test_zero_count_symbol_gets_zero_length(self):
+        lengths = huffman_code_lengths(np.array([4, 0, 4]))
+        assert lengths[1] == 0
+        assert lengths[0] == lengths[2] == 1
+
+    def test_skewed_distribution(self):
+        # frequencies 8,4,2,1,1 -> optimal lengths 1,2,3,4,4
+        lengths = huffman_code_lengths(np.array([8, 4, 2, 1, 1]))
+        assert sorted(lengths.tolist()) == [1, 2, 3, 4, 4]
+
+    def test_all_zero_raises(self):
+        with pytest.raises(ValueError):
+            huffman_code_lengths(np.array([0, 0]))
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            huffman_code_lengths(np.array([-1, 2]))
+
+    @given(st.lists(st.integers(1, 10_000), min_size=2, max_size=128))
+    @settings(max_examples=50)
+    def test_kraft_equality(self, counts):
+        lengths = huffman_code_lengths(np.array(counts))
+        kraft = np.sum(2.0 ** (-lengths[lengths > 0]))
+        assert kraft == pytest.approx(1.0)
+
+    @given(st.lists(st.integers(1, 10_000), min_size=2, max_size=128))
+    @settings(max_examples=50)
+    def test_average_length_within_entropy_plus_one(self, counts):
+        counts_arr = np.array(counts)
+        lengths = huffman_code_lengths(counts_arr)
+        p = counts_arr / counts_arr.sum()
+        avg = float(np.sum(p * lengths))
+        h = entropy_bits(p)
+        assert h - 1e-9 <= avg <= h + 1.0 + 1e-9
+
+
+class TestHuffmanCodePrefixProperty:
+    @given(st.lists(st.integers(1, 1000), min_size=2, max_size=64))
+    @settings(max_examples=30)
+    def test_codes_are_prefix_free(self, counts):
+        symbols = np.arange(len(counts))
+        code = HuffmanCode.from_histogram(symbols, np.array(counts))
+        entries = [
+            (int(code.codes[i]), int(code.lengths[i]))
+            for i in range(len(counts))
+            if code.lengths[i] > 0
+        ]
+        as_strings = [format(c, f"0{ln}b") for c, ln in entries]
+        for i, a in enumerate(as_strings):
+            for j, b in enumerate(as_strings):
+                if i != j:
+                    assert not b.startswith(a)
+
+
+class TestEncoderRoundtrip:
+    def test_simple_roundtrip(self):
+        enc = HuffmanEncoder()
+        stream = np.array([0, 0, 1, -1, 0, 2, 0, 0])
+        out = enc.decode(enc.encode(stream))
+        np.testing.assert_array_equal(out, stream)
+
+    def test_empty_stream(self):
+        enc = HuffmanEncoder()
+        out = enc.decode(enc.encode(np.array([], dtype=np.int64)))
+        assert out.size == 0
+
+    def test_single_symbol_stream(self):
+        enc = HuffmanEncoder()
+        stream = np.zeros(1000, dtype=np.int64)
+        out = enc.decode(enc.encode(stream))
+        np.testing.assert_array_equal(out, stream)
+
+    def test_negative_symbols(self):
+        enc = HuffmanEncoder()
+        stream = np.array([-32768, 32767, -1, 0, 1] * 10)
+        np.testing.assert_array_equal(
+            enc.decode(enc.encode(stream)), stream
+        )
+
+    def test_large_symbol_values(self):
+        enc = HuffmanEncoder()
+        stream = np.array([2**40, -(2**40), 0, 0, 2**40])
+        np.testing.assert_array_equal(
+            enc.decode(enc.encode(stream)), stream
+        )
+
+    def test_wide_alphabet_with_rare_symbols(self):
+        rng = np.random.default_rng(0)
+        common = np.zeros(5000, dtype=np.int64)
+        rare = rng.integers(-500, 500, size=200)
+        stream = np.concatenate([common, rare])
+        rng.shuffle(stream)
+        enc = HuffmanEncoder()
+        np.testing.assert_array_equal(
+            enc.decode(enc.encode(stream)), stream
+        )
+
+    @given(
+        st.lists(st.integers(-100, 100), min_size=1, max_size=500),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_random(self, values):
+        enc = HuffmanEncoder()
+        stream = np.array(values, dtype=np.int64)
+        np.testing.assert_array_equal(
+            enc.decode(enc.encode(stream)), stream
+        )
+
+    def test_geometric_distribution_roundtrip(self):
+        # Mirrors real quantization-code statistics (zero-dominated).
+        rng = np.random.default_rng(1)
+        stream = (rng.geometric(0.7, size=20_000) - 1) * rng.choice(
+            [-1, 1], size=20_000
+        )
+        enc = HuffmanEncoder()
+        np.testing.assert_array_equal(
+            enc.decode(enc.encode(stream)), stream
+        )
+
+
+class TestEncodedSize:
+    def test_size_only_matches_real_payload_bits(self):
+        rng = np.random.default_rng(2)
+        stream = rng.integers(-5, 6, size=4000)
+        enc = HuffmanEncoder()
+        bits = enc.encoded_size_bits(stream)
+        # real payload is the container minus header; check consistency
+        code = HuffmanCode.from_stream(stream)
+        dense = np.searchsorted(code.symbols, stream)
+        assert bits == int(code.lengths[dense].sum())
+
+    def test_compression_beats_raw_for_skewed_data(self):
+        stream = np.zeros(10_000, dtype=np.int64)
+        stream[::100] = 1
+        enc = HuffmanEncoder()
+        bits = enc.encoded_size_bits(stream)
+        assert bits < stream.size * 2  # far below 64-bit raw
+
+    def test_size_near_entropy(self):
+        rng = np.random.default_rng(3)
+        stream = rng.integers(0, 16, size=50_000)
+        _, probs = normalized_histogram(stream)
+        h = entropy_bits(probs)
+        enc = HuffmanEncoder()
+        bits_per_symbol = enc.encoded_size_bits(stream) / stream.size
+        assert h <= bits_per_symbol <= h + 1.0

@@ -1,0 +1,121 @@
+"""Tests for the multi-level interpolation predictor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.compressor.predictors.interpolation import InterpolationPredictor
+from tests.conftest import smooth_field
+
+
+def roundtrip(data, eb, radius=32768, **kwargs):
+    pred = InterpolationPredictor(**kwargs)
+    out = pred.decompose(data, eb, radius)
+    return pred.reconstruct(out, data.shape, eb), out
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize(
+        "shape", [(100,), (33, 47), (17, 18, 19), (7, 8, 9, 10)]
+    )
+    def test_bound_holds(self, shape):
+        data = smooth_field(shape).astype(np.float64)
+        eb = 1e-3
+        recon, _ = roundtrip(data, eb)
+        assert np.max(np.abs(recon - data)) <= eb * (1 + 1e-9)
+
+    def test_power_of_two_plus_one(self):
+        data = smooth_field((65,)).astype(np.float64)
+        recon, _ = roundtrip(data, 1e-4)
+        assert np.max(np.abs(recon - data)) <= 1e-4 * (1 + 1e-9)
+
+    def test_tiny_array(self):
+        data = np.array([1.0, 2.0, 3.0])
+        recon, _ = roundtrip(data, 1e-3)
+        assert np.max(np.abs(recon - data)) <= 1e-3 * (1 + 1e-9)
+
+    def test_outliers_roundtrip(self):
+        data = smooth_field((40, 40)).astype(np.float64) * 100
+        recon, out = roundtrip(data, 1e-4, radius=4)
+        assert out.n_outliers > 0
+        assert np.max(np.abs(recon - data)) <= 1e-4 * (1 + 1e-9)
+
+    def test_anchor_payload_present(self):
+        data = smooth_field((64, 64)).astype(np.float64)
+        _, out = roundtrip(data, 1e-3)
+        anchors = np.frombuffer(out.side_payload, dtype=np.float64)
+        assert anchors.size >= 1
+        assert out.meta["levels"] >= 1
+
+    def test_max_level_caps_levels(self):
+        data = smooth_field((256,)).astype(np.float64)
+        pred = InterpolationPredictor(max_level=3)
+        out = pred.decompose(data, 1e-3, 32768)
+        assert out.meta["levels"] == 3
+
+    def test_invalid_max_level(self):
+        with pytest.raises(ValueError):
+            InterpolationPredictor(max_level=0)
+
+    @given(
+        arrays(
+            np.float64,
+            array_shapes(min_dims=1, max_dims=3, min_side=2, max_side=14),
+            elements=st.floats(-50, 50, allow_nan=False),
+        ),
+        st.floats(1e-4, 1.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bound_property(self, data, eb):
+        recon, _ = roundtrip(data, eb)
+        assert np.max(np.abs(recon - data)) <= eb * (1 + 1e-9)
+
+
+class TestTraversalDeterminism:
+    def test_codes_deterministic(self):
+        data = smooth_field((30, 30)).astype(np.float64)
+        pred = InterpolationPredictor()
+        a = pred.decompose(data, 1e-3, 32768)
+        b = pred.decompose(data, 1e-3, 32768)
+        np.testing.assert_array_equal(a.codes, b.codes)
+
+    def test_code_count_covers_non_anchor_points(self):
+        data = smooth_field((33, 33)).astype(np.float64)
+        pred = InterpolationPredictor()
+        out = pred.decompose(data, 1e-3, 32768)
+        anchors = np.frombuffer(out.side_payload, dtype=np.float64).size
+        assert out.codes.size + anchors == data.size
+
+
+class TestLevelErrors:
+    def test_level_blocks_cover_all_sweeps(self):
+        data = smooth_field((32, 32)).astype(np.float64)
+        pred = InterpolationPredictor()
+        blocks = pred.level_errors(data)
+        total = sum(err.size for _, _, err in blocks)
+        out = pred.decompose(data, 1e-3, 32768)
+        assert total == out.codes.size
+
+    def test_coarse_levels_have_larger_errors(self):
+        data = smooth_field((128,)).astype(np.float64)
+        pred = InterpolationPredictor()
+        blocks = pred.level_errors(data)
+        by_level: dict[int, list[float]] = {}
+        for level, _, err in blocks:
+            by_level.setdefault(level, []).append(float(np.std(err)))
+        levels = sorted(by_level)
+        coarse = np.mean(by_level[levels[-1]])
+        fine = np.mean(by_level[levels[0]])
+        assert coarse >= fine
+
+    def test_sample_errors_rate(self):
+        data = smooth_field((64, 64)).astype(np.float64)
+        pred = InterpolationPredictor()
+        sampled = pred.sample_errors(data, 0.1, np.random.default_rng(0))
+        full = pred.prediction_errors(data)
+        # per-level minimum of one sample inflates tiny levels slightly
+        assert sampled.size <= full.size
+        assert sampled.size >= 0.05 * full.size
+        assert np.std(sampled) == pytest.approx(np.std(full), rel=0.5)

@@ -1,0 +1,69 @@
+"""Unit tests for the lossless backends (zstd_like / gzip_like / rle)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compressor.encoders.lossless import (
+    LOSSLESS_BACKENDS,
+    get_lossless_backend,
+)
+
+
+@pytest.fixture(params=LOSSLESS_BACKENDS)
+def backend(request):
+    return get_lossless_backend(request.param)
+
+
+class TestBackends:
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError):
+            get_lossless_backend("zstd")
+
+    def test_roundtrip_text(self, backend):
+        data = b"the quick brown fox " * 50
+        assert backend.decompress(backend.compress(data)) == data
+
+    def test_roundtrip_zero_dominated(self, backend):
+        data = b"\x00" * 5000 + b"\x01\x02" + b"\x00" * 3000
+        out = backend.compress(data)
+        assert len(out) < len(data) // 5
+        assert backend.decompress(out) == data
+
+    def test_incompressible_uses_raw_escape(self, backend):
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 256, size=512, dtype=np.uint8).tobytes()
+        out = backend.compress(data)
+        assert len(out) <= len(data) + 1
+        assert backend.decompress(out) == data
+
+    def test_empty_payload_raises(self, backend):
+        with pytest.raises(ValueError):
+            backend.decompress(b"")
+
+    def test_unknown_method_byte_raises(self, backend):
+        with pytest.raises(ValueError):
+            backend.decompress(b"\x07payload")
+
+    @given(st.binary(min_size=0, max_size=1000))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_random_zstd_like(self, data):
+        backend = get_lossless_backend("zstd_like")
+        assert backend.decompress(backend.compress(data)) == data
+
+    @given(st.binary(min_size=0, max_size=1000))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_random_rle(self, data):
+        backend = get_lossless_backend("rle")
+        assert backend.decompress(backend.compress(data)) == data
+
+
+class TestBackendOrdering:
+    def test_zstd_like_at_least_as_good_as_rle_on_mixed_data(self):
+        # Dictionary coding should dominate plain zero-RLE when there is
+        # non-zero repetition to exploit.
+        data = (b"abcdefgh" * 200) + b"\x00" * 500
+        zstd = get_lossless_backend("zstd_like").compress(data)
+        rle = get_lossless_backend("rle").compress(data)
+        assert len(zstd) <= len(rle)

@@ -1,0 +1,80 @@
+"""Unit + property tests for the linear-scaling quantizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compressor.quantizer import LinearQuantizer
+
+
+class TestConstruction:
+    def test_bin_width(self):
+        assert LinearQuantizer(0.5).bin_width == 1.0
+
+    def test_nonpositive_bound_raises(self):
+        with pytest.raises(ValueError):
+            LinearQuantizer(0.0)
+
+    def test_small_radius_raises(self):
+        with pytest.raises(ValueError):
+            LinearQuantizer(1.0, radius=1)
+
+
+class TestQuantize:
+    def test_zero_error_gets_zero_code(self):
+        q = LinearQuantizer(0.1)
+        block = q.quantize(np.zeros(4), np.zeros(4))
+        np.testing.assert_array_equal(block.codes, 0)
+        assert block.n_outliers == 0
+
+    def test_error_within_bound_after_dequant(self):
+        q = LinearQuantizer(0.05)
+        errors = np.linspace(-3, 3, 101)
+        block = q.quantize(errors, errors)
+        recon = q.dequantize(block.codes)
+        ok = ~block.outlier_mask
+        assert np.all(np.abs(errors[ok] - recon[ok]) <= 0.05 + 1e-12)
+
+    def test_overflow_marks_outlier(self):
+        q = LinearQuantizer(0.01, radius=4)
+        errors = np.array([0.0, 1.0])  # 1.0/0.02 = 50 bins > radius
+        block = q.quantize(errors, np.array([5.0, 6.0]))
+        assert block.n_outliers == 1
+        assert block.outlier_values[0] == 6.0
+        assert block.codes[1] == 0
+
+    def test_shape_mismatch_raises(self):
+        q = LinearQuantizer(0.1)
+        with pytest.raises(ValueError):
+            q.quantize(np.zeros(3), np.zeros(4))
+
+    def test_codes_for_errors_no_clipping(self):
+        q = LinearQuantizer(0.5)
+        codes = q.codes_for_errors(np.array([0.0, 1.0, -2.0, 0.4]))
+        np.testing.assert_array_equal(codes, [0, 1, -2, 0])
+
+    @given(
+        st.floats(1e-6, 1e3),
+        st.lists(
+            st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+            min_size=1,
+            max_size=200,
+        ),
+    )
+    @settings(max_examples=100)
+    def test_bound_invariant(self, eb, raw_errors):
+        q = LinearQuantizer(eb)
+        errors = np.array(raw_errors)
+        block = q.quantize(errors, errors)
+        recon = q.dequantize(block.codes)
+        ok = ~block.outlier_mask
+        assert np.all(
+            np.abs(errors[ok] - recon[ok]) <= eb * (1 + 1e-9)
+        )
+
+    def test_bin_assignment_midpoints(self):
+        q = LinearQuantizer(1.0)  # bins of width 2 centred at even ints
+        errors = np.array([0.9, 1.1, 2.9, 3.1, -0.9, -1.1])
+        codes = q.codes_for_errors(errors)
+        np.testing.assert_array_equal(codes, [0, 1, 1, 2, 0, -1])

@@ -1,0 +1,111 @@
+"""Tests for the block linear-regression predictor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.compressor.predictors.regression import RegressionPredictor
+from tests.conftest import smooth_field
+
+
+def roundtrip(data, eb, radius=32768, block=6):
+    pred = RegressionPredictor(block=block)
+    out = pred.decompose(data, eb, radius)
+    return pred.reconstruct(out, data.shape, eb), out
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("shape", [(100,), (36, 36), (13, 14, 15)])
+    def test_bound_holds(self, shape):
+        data = smooth_field(shape).astype(np.float64)
+        eb = 1e-3
+        recon, _ = roundtrip(data, eb)
+        assert np.max(np.abs(recon - data)) <= eb * (1 + 1e-9)
+
+    def test_non_divisible_shapes(self):
+        # 6 does not divide 13/17: boundary block groups must roundtrip.
+        data = smooth_field((13, 17)).astype(np.float64)
+        recon, _ = roundtrip(data, 1e-4)
+        assert np.max(np.abs(recon - data)) <= 1e-4 * (1 + 1e-9)
+
+    def test_exactly_linear_data_codes_all_zero(self):
+        x = np.arange(36, dtype=np.float64)
+        data = np.outer(x, x)[:12, :12] * 0 + (
+            3.0 + 2.0 * np.arange(12)[:, None] - np.arange(12)[None, :]
+        )
+        out = RegressionPredictor().decompose(data, 1e-6, 32768)
+        # affine data is fit exactly up to float32 coefficient rounding
+        assert np.mean(out.codes == 0) > 0.99
+
+    def test_outliers_roundtrip(self):
+        data = smooth_field((24, 24)).astype(np.float64) * 500
+        recon, out = roundtrip(data, 1e-4, radius=4)
+        assert out.n_outliers > 0
+        assert np.max(np.abs(recon - data)) <= 1e-4 * (1 + 1e-9)
+
+    def test_coefficient_payload_size(self):
+        data = smooth_field((36, 36)).astype(np.float64)
+        out = RegressionPredictor().decompose(data, 1e-3, 32768)
+        coeffs = np.frombuffer(out.side_payload, dtype=np.float32)
+        assert coeffs.size == 36 * (2 + 1)  # 36 blocks x (ndim + 1)
+
+    def test_block_mismatch_on_reconstruct_raises(self):
+        data = smooth_field((12, 12)).astype(np.float64)
+        out = RegressionPredictor(block=6).decompose(data, 1e-3, 32768)
+        with pytest.raises(ValueError):
+            RegressionPredictor(block=4).reconstruct(out, data.shape, 1e-3)
+
+    def test_invalid_block(self):
+        with pytest.raises(ValueError):
+            RegressionPredictor(block=1)
+
+    @given(
+        arrays(
+            np.float64,
+            array_shapes(min_dims=1, max_dims=3, min_side=2, max_side=13),
+            elements=st.floats(-50, 50, allow_nan=False),
+        ),
+        st.floats(1e-4, 1.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bound_property(self, data, eb):
+        recon, _ = roundtrip(data, eb)
+        assert np.max(np.abs(recon - data)) <= eb * (1 + 1e-9)
+
+
+class TestBlockMath:
+    def test_to_from_blocks_inverse(self):
+        pred = RegressionPredictor()
+        data = np.arange(48.0).reshape(6, 8)
+        blocks = pred._to_blocks(data, (3, 4))
+        back = pred._from_blocks(blocks, (6, 8), (3, 4))
+        np.testing.assert_array_equal(back, data)
+
+    def test_fit_recovers_affine_coefficients(self):
+        pred = RegressionPredictor()
+        b = 6
+        ii, jj = np.meshgrid(np.arange(b), np.arange(b), indexing="ij")
+        block = (2.0 + 0.5 * ii - 0.25 * jj)[None, ...]
+        coeffs, preds = pred._fit_block_group(block)
+        assert coeffs[0, 0] == pytest.approx(2.0, abs=1e-5)
+        assert coeffs[0, 1] == pytest.approx(0.5, abs=1e-5)
+        assert coeffs[0, 2] == pytest.approx(-0.25, abs=1e-5)
+        np.testing.assert_allclose(preds[0], block[0], atol=1e-4)
+
+
+class TestSampling:
+    def test_block_sampling_statistics(self):
+        data = smooth_field((60, 60)).astype(np.float64)
+        pred = RegressionPredictor()
+        full = pred.prediction_errors(data)
+        sampled = pred.sample_errors(data, 0.3, np.random.default_rng(0))
+        assert sampled.size % 36 == 0  # whole 6x6 blocks
+        assert np.std(sampled) == pytest.approx(np.std(full), rel=0.5)
+
+    def test_small_array_falls_back_to_full(self):
+        data = smooth_field((5,)).astype(np.float64)
+        pred = RegressionPredictor()
+        sampled = pred.sample_errors(data, 0.5, np.random.default_rng(0))
+        assert sampled.size == data.size

@@ -1,0 +1,120 @@
+"""Unit + property tests for the zero-run RLE codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compressor.encoders.rle import (
+    ZeroRunLengthEncoder,
+    zero_run_lengths,
+)
+
+
+class TestZeroRunLengths:
+    def test_basic(self):
+        runs = zero_run_lengths(np.array([0, 0, 1, 0, 2, 0, 0, 0]))
+        np.testing.assert_array_equal(runs, [2, 1, 3])
+
+    def test_no_zeros(self):
+        assert zero_run_lengths(np.array([1, 2, 3])).size == 0
+
+    def test_all_zeros(self):
+        np.testing.assert_array_equal(
+            zero_run_lengths(np.zeros(7, dtype=np.int64)), [7]
+        )
+
+    def test_empty(self):
+        assert zero_run_lengths(np.array([], dtype=np.int64)).size == 0
+
+    def test_custom_zero_symbol(self):
+        runs = zero_run_lengths(np.array([5, 5, 1, 5]), zero_symbol=5)
+        np.testing.assert_array_equal(runs, [2, 1])
+
+    def test_mean_run_length_matches_eq7(self):
+        # Eq. 7: independent symbols with zero-probability p0 have mean
+        # run length 1 / (1 - p0).
+        rng = np.random.default_rng(0)
+        p0 = 0.9
+        stream = (rng.random(200_000) >= p0).astype(np.int64)
+        runs = zero_run_lengths(stream)
+        assert runs.mean() == pytest.approx(1.0 / (1.0 - p0), rel=0.05)
+
+
+class TestRleRoundtrip:
+    def test_basic_roundtrip(self):
+        codec = ZeroRunLengthEncoder()
+        stream = np.array([0, 0, 0, 4, -2, 0, 0, 9])
+        tokens, _ = codec.encode(stream)
+        np.testing.assert_array_equal(codec.decode(tokens), stream)
+
+    def test_no_zero_passthrough(self):
+        codec = ZeroRunLengthEncoder()
+        stream = np.array([3, 1, 2])
+        tokens, stats = codec.encode(stream)
+        np.testing.assert_array_equal(tokens[1:], stream)  # [0] is marker
+        assert stats.n_runs == 0
+        np.testing.assert_array_equal(codec.decode(tokens), stream)
+
+    def test_all_zeros(self):
+        codec = ZeroRunLengthEncoder()
+        stream = np.zeros(1000, dtype=np.int64)
+        tokens, stats = codec.encode(stream)
+        assert tokens.size == 3  # header + one (marker, length) pair
+        assert stats.n_runs == 1
+        np.testing.assert_array_equal(codec.decode(tokens), stream)
+
+    def test_long_run_splitting(self):
+        codec = ZeroRunLengthEncoder(run_field_bits=4)  # max run 15
+        stream = np.zeros(40, dtype=np.int64)
+        tokens, stats = codec.encode(stream)
+        assert stats.n_runs == 3  # 15 + 15 + 10
+        np.testing.assert_array_equal(codec.decode(tokens), stream)
+
+    def test_positive_only_stream_with_ambiguous_lengths(self):
+        # Run lengths may collide numerically with the marker value;
+        # sequential decoding must still resolve them.
+        codec = ZeroRunLengthEncoder()
+        stream = np.concatenate(
+            [np.full(5, 100), np.zeros(99, dtype=np.int64), np.full(3, 100)]
+        )
+        tokens, _ = codec.encode(stream)
+        np.testing.assert_array_equal(codec.decode(tokens), stream)
+
+    def test_empty(self):
+        codec = ZeroRunLengthEncoder()
+        tokens, stats = codec.encode(np.array([], dtype=np.int64))
+        assert tokens.size == 0
+        assert stats.n_input == 0
+        assert codec.decode(tokens).size == 0
+
+    def test_invalid_field_bits(self):
+        with pytest.raises(ValueError):
+            ZeroRunLengthEncoder(run_field_bits=1)
+
+    def test_token_reduction_reported(self):
+        codec = ZeroRunLengthEncoder()
+        stream = np.zeros(100, dtype=np.int64)
+        stream[50] = 7
+        _, stats = codec.encode(stream)
+        assert stats.token_reduction > 10
+
+    @given(
+        st.lists(
+            st.integers(-3, 3), min_size=0, max_size=300
+        )
+    )
+    @settings(max_examples=100)
+    def test_roundtrip_random(self, values):
+        codec = ZeroRunLengthEncoder()
+        stream = np.array(values, dtype=np.int64)
+        tokens, _ = codec.encode(stream)
+        np.testing.assert_array_equal(codec.decode(tokens), stream)
+
+    @given(st.integers(2, 10), st.lists(st.integers(0, 1), min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_roundtrip_small_fields(self, bits, values):
+        codec = ZeroRunLengthEncoder(run_field_bits=bits)
+        stream = np.array(values, dtype=np.int64)
+        tokens, _ = codec.encode(stream)
+        np.testing.assert_array_equal(codec.decode(tokens), stream)

@@ -1,0 +1,74 @@
+"""Tests for the PW_REL logarithmic transform."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.compressor.transform import inverse_log_transform, log_transform
+
+
+class TestLogTransform:
+    def test_roundtrip_exact_without_quantization(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(0, 5, (12, 13))
+        work, _, payload = log_transform(data)
+        back = inverse_log_transform(work, data.shape, payload)
+        np.testing.assert_allclose(back, data, rtol=1e-12)
+
+    def test_zeros_restored_exactly(self):
+        data = np.array([0.0, 1.0, -2.0, 0.0])
+        work, meta, payload = log_transform(data)
+        back = inverse_log_transform(work, data.shape, payload)
+        assert back[0] == 0.0 and back[3] == 0.0
+        assert meta["pw_rel"] is True
+
+    def test_signs_preserved(self):
+        data = np.array([-1.5, 2.5, -0.25])
+        work, _, payload = log_transform(data)
+        back = inverse_log_transform(work, data.shape, payload)
+        np.testing.assert_array_equal(np.sign(back), np.sign(data))
+
+    def test_work_is_log_magnitude(self):
+        data = np.array([np.e, -np.e**2])
+        work, _, _ = log_transform(data)
+        np.testing.assert_allclose(work, [1.0, 2.0], rtol=1e-12)
+
+    def test_zero_fill_is_median(self):
+        data = np.array([0.0, 1.0, np.e, np.e**2])
+        work, meta, _ = log_transform(data)
+        assert meta["fill"] == pytest.approx(1.0)  # median of {0,1,2}
+        assert work[0] == pytest.approx(1.0)
+
+    def test_all_zero_input(self):
+        data = np.zeros(5)
+        work, meta, payload = log_transform(data)
+        back = inverse_log_transform(work, data.shape, payload)
+        np.testing.assert_array_equal(back, data)
+        assert meta["fill"] == 0.0
+
+    def test_error_bound_semantics(self):
+        # |log x' - log x| <= log1p(eb) implies |x'/x - 1| <= eb.
+        rng = np.random.default_rng(1)
+        data = np.exp(rng.normal(0, 2, 1000))
+        eb = 0.05
+        work, _, payload = log_transform(data)
+        noisy = work + rng.uniform(
+            -np.log1p(eb), np.log1p(eb), work.shape
+        )
+        back = inverse_log_transform(noisy, data.shape, payload)
+        assert np.max(np.abs(back / data - 1.0)) <= eb * (1 + 1e-9)
+
+    @given(
+        arrays(
+            np.float64,
+            st.integers(1, 64),
+            elements=st.floats(-1e6, 1e6, allow_nan=False),
+        )
+    )
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, data):
+        work, _, payload = log_transform(data)
+        back = inverse_log_transform(work, data.shape, payload)
+        np.testing.assert_allclose(back, data, rtol=1e-9, atol=0)

@@ -1,0 +1,45 @@
+"""Tests for the Eq. 20 accuracy metric."""
+
+import numpy as np
+import pytest
+
+from repro.core.accuracy import estimation_accuracy, estimation_error
+
+
+class TestEstimationError:
+    def test_perfect_estimator(self):
+        m = np.array([1.0, 2.0, 4.0])
+        assert estimation_error(m, m) == pytest.approx(0.0)
+
+    def test_uniform_bias_is_perfect(self):
+        # Eq. 20 measures spread of the ratio, not bias.
+        m = np.array([1.0, 2.0, 4.0])
+        assert estimation_error(m, 2 * m) == pytest.approx(0.0)
+
+    def test_error_grows_with_spread(self):
+        m = np.array([1.0, 1.0, 1.0, 1.0])
+        mild = np.array([1.0, 1.05, 0.95, 1.0])
+        wild = np.array([1.0, 2.0, 0.5, 1.0])
+        assert estimation_error(m, mild) < estimation_error(m, wild)
+
+    def test_error_in_unit_interval(self):
+        rng = np.random.default_rng(0)
+        m = rng.uniform(1, 10, 20)
+        e = rng.uniform(1, 10, 20)
+        err = estimation_error(m, e)
+        assert 0 <= err < 1
+
+    def test_accuracy_complements_error(self):
+        m = np.array([1.0, 1.3, 0.9])
+        e = np.array([1.0, 1.0, 1.0])
+        assert estimation_accuracy(m, e) == pytest.approx(
+            1.0 - estimation_error(m, e)
+        )
+
+    def test_paper_example_magnitude(self):
+        # An estimator with ~5% ratio spread has ~5% error (Table II).
+        rng = np.random.default_rng(1)
+        m = np.ones(1000)
+        e = 1.0 + 0.054 * rng.standard_normal(1000)
+        err = estimation_error(m, e)
+        assert 0.03 < err < 0.08

@@ -1,0 +1,79 @@
+"""Tests for the Eq. 10/11 error-distribution model."""
+
+import numpy as np
+import pytest
+
+from repro.core.error_distribution import (
+    ErrorDistributionModel,
+    uniform_error_variance,
+)
+
+
+class TestUniformVariance:
+    def test_eq10(self):
+        assert uniform_error_variance(0.3) == pytest.approx(0.09 / 3)
+
+    def test_zero_bound(self):
+        assert uniform_error_variance(0.0) == 0.0
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            uniform_error_variance(-1.0)
+
+    def test_matches_empirical_uniform(self):
+        rng = np.random.default_rng(0)
+        eb = 0.7
+        samples = rng.uniform(-eb, eb, 200_000)
+        assert samples.var() == pytest.approx(
+            uniform_error_variance(eb), rel=0.02
+        )
+
+
+class TestMixedModel:
+    def test_reduces_to_uniform_at_p0_zero(self):
+        model = ErrorDistributionModel(0.5, p0=0.0, central_var=123.0)
+        assert model.variance() == pytest.approx(
+            uniform_error_variance(0.5)
+        )
+
+    def test_pure_central_at_p0_one(self):
+        model = ErrorDistributionModel(0.5, p0=1.0, central_var=0.01)
+        assert model.variance() == pytest.approx(0.01)
+
+    def test_refined_below_uniform_for_concentrated_errors(self):
+        # Eq. 11's point: at high bounds the true error variance is far
+        # below the uniform eb^2/3.
+        model = ErrorDistributionModel(1.0, p0=0.9, central_var=1e-4)
+        assert model.variance(refined=True) < model.variance(refined=False)
+
+    def test_unrefined_flag(self):
+        model = ErrorDistributionModel(1.0, p0=0.9, central_var=1e-4)
+        assert model.variance(refined=False) == pytest.approx(1.0 / 3.0)
+
+    def test_std_is_sqrt_var(self):
+        model = ErrorDistributionModel(0.3, p0=0.5, central_var=0.001)
+        assert model.std() == pytest.approx(np.sqrt(model.variance()))
+
+
+class TestSampling:
+    def test_sample_variance_matches_model(self):
+        model = ErrorDistributionModel(1.0, p0=0.7, central_var=0.01)
+        rng = np.random.default_rng(1)
+        draws = model.sample(300_000, rng)
+        # normal central part has same variance as modelled central bin
+        assert draws.var() == pytest.approx(model.variance(), rel=0.05)
+
+    def test_sample_within_reasonable_range(self):
+        model = ErrorDistributionModel(0.5, p0=0.0, central_var=0.0)
+        rng = np.random.default_rng(2)
+        draws = model.sample(1000, rng)
+        assert np.all(np.abs(draws) <= 0.5)
+
+    def test_negative_n_raises(self):
+        model = ErrorDistributionModel(0.5, p0=0.0, central_var=0.0)
+        with pytest.raises(ValueError):
+            model.sample(-1, np.random.default_rng(0))
+
+    def test_zero_n(self):
+        model = ErrorDistributionModel(0.5, p0=0.5, central_var=0.1)
+        assert model.sample(0, np.random.default_rng(0)).size == 0

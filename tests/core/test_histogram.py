@@ -1,0 +1,143 @@
+"""Tests for quantization-code histogram estimation (Eq. 9 correction)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.histogram import (
+    BIN_TRANSFER_C2,
+    QuantizedHistogram,
+    build_code_histogram,
+    central_bin_variance,
+)
+
+
+class TestBuildHistogram:
+    def test_probabilities_normalized(self):
+        rng = np.random.default_rng(0)
+        errors = rng.normal(0, 1, 10_000)
+        hist = build_code_histogram(errors, 0.1)
+        assert hist.probs.sum() == pytest.approx(1.0)
+        assert hist.n_bins > 1
+
+    def test_p0_fraction(self):
+        errors = np.array([0.0, 0.0, 0.0, 5.0])
+        hist = build_code_histogram(errors, 1.0)
+        assert hist.p0 == pytest.approx(0.75)
+
+    def test_larger_bound_concentrates_mass(self):
+        rng = np.random.default_rng(1)
+        errors = rng.normal(0, 1, 5000)
+        small = build_code_histogram(errors, 0.01)
+        large = build_code_histogram(errors, 2.0)
+        assert large.p0 > small.p0
+        assert large.n_bins < small.n_bins
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            build_code_histogram(np.array([]), 0.1)
+
+    def test_nonpositive_bound_raises(self):
+        with pytest.raises(ValueError):
+            build_code_histogram(np.ones(4), 0.0)
+
+    def test_outlier_fraction(self):
+        errors = np.array([0.0, 0.0, 1e9])
+        hist = build_code_histogram(errors, 1e-3, radius=100)
+        assert hist.outlier_fraction == pytest.approx(1 / 3)
+        # the outlier folds into the zero bin, like the compressor
+        assert hist.p0 == pytest.approx(1.0)
+
+    @given(st.floats(0.01, 10.0))
+    @settings(max_examples=30)
+    def test_entropy_decreases_with_bound(self, scale):
+        rng = np.random.default_rng(4)
+        errors = rng.normal(0, 1, 3000)
+        h_small = build_code_histogram(errors, 0.05 * scale).entropy_bits()
+        h_large = build_code_histogram(errors, 0.5 * scale).entropy_bits()
+        assert h_large <= h_small + 1e-9
+
+
+class TestCentralBinVariance:
+    def test_uniform_within_bin(self):
+        rng = np.random.default_rng(2)
+        errors = rng.uniform(-1, 1, 100_000)
+        var = central_bin_variance(errors, 1.0)
+        assert var == pytest.approx(1.0 / 3.0, rel=0.05)
+
+    def test_no_samples_inside(self):
+        assert central_bin_variance(np.array([5.0, -7.0]), 0.1) == 0.0
+
+    def test_concentrated_errors(self):
+        errors = np.full(100, 0.001)
+        var = central_bin_variance(errors, 1.0)
+        assert var == pytest.approx(1e-6)
+
+
+class TestBinTransferCorrection:
+    def _peaky_errors(self):
+        rng = np.random.default_rng(3)
+        # 95% tiny errors (central bin) + 5% spread
+        return np.concatenate(
+            [rng.normal(0, 0.001, 9500), rng.normal(0, 1.0, 500)]
+        )
+
+    def test_correction_reduces_p0_at_high_bound(self):
+        errors = self._peaky_errors()
+        eb = 0.5
+        raw = build_code_histogram(
+            errors, eb, predictor="lorenzo", correction=False
+        )
+        corrected = build_code_histogram(
+            errors, eb, predictor="lorenzo", correction=True
+        )
+        assert raw.p0 >= 0.8  # correction regime
+        assert corrected.p0 < raw.p0
+
+    def test_correction_strength_matches_c2(self):
+        errors = self._peaky_errors()
+        eb = 0.5
+        lorenzo = build_code_histogram(errors, eb, predictor="lorenzo")
+        interp = build_code_histogram(
+            errors, eb, predictor="interpolation"
+        )
+        raw = build_code_histogram(errors, eb, correction=False)
+        # Lorenzo's C2 = 0.2 moves more mass than interpolation's 0.1.
+        assert raw.p0 - lorenzo.p0 > raw.p0 - interp.p0
+
+    def test_no_correction_below_threshold(self):
+        rng = np.random.default_rng(5)
+        errors = rng.normal(0, 1, 5000)
+        eb = 0.05  # p0 far below 0.8
+        a = build_code_histogram(errors, eb, predictor="lorenzo")
+        b = build_code_histogram(errors, eb, correction=False)
+        np.testing.assert_allclose(a.probs, b.probs)
+
+    def test_regression_never_corrected(self):
+        errors = self._peaky_errors()
+        a = build_code_histogram(errors, 0.5, predictor="regression")
+        b = build_code_histogram(errors, 0.5, correction=False)
+        np.testing.assert_allclose(a.probs, b.probs)
+
+    def test_mass_conserved(self):
+        errors = self._peaky_errors()
+        hist = build_code_histogram(errors, 0.5, predictor="lorenzo")
+        assert hist.probs.sum() == pytest.approx(1.0)
+
+    def test_constants(self):
+        assert BIN_TRANSFER_C2["lorenzo"] == 0.2
+        assert BIN_TRANSFER_C2["interpolation"] == 0.1
+        assert BIN_TRANSFER_C2["regression"] == 0.0
+
+
+class TestHistogramDataclass:
+    def test_entropy_of_two_even_bins(self):
+        hist = QuantizedHistogram(
+            error_bound=1.0,
+            symbols=np.array([0, 1]),
+            probs=np.array([0.5, 0.5]),
+            p0=0.5,
+            central_var=0.0,
+        )
+        assert hist.entropy_bits() == pytest.approx(1.0)

@@ -1,0 +1,125 @@
+"""Property-style invariants of the ratio-quality model.
+
+These pin down the structural guarantees every consumer (optimizers,
+use-cases, CLI) relies on: monotonicity in the error bound, internal
+consistency of the estimate fields, and determinism.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import RatioQualityModel
+from repro.datasets import gaussian_random_field
+from tests.conftest import smooth_field
+
+
+@pytest.fixture(scope="module")
+def models():
+    data = smooth_field((40, 40, 10), seed=51)
+    return {
+        name: RatioQualityModel(predictor=name).fit(data)
+        for name in ("lorenzo", "interpolation", "regression")
+    }, float(data.max() - data.min())
+
+
+class TestMonotonicity:
+    @pytest.mark.parametrize(
+        "predictor", ["lorenzo", "interpolation", "regression"]
+    )
+    def test_bitrate_nonincreasing_in_bound(self, models, predictor):
+        table, vrange = models
+        model = table[predictor]
+        ebs = vrange * np.geomspace(1e-5, 0.3, 12)
+        rates = [model.estimate(float(eb)).bitrate for eb in ebs]
+        for a, b in zip(rates, rates[1:]):
+            assert b <= a * 1.02  # allow tiny histogram wiggle
+
+    @pytest.mark.parametrize(
+        "predictor", ["lorenzo", "interpolation", "regression"]
+    )
+    def test_variance_nondecreasing_in_bound(self, models, predictor):
+        table, vrange = models
+        model = table[predictor]
+        ebs = vrange * np.geomspace(1e-5, 0.3, 12)
+        variances = [model.error_variance(float(eb)) for eb in ebs]
+        for a, b in zip(variances, variances[1:]):
+            assert b >= a * 0.9
+
+    def test_p0_nondecreasing_in_bound(self, models):
+        table, vrange = models
+        model = table["lorenzo"]
+        ebs = vrange * np.geomspace(1e-5, 0.3, 10)
+        p0s = [model.estimate(float(eb)).p0 for eb in ebs]
+        for a, b in zip(p0s, p0s[1:]):
+            assert b >= a - 0.02
+
+
+class TestConsistency:
+    def test_ratio_times_bitrate_is_dtype_bits(self, models):
+        table, vrange = models
+        est = table["lorenzo"].estimate(vrange * 1e-3)
+        assert est.ratio * est.bitrate == pytest.approx(32.0)
+
+    def test_estimate_deterministic(self, models):
+        table, vrange = models
+        model = table["interpolation"]
+        a = model.estimate(vrange * 1e-3)
+        b = model.estimate(vrange * 1e-3)
+        assert a == b
+
+    def test_refits_are_deterministic(self):
+        data = smooth_field((24, 24), seed=52)
+        a = RatioQualityModel(seed=3).fit(data).estimate(1e-3)
+        b = RatioQualityModel(seed=3).fit(data).estimate(1e-3)
+        assert a == b
+
+    def test_psnr_ssim_coherent(self, models):
+        # lower predicted variance must mean both higher PSNR and SSIM
+        table, vrange = models
+        model = table["lorenzo"]
+        tight = model.estimate(vrange * 1e-4)
+        loose = model.estimate(vrange * 1e-2)
+        assert tight.error_variance < loose.error_variance
+        assert tight.psnr > loose.psnr
+        assert tight.ssim >= loose.ssim
+
+    def test_lossless_never_inflates(self, models):
+        table, vrange = models
+        for model in table.values():
+            for rel in (1e-4, 1e-2, 0.2):
+                est = model.estimate(vrange * rel)
+                assert est.lossless_ratio >= 1.0
+                assert est.bitrate <= (
+                    est.huffman_bitrate
+                    + model._overhead_bits
+                    + 8.0  # container terms
+                )
+
+
+class TestAcrossRandomFields:
+    @given(
+        slope=st.floats(1.0, 4.5),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_inverse_bitrate_query_consistent(self, slope, seed):
+        data = gaussian_random_field((24, 24), slope=slope, seed=seed)
+        model = RatioQualityModel().fit(data)
+        target = 6.0
+        eb = model.error_bound_for_bitrate(target)
+        achieved = model.estimate(eb).bitrate
+        assert achieved == pytest.approx(target, rel=0.25)
+
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=8, deadline=None)
+    def test_estimates_always_finite_and_positive(self, seed):
+        data = gaussian_random_field((20, 20), slope=2.5, seed=seed)
+        model = RatioQualityModel().fit(data)
+        vrange = float(data.max() - data.min())
+        for rel in (1e-6, 1e-3, 0.5):
+            est = model.estimate(vrange * rel)
+            assert np.isfinite(est.bitrate) and est.bitrate > 0
+            assert np.isfinite(est.error_variance)
+            assert 0 <= est.p0 <= 1

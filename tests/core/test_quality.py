@@ -1,0 +1,82 @@
+"""Tests for the PSNR/SSIM quality models (Eqs. 12-19)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import psnr, ssim_global
+from repro.core.quality import (
+    error_variance_for_psnr,
+    mse_model,
+    psnr_model,
+    ssim_model,
+)
+from tests.conftest import smooth_field
+
+
+class TestPsnrModel:
+    def test_eq12_closed_form(self):
+        # PSNR = 20 log10(range) - 10 log10(var)
+        assert psnr_model(100.0, 1.0) == pytest.approx(40.0)
+        assert psnr_model(1.0, 1e-6) == pytest.approx(60.0)
+
+    def test_zero_variance_infinite(self):
+        assert psnr_model(1.0, 0.0) == float("inf")
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            psnr_model(0.0, 1.0)
+        with pytest.raises(ValueError):
+            psnr_model(1.0, -1.0)
+
+    def test_matches_measured_psnr_with_injected_noise(self):
+        data = smooth_field((64, 64)).astype(np.float64)
+        rng = np.random.default_rng(0)
+        eb = 0.01
+        noisy = data + rng.uniform(-eb, eb, data.shape)
+        measured = psnr(data, noisy)
+        predicted = psnr_model(
+            float(data.max() - data.min()), eb**2 / 3
+        )
+        assert predicted == pytest.approx(measured, abs=0.5)
+
+    def test_inverse(self):
+        var = error_variance_for_psnr(10.0, 50.0)
+        assert psnr_model(10.0, var) == pytest.approx(50.0)
+
+
+class TestMseModel:
+    def test_identity(self):
+        assert mse_model(0.123) == 0.123
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            mse_model(-1.0)
+
+
+class TestSsimModel:
+    def test_perfect_reconstruction(self):
+        assert ssim_model(1.0, 0.0, 1.0) == pytest.approx(1.0)
+
+    def test_decreases_with_error(self):
+        a = ssim_model(1.0, 0.01, 1.0)
+        b = ssim_model(1.0, 0.1, 1.0)
+        assert a > b
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            ssim_model(-1.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            ssim_model(1.0, 0.0, 0.0)
+
+    def test_matches_measured_global_ssim_with_injected_noise(self):
+        data = smooth_field((64, 64)).astype(np.float64)
+        rng = np.random.default_rng(1)
+        eb = float(data.max() - data.min()) * 0.02
+        noisy = data + rng.uniform(-eb, eb, data.shape)
+        measured = ssim_global(data, noisy)
+        predicted = ssim_model(
+            float(data.var()),
+            eb**2 / 3,
+            float(data.max() - data.min()),
+        )
+        assert predicted == pytest.approx(measured, abs=0.02)

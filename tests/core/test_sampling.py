@@ -1,0 +1,84 @@
+"""Tests for the model's sampling strategies."""
+
+import numpy as np
+import pytest
+
+from repro.compressor.predictors import make_predictor
+from repro.core.sampling import SampleResult, sample_prediction_errors
+from tests.conftest import smooth_field
+
+
+class TestSamplePredictionErrors:
+    @pytest.mark.parametrize(
+        "predictor", ["lorenzo", "interpolation", "regression"]
+    )
+    def test_basic_fields(self, predictor):
+        data = smooth_field((48, 48))
+        result = sample_prediction_errors(data, predictor, rate=0.05)
+        assert result.predictor == predictor
+        assert result.n_total == data.size
+        assert result.shape == data.shape
+        assert result.dtype_bits == 32
+        assert result.n_samples > 0
+        assert result.value_range == pytest.approx(
+            float(data.max() - data.min())
+        )
+
+    def test_invalid_rate(self):
+        data = smooth_field((16, 16))
+        with pytest.raises(ValueError):
+            sample_prediction_errors(data, rate=0.0)
+        with pytest.raises(ValueError):
+            sample_prediction_errors(data, rate=1.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            sample_prediction_errors(np.zeros(0))
+
+    def test_deterministic_with_seed(self):
+        data = smooth_field((32, 32))
+        a = sample_prediction_errors(data, seed=7)
+        b = sample_prediction_errors(data, seed=7)
+        np.testing.assert_array_equal(a.errors, b.errors)
+
+    def test_sparsity_tracked(self):
+        data = smooth_field((32, 32))
+        data[:16] = 0.0
+        result = sample_prediction_errors(data)
+        assert result.sparsity == pytest.approx(0.5, abs=0.01)
+
+    @pytest.mark.parametrize(
+        "predictor", ["lorenzo", "interpolation", "regression"]
+    )
+    def test_sampled_std_close_to_full(self, predictor):
+        # The Fig. 4 property: 1% sampling reproduces the error std.
+        data = smooth_field((96, 96))
+        pred = make_predictor(predictor)
+        full = pred.prediction_errors(data.astype(np.float64))
+        result = sample_prediction_errors(data, predictor, rate=0.01)
+        rel = result.std_error_vs(full)
+        assert rel < 0.02  # within 2% of the value range
+
+    def test_std_error_metric_zero_for_full_rate(self):
+        data = smooth_field((32, 32))
+        pred = make_predictor("lorenzo")
+        full = pred.prediction_errors(data.astype(np.float64))
+        result = sample_prediction_errors(data, "lorenzo", rate=1.0)
+        assert result.std_error_vs(full) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestSampleResult:
+    def test_n_samples(self):
+        r = SampleResult(
+            errors=np.zeros(10),
+            rate=0.1,
+            predictor="lorenzo",
+            n_total=100,
+            shape=(100,),
+            value_range=1.0,
+            data_variance=1.0,
+            data_mean=0.0,
+            sparsity=0.0,
+            dtype_bits=32,
+        )
+        assert r.n_samples == 10

@@ -1,0 +1,134 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generators as gen
+
+
+class TestGaussianRandomField:
+    def test_shape_and_dtype(self):
+        field = gen.gaussian_random_field((16, 24), seed=0)
+        assert field.shape == (16, 24)
+        assert field.dtype == np.float32
+
+    def test_normalization(self):
+        field = gen.gaussian_random_field((64, 64), seed=1, mean=5.0, std=2.0)
+        assert float(field.mean()) == pytest.approx(5.0, abs=0.1)
+        assert float(field.std()) == pytest.approx(2.0, rel=0.05)
+
+    def test_deterministic(self):
+        a = gen.gaussian_random_field((16, 16), seed=7)
+        b = gen.gaussian_random_field((16, 16), seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seeds_differ(self):
+        a = gen.gaussian_random_field((16, 16), seed=1)
+        b = gen.gaussian_random_field((16, 16), seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_smoother_slope_compresses_better(self):
+        # The knob the registry relies on: higher slope => smaller
+        # prediction errors.
+        from repro.compressor.predictors import make_predictor
+
+        rough = gen.gaussian_random_field((48, 48), slope=1.5, seed=3)
+        smooth = gen.gaussian_random_field((48, 48), slope=4.0, seed=3)
+        pred = make_predictor("lorenzo")
+        err_rough = np.std(pred.prediction_errors(rough.astype(np.float64)))
+        err_smooth = np.std(pred.prediction_errors(smooth.astype(np.float64)))
+        assert err_smooth < err_rough
+
+
+class TestFractionalBrownian:
+    def test_plain_brownian(self):
+        walk = gen.fractional_brownian_1d(4096, hurst=0.5, seed=0)
+        assert walk.shape == (4096,)
+        # increments of Brownian motion are white
+        inc = np.diff(walk.astype(np.float64))
+        lag1 = np.corrcoef(inc[:-1], inc[1:])[0, 1]
+        assert abs(lag1) < 0.1
+
+    def test_invalid_hurst(self):
+        with pytest.raises(ValueError):
+            gen.fractional_brownian_1d(100, hurst=1.5)
+
+    def test_persistent_walk_smoother(self):
+        rough = gen.fractional_brownian_1d(4096, hurst=0.2, seed=1)
+        smooth = gen.fractional_brownian_1d(4096, hurst=0.8, seed=1)
+        rough_inc = np.std(np.diff(rough.astype(np.float64)))
+        smooth_inc = np.std(np.diff(smooth.astype(np.float64)))
+        assert smooth_inc < rough_inc
+
+
+class TestLognormalField:
+    def test_positive(self):
+        field = gen.lognormal_field((24, 24), seed=0)
+        assert np.all(field > 0)
+
+    def test_heavy_tail(self):
+        field = gen.lognormal_field((48, 48), seed=1, contrast=2.0)
+        ratio = float(field.max()) / float(np.median(field))
+        assert ratio > 10  # halos orders of magnitude above the median
+
+
+class TestWaveSnapshots:
+    def test_snapshot_count_and_shape(self):
+        snaps = gen.wave_snapshots((20, 20, 20), n_snapshots=3, seed=0)
+        assert len(snaps) == 3
+        assert all(s.shape == (20, 20, 20) for s in snaps)
+
+    def test_energy_grows_from_sources(self):
+        snaps = gen.wave_snapshots(
+            (24, 24, 24), n_snapshots=4, steps_between=10, seed=1
+        )
+        energies = [float(np.sum(s.astype(np.float64) ** 2)) for s in snaps]
+        assert energies[-1] > energies[0]
+
+    def test_deterministic(self):
+        a = gen.wave_snapshots((16, 16, 16), 2, seed=5)
+        b = gen.wave_snapshots((16, 16, 16), 2, seed=5)
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_finite(self):
+        snaps = gen.wave_snapshots((16, 16, 16), 5, steps_between=12, seed=2)
+        assert all(np.all(np.isfinite(s)) for s in snaps)
+
+
+class TestParticles:
+    def test_positions_in_box(self):
+        pos = gen.particle_positions_1d(10_000, seed=0, box=256.0)
+        assert pos.shape == (10_000,)
+        assert np.all((pos >= 0) & (pos < 256.0))
+
+    def test_positions_locally_correlated(self):
+        pos = gen.particle_positions_1d(50_000, seed=1).astype(np.float64)
+        # consecutive particles are much closer than random pairs
+        consecutive = np.abs(np.diff(pos))
+        assert np.median(consecutive) < 1.0
+
+    def test_velocities_clustered(self):
+        vel = gen.particle_velocities_1d(50_000, seed=2).astype(np.float64)
+        assert vel.std() > 100.0
+
+    def test_exact_length_when_not_divisible(self):
+        pos = gen.particle_positions_1d(12_345, seed=3)
+        assert pos.shape == (12_345,)
+
+
+class TestPhotonEvents:
+    def test_shape(self):
+        data = gen.photon_events_4d((2, 3, 32, 32), seed=0)
+        assert data.shape == (2, 3, 32, 32)
+
+    def test_nonnegative_with_peaks(self):
+        data = gen.photon_events_4d((2, 2, 48, 48), seed=1)
+        assert float(data.min()) >= 0
+        assert float(data.max()) > 30  # Bragg peaks
+
+
+class TestOrbitalField:
+    def test_shape_and_oscillation(self):
+        field = gen.orbital_field((24, 24, 24), seed=0)
+        assert field.shape == (24, 24, 24)
+        assert float(field.min()) < 0 < float(field.max())

@@ -1,0 +1,92 @@
+"""Tests for the Table-I dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.registry import (
+    DATASETS,
+    TABLE2_FIELDS,
+    get_dataset,
+    list_fields,
+    load_field,
+)
+
+
+class TestRegistryContents:
+    def test_ten_datasets(self):
+        assert len(DATASETS) == 10
+
+    def test_seventeen_table2_fields(self):
+        assert len(TABLE2_FIELDS) == 17
+
+    def test_table2_fields_resolve(self):
+        for dataset, field in TABLE2_FIELDS:
+            spec = get_dataset(dataset).field(field)
+            assert spec.name == field
+
+    def test_dimensionalities_match_table1(self):
+        expected = {
+            "CESM": 2,
+            "EXAFEL": 4,
+            "Hurricane": 3,
+            "HACC": 1,
+            "Nyx": 3,
+            "SCALE": 3,
+            "QMCPACK": 3,
+            "Miranda": 3,
+            "Brown": 1,
+            "RTM": 3,
+        }
+        for name, dims in expected.items():
+            assert get_dataset(name).dims == dims
+            for field in get_dataset(name).fields:
+                assert len(field.shape) == dims
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            get_dataset("NOPE")
+
+    def test_unknown_field_raises(self):
+        with pytest.raises(KeyError):
+            get_dataset("CESM").field("nope")
+
+    def test_list_fields_covers_registry(self):
+        pairs = list_fields()
+        assert ("CESM", "TS") in pairs
+        assert len(pairs) >= 17
+
+
+class TestLoading:
+    @pytest.mark.parametrize("dataset,field", [
+        ("CESM", "TS"),
+        ("Hurricane", "U"),
+        ("Nyx", "dark_matter_density"),
+        ("HACC", "xx"),
+        ("Brown", "pressure"),
+        ("QMCPACK", "einspine"),
+        ("EXAFEL", "raw"),
+    ])
+    def test_small_scale_load(self, dataset, field):
+        data = load_field(dataset, field, size_scale=0.15)
+        assert data.dtype == np.float32
+        assert data.size > 0
+        assert np.all(np.isfinite(data))
+
+    def test_size_scale_grows_array(self):
+        small = load_field("CESM", "TS", size_scale=0.1)
+        large = load_field("CESM", "TS", size_scale=0.2)
+        assert large.size > small.size
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            load_field("CESM", "TS", size_scale=0.0)
+
+    def test_deterministic(self):
+        a = load_field("Miranda", "vx", size_scale=0.2)
+        b = load_field("Miranda", "vx", size_scale=0.2)
+        np.testing.assert_array_equal(a, b)
+
+    def test_rtm_snapshots_increasingly_energetic(self):
+        early = load_field("RTM", "snapshot_1000", size_scale=0.4)
+        late = load_field("RTM", "snapshot_3000", size_scale=0.4)
+        assert float(np.abs(late).sum()) > float(np.abs(early).sum())

@@ -1,0 +1,101 @@
+"""Tests for the calibrated cluster dump simulator."""
+
+import numpy as np
+import pytest
+
+from repro.compressor import CompressionConfig
+from repro.storage.cluster import (
+    ClusterSimulator,
+    ClusterSpec,
+    ThroughputProfile,
+)
+from tests.conftest import smooth_field
+
+
+@pytest.fixture(scope="module")
+def snapshot():
+    return smooth_field((32, 32, 16), seed=31)
+
+
+@pytest.fixture(scope="module")
+def sim(snapshot):
+    cfg = CompressionConfig(error_bound=1e-4)
+    profile = ThroughputProfile.measure(snapshot, cfg)
+    spec = ClusterSpec(
+        n_nodes=8,
+        ranks_per_node=16,
+        aggregate_write_bandwidth=5e7,
+        write_latency=0.01,
+    )
+    return ClusterSimulator(spec, profile, cfg)
+
+
+class TestClusterSpec:
+    def test_rank_count(self):
+        assert ClusterSpec(n_nodes=8, ranks_per_node=16).n_ranks == 128
+
+    def test_invalid_nodes(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(n_nodes=0)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(aggregate_write_bandwidth=0)
+
+
+class TestProfile:
+    def test_throughputs_positive(self, snapshot):
+        profile = ThroughputProfile.measure(
+            snapshot, CompressionConfig(error_bound=1e-4)
+        )
+        assert profile.compress > 0
+        assert profile.model_optimize > 0
+        assert profile.tae_trial > 0
+
+    def test_model_optimization_faster_than_tae_trial(self, snapshot):
+        # One sampling pass must beat one full compress+decompress trial.
+        profile = ThroughputProfile.measure(
+            snapshot, CompressionConfig(error_bound=1e-4)
+        )
+        assert profile.model_optimize > profile.tae_trial
+
+
+class TestStrategies:
+    def test_traditional_breakdown(self, sim, snapshot):
+        report = sim.dump_traditional(snapshot, 0, 1e-5)
+        assert report.strategy == "traditional"
+        assert report.times.get("optimize") == 0.0
+        assert report.times.get("compress") > 0
+        assert report.times.get("io") > 0
+
+    def test_tae_pays_optimization(self, sim, snapshot):
+        candidates = [1e-3, 1e-4, 1e-5]
+        report = sim.dump_tae(snapshot, 0, candidates, target_psnr=60.0)
+        assert report.times.get("optimize") > 0
+        trad = sim.dump_traditional(snapshot, 0, report.error_bound)
+        assert report.times.get("optimize") > trad.times.get("optimize")
+
+    def test_model_cheaper_optimization_than_tae(self, sim, snapshot):
+        candidates = [1e-3, 1e-4, 1e-5, 1e-6, 1e-7]
+        tae = sim.dump_tae(snapshot, 0, candidates, target_psnr=60.0)
+        model = sim.dump_model(snapshot, 0, target_psnr=60.0)
+        assert model.times.get("optimize") < tae.times.get("optimize")
+
+    def test_model_writes_no_more_than_traditional_worst_case(
+        self, sim, snapshot
+    ):
+        # Traditional uses a conservative (small) bound; the model's
+        # quality-targeted bound writes at most as many bytes.
+        trad = sim.dump_traditional(snapshot, 0, 1e-7)
+        model = sim.dump_model(snapshot, 0, target_psnr=60.0)
+        assert model.compressed_bytes <= trad.compressed_bytes
+
+    def test_compressed_dump_beats_raw(self, sim, snapshot):
+        report = sim.dump_model(snapshot, 0, target_psnr=60.0)
+        assert report.total_time < sim.baseline_raw_dump_time(snapshot)
+
+    def test_report_total(self, sim, snapshot):
+        report = sim.dump_traditional(snapshot, 0, 1e-4)
+        assert report.total_time == pytest.approx(
+            sum(report.times.seconds.values())
+        )

@@ -1,0 +1,132 @@
+"""Tests for the HDF5-like chunked container."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.compressor import CompressionConfig
+from repro.storage.hdf5sim import H5LikeFile
+from tests.conftest import assert_error_bounded, smooth_field
+
+
+@pytest.fixture
+def path(tmp_path):
+    return str(tmp_path / "store.rqh5")
+
+
+class TestBasicIO:
+    def test_write_read_raw(self, path):
+        data = smooth_field((20, 30))
+        with H5LikeFile(path, "w") as f:
+            f.create_dataset("x", data)
+        with H5LikeFile(path, "r") as f:
+            np.testing.assert_array_equal(f.read_dataset("x"), data)
+
+    def test_write_read_compressed(self, path):
+        data = smooth_field((24, 24))
+        cfg = CompressionConfig(error_bound=1e-3)
+        with H5LikeFile(path, "w") as f:
+            f.create_dataset("x", data, cfg)
+        with H5LikeFile(path, "r") as f:
+            back = f.read_dataset("x")
+        assert back.dtype == data.dtype
+        assert_error_bounded(data, back, 1e-3)
+
+    def test_multiple_datasets(self, path):
+        a = smooth_field((16, 16))
+        b = smooth_field((8, 8, 8), seed=3)
+        with H5LikeFile(path, "w") as f:
+            f.create_dataset("a", a)
+            f.create_dataset("b", b, CompressionConfig(error_bound=1e-2))
+        with H5LikeFile(path, "r") as f:
+            assert f.dataset_names() == ["a", "b"]
+            np.testing.assert_array_equal(f.read_dataset("a"), a)
+            assert_error_bounded(b, f.read_dataset("b"), 1e-2)
+
+    def test_chunked_roundtrip(self, path):
+        data = smooth_field((30, 40))
+        cfg = CompressionConfig(error_bound=1e-3)
+        with H5LikeFile(path, "w") as f:
+            f.create_dataset("x", data, cfg, chunk_shape=(8, 16))
+        with H5LikeFile(path, "r") as f:
+            assert_error_bounded(data, f.read_dataset("x"), 1e-3)
+
+    def test_attrs(self, path):
+        data = smooth_field((8, 8))
+        with H5LikeFile(path, "w") as f:
+            f.create_dataset("x", data, attrs={"step": 5, "tag": "rtm"})
+        with H5LikeFile(path, "r") as f:
+            assert f.attrs("x") == {"step": 5, "tag": "rtm"}
+
+
+class TestMetadata:
+    def test_info_fields(self, path):
+        data = smooth_field((24, 24))
+        cfg = CompressionConfig(error_bound=1e-2)
+        with H5LikeFile(path, "w") as f:
+            info = f.create_dataset("x", data, cfg)
+        assert info.shape == (24, 24)
+        assert info.ratio > 1.0
+        assert info.filter_config["error_bound"] == 1e-2
+
+    def test_raw_ratio_is_one(self, path):
+        data = smooth_field((16, 16))
+        with H5LikeFile(path, "w") as f:
+            info = f.create_dataset("x", data)
+        assert info.ratio == pytest.approx(1.0)
+
+    def test_compression_reduces_file_size(self, path, tmp_path):
+        data = smooth_field((48, 48))
+        raw_path = str(tmp_path / "raw.rqh5")
+        with H5LikeFile(raw_path, "w") as f:
+            f.create_dataset("x", data)
+        with H5LikeFile(path, "w") as f:
+            f.create_dataset("x", data, CompressionConfig(error_bound=1e-2))
+        assert os.path.getsize(path) < os.path.getsize(raw_path)
+
+
+class TestErrors:
+    def test_duplicate_name(self, path):
+        data = smooth_field((8, 8))
+        with H5LikeFile(path, "w") as f:
+            f.create_dataset("x", data)
+            with pytest.raises(ValueError):
+                f.create_dataset("x", data)
+
+    def test_read_only_write_raises(self, path):
+        with H5LikeFile(path, "w") as f:
+            f.create_dataset("x", smooth_field((4, 4)))
+        with H5LikeFile(path, "r") as f:
+            with pytest.raises(IOError):
+                f.create_dataset("y", smooth_field((4, 4)))
+
+    def test_missing_dataset(self, path):
+        with H5LikeFile(path, "w") as f:
+            f.create_dataset("x", smooth_field((4, 4)))
+        with H5LikeFile(path, "r") as f:
+            with pytest.raises(KeyError):
+                f.read_dataset("nope")
+
+    def test_bad_mode(self, path):
+        with pytest.raises(ValueError):
+            H5LikeFile(path, "a")
+
+    def test_bad_magic(self, tmp_path):
+        bogus = tmp_path / "bogus.bin"
+        bogus.write_bytes(b"NOPE" + b"\x00" * 32)
+        with pytest.raises(ValueError):
+            H5LikeFile(str(bogus), "r")
+
+    def test_bad_chunk_shape(self, path):
+        with H5LikeFile(path, "w") as f:
+            with pytest.raises(ValueError):
+                f.create_dataset(
+                    "x", smooth_field((8, 8)), chunk_shape=(8,)
+                )
+
+    def test_double_close_is_safe(self, path):
+        f = H5LikeFile(path, "w")
+        f.create_dataset("x", smooth_field((4, 4)))
+        f.close()
+        f.close()

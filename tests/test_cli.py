@@ -1,0 +1,120 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from tests.conftest import smooth_field
+
+
+@pytest.fixture
+def field_file(tmp_path):
+    path = tmp_path / "field.npy"
+    np.save(path, smooth_field((20, 24)))
+    return str(path)
+
+
+class TestEstimate:
+    def test_prints_table(self, field_file, capsys):
+        assert main(["estimate", field_file, "--eb", "0.01", "0.001"]) == 0
+        out = capsys.readouterr().out
+        assert "bits/pt" in out
+        assert "0.01" in out
+
+    def test_rel_mode(self, field_file, capsys):
+        assert (
+            main(
+                [
+                    "estimate",
+                    field_file,
+                    "--mode",
+                    "rel",
+                    "--eb",
+                    "0.001",
+                ]
+            )
+            == 0
+        )
+        assert "mode=rel" in capsys.readouterr().out
+
+
+class TestCompressDecompress:
+    def test_eb_roundtrip(self, field_file, tmp_path, capsys):
+        blob = str(tmp_path / "x.rqsz")
+        back = str(tmp_path / "back.npy")
+        assert main(["compress", field_file, blob, "--eb", "0.01"]) == 0
+        assert main(["decompress", blob, back]) == 0
+        original = np.load(field_file)
+        restored = np.load(back)
+        assert restored.shape == original.shape
+        assert np.max(np.abs(restored - original)) <= 0.01 * (1 + 1e-5)
+
+    def test_psnr_target(self, field_file, tmp_path, capsys):
+        blob = str(tmp_path / "x.rqsz")
+        assert main(["compress", field_file, blob, "--psnr", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "model-selected error bound" in out
+
+    def test_ratio_target(self, field_file, tmp_path, capsys):
+        blob = str(tmp_path / "x.rqsz")
+        assert main(["compress", field_file, blob, "--ratio", "5"]) == 0
+        back = str(tmp_path / "b.npy")
+        assert main(["decompress", blob, back]) == 0
+
+    def test_targets_mutually_exclusive(self, field_file, tmp_path):
+        blob = str(tmp_path / "x.rqsz")
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "compress",
+                    field_file,
+                    blob,
+                    "--eb",
+                    "0.01",
+                    "--ratio",
+                    "5",
+                ]
+            )
+
+
+class TestInspect:
+    def test_header_json(self, field_file, tmp_path, capsys):
+        blob = str(tmp_path / "x.rqsz")
+        main(["compress", field_file, blob, "--eb", "0.01"])
+        capsys.readouterr()
+        assert main(["inspect", blob]) == 0
+        header = json.loads(capsys.readouterr().out)
+        assert header["predictor"] == "lorenzo"
+        assert header["section_bytes"]["codes"] > 0
+
+
+class TestDatasetsAndGenerate:
+    def test_datasets_listing(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "RTM" in out and "CESM" in out
+
+    def test_generate(self, tmp_path, capsys):
+        out_path = str(tmp_path / "g.npy")
+        assert (
+            main(
+                [
+                    "generate",
+                    "CESM",
+                    "TS",
+                    out_path,
+                    "--scale",
+                    "0.1",
+                ]
+            )
+            == 0
+        )
+        data = np.load(out_path)
+        assert data.dtype == np.float32
+        assert data.ndim == 2
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["nope"])

@@ -1,0 +1,110 @@
+"""Unit tests for repro.utils.stats."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.stats import (
+    entropy_bits,
+    normalized_histogram,
+    relative_std_error,
+    safe_log2,
+    value_range,
+)
+
+
+class TestValueRange:
+    def test_simple(self):
+        assert value_range(np.array([1.0, 3.0, 2.0])) == 2.0
+
+    def test_constant_array(self):
+        assert value_range(np.zeros(5)) == 0.0
+
+    def test_negative_values(self):
+        assert value_range(np.array([-4.0, 4.0])) == 8.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            value_range(np.array([]))
+
+    def test_multidimensional(self):
+        data = np.arange(24.0).reshape(2, 3, 4)
+        assert value_range(data) == 23.0
+
+
+class TestSafeLog2:
+    def test_positive(self):
+        assert safe_log2(np.array([8.0]))[0] == 3.0
+
+    def test_zero_maps_to_zero(self):
+        assert safe_log2(np.array([0.0]))[0] == 0.0
+
+    def test_negative_maps_to_zero(self):
+        assert safe_log2(np.array([-1.0]))[0] == 0.0
+
+    def test_mixed(self):
+        out = safe_log2(np.array([0.5, 0.0, 2.0]))
+        np.testing.assert_allclose(out, [-1.0, 0.0, 1.0])
+
+
+class TestNormalizedHistogram:
+    def test_probabilities_sum_to_one(self):
+        symbols, probs = normalized_histogram(np.array([1, 1, 2, 3]))
+        assert probs.sum() == pytest.approx(1.0)
+        np.testing.assert_array_equal(symbols, [1, 2, 3])
+
+    def test_sorted_symbols(self):
+        symbols, _ = normalized_histogram(np.array([5, -2, 5, 0]))
+        assert list(symbols) == [-2, 0, 5]
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            normalized_histogram(np.array([], dtype=np.int64))
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=200))
+    def test_probs_nonnegative_and_normalized(self, values):
+        _, probs = normalized_histogram(np.array(values))
+        assert np.all(probs > 0)
+        assert probs.sum() == pytest.approx(1.0)
+
+
+class TestEntropyBits:
+    def test_uniform_two_symbols(self):
+        assert entropy_bits(np.array([0.5, 0.5])) == pytest.approx(1.0)
+
+    def test_deterministic(self):
+        assert entropy_bits(np.array([1.0])) == pytest.approx(0.0)
+
+    def test_empty(self):
+        assert entropy_bits(np.array([])) == 0.0
+
+    def test_uniform_n_symbols(self):
+        n = 16
+        p = np.full(n, 1.0 / n)
+        assert entropy_bits(p) == pytest.approx(4.0)
+
+    @given(st.integers(1, 64))
+    def test_entropy_bounded_by_log_alphabet(self, n):
+        rng = np.random.default_rng(n)
+        p = rng.random(n)
+        p /= p.sum()
+        assert entropy_bits(p) <= np.log2(n) + 1e-9
+
+
+class TestRelativeStdError:
+    def test_perfect_estimates(self):
+        m = np.array([1.0, 2.0, 3.0])
+        assert relative_std_error(m, m) == pytest.approx(0.0)
+
+    def test_constant_bias_has_zero_std(self):
+        m = np.array([2.0, 4.0, 6.0])
+        assert relative_std_error(m, m / 2) == pytest.approx(0.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            relative_std_error(np.ones(3), np.ones(4))
+
+    def test_zero_estimate_raises(self):
+        with pytest.raises(ValueError):
+            relative_std_error(np.ones(2), np.array([1.0, 0.0]))

@@ -1,0 +1,37 @@
+"""Unit tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table(["a", "b"], [[1, 2], [3, 4]])
+        lines = out.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert "--" in lines[1] or "-" in lines[1]
+        assert lines[2].split() == ["1", "2"]
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[1.23456]], float_spec=".2f")
+        assert "1.23" in out
+        assert "1.2345" not in out
+
+    def test_row_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_column_alignment(self):
+        out = format_table(["name", "v"], [["long-name", 1], ["x", 22]])
+        lines = out.splitlines()
+        # all rows equal width
+        assert len(set(len(line) for line in lines[0:1])) == 1
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert len(out.splitlines()) == 2  # header + rule only

@@ -1,0 +1,53 @@
+"""Unit tests for repro.utils.timer."""
+
+import pytest
+
+from repro.utils.timer import StageTimes, Timer
+
+
+class TestTimer:
+    def test_measures_nonnegative_time(self):
+        with Timer() as t:
+            sum(range(100))
+        assert t.elapsed >= 0.0
+
+    def test_elapsed_zero_before_use(self):
+        assert Timer().elapsed == 0.0
+
+
+class TestStageTimes:
+    def test_add_and_get(self):
+        times = StageTimes()
+        times.add("io", 1.5)
+        times.add("io", 0.5)
+        assert times.get("io") == pytest.approx(2.0)
+
+    def test_get_missing_stage(self):
+        assert StageTimes().get("nope") == 0.0
+
+    def test_total(self):
+        times = StageTimes()
+        times.add("a", 1.0)
+        times.add("b", 2.0)
+        assert times.total == pytest.approx(3.0)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            StageTimes().add("a", -1.0)
+
+    def test_merge(self):
+        a = StageTimes({"x": 1.0})
+        b = StageTimes({"x": 2.0, "y": 3.0})
+        a.merge(b)
+        assert a.get("x") == pytest.approx(3.0)
+        assert a.get("y") == pytest.approx(3.0)
+
+    def test_scaled(self):
+        times = StageTimes({"x": 2.0})
+        doubled = times.scaled(2.0)
+        assert doubled.get("x") == pytest.approx(4.0)
+        assert times.get("x") == pytest.approx(2.0)  # original untouched
+
+    def test_scaled_negative_raises(self):
+        with pytest.raises(ValueError):
+            StageTimes().scaled(-1.0)
