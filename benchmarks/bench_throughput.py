@@ -1,0 +1,135 @@
+"""Codec throughput benchmark, tracked across PRs.
+
+Measures end-to-end compress/decompress MB/s on a 4M-point 3-D field
+(abs 1e-2, lorenzo + zstd_like) for the single-stream (v2) and chunked
+(v3) container layouts, prints the table through the ``report`` fixture
+and appends the numbers to ``BENCH_throughput.json`` at the repo root so
+the performance trajectory is visible across PRs.
+
+Reference points on this workload: the seed implementation ran at
+14.4 s compress / 3.5 s decompress (~2.3 MB/s); the chunked vectorized
+pipeline targets >= 5x both ways with the ratio within 5%.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.compressor import CompressionConfig, SZCompressor
+from repro.utils.tables import format_table
+
+SHAPE = (128, 128, 256)  # 4M points
+ERROR_BOUND = 1e-2
+TRAJECTORY_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_throughput.json",
+)
+
+MODES = {
+    "v2_single": dict(chunk_size=None, workers=None),
+    "v3_chunked": dict(chunk_size=1 << 20, workers=None),
+    "v3_chunked_w4": dict(chunk_size=1 << 20, workers=4),
+}
+
+
+def _field() -> np.ndarray:
+    """Smooth random-walk field: representative quantization statistics."""
+    rng = np.random.default_rng(0)
+    data = np.cumsum(rng.standard_normal(SHAPE), axis=-1)
+    return data + np.cumsum(rng.standard_normal(SHAPE), axis=0)
+
+
+def _measure(data: np.ndarray, chunk_size, workers) -> dict:
+    config = CompressionConfig(
+        predictor="lorenzo",
+        error_bound=ERROR_BOUND,
+        lossless="zstd_like",
+        chunk_size=chunk_size,
+    )
+    sz = SZCompressor(workers=workers)
+    start = time.perf_counter()
+    result = sz.compress(data, config)
+    compress_s = time.perf_counter() - start
+    start = time.perf_counter()
+    recon = sz.decompress(result.blob)
+    decompress_s = time.perf_counter() - start
+    assert np.max(np.abs(recon - data)) <= ERROR_BOUND * (1 + 1e-9)
+    mb = data.nbytes / 1e6
+    return {
+        "compress_s": round(compress_s, 4),
+        "decompress_s": round(decompress_s, 4),
+        "compress_mb_s": round(mb / compress_s, 2),
+        "decompress_mb_s": round(mb / decompress_s, 2),
+        "ratio": round(result.ratio, 4),
+    }
+
+
+def _append_trajectory(entry: dict) -> None:
+    trajectory = {"workload": {}, "runs": []}
+    if os.path.exists(TRAJECTORY_PATH):
+        with open(TRAJECTORY_PATH, "r", encoding="utf-8") as fh:
+            trajectory = json.load(fh)
+    trajectory["workload"] = {
+        "shape": list(SHAPE),
+        "error_bound": ERROR_BOUND,
+        "predictor": "lorenzo",
+        "lossless": "zstd_like",
+    }
+    trajectory.setdefault("runs", []).append(entry)
+    with open(TRAJECTORY_PATH, "w", encoding="utf-8") as fh:
+        json.dump(trajectory, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def test_throughput(report):
+    data = _field()
+    measurements = {
+        label: _measure(data, **params) for label, params in MODES.items()
+    }
+    rows = [
+        (
+            label,
+            m["compress_s"],
+            m["compress_mb_s"],
+            m["decompress_s"],
+            m["decompress_mb_s"],
+            m["ratio"],
+        )
+        for label, m in measurements.items()
+    ]
+    report(
+        format_table(
+            [
+                "mode",
+                "comp s",
+                "comp MB/s",
+                "decomp s",
+                "decomp MB/s",
+                "ratio",
+            ],
+            rows,
+            float_spec=".2f",
+            title=(
+                "Codec throughput (4M-point 3-D field, abs 1e-2, "
+                "lorenzo + zstd_like).\nSeed baseline: 14.4 s compress / "
+                "3.5 s decompress (~2.3 MB/s)."
+            ),
+        )
+    )
+    _append_trajectory(
+        {
+            "date": time.strftime("%Y-%m-%d %H:%M:%S"),
+            "modes": measurements,
+        }
+    )
+
+    # ratio parity between layouts, and both directions clearly faster
+    # than the seed baseline (generous margins for noisy CI machines)
+    v2, v3 = measurements["v2_single"], measurements["v3_chunked"]
+    assert v3["ratio"] >= 0.95 * v2["ratio"]
+    assert v3["compress_mb_s"] >= 5 * 2.3
+    assert v3["decompress_mb_s"] >= 5 * 9.6  # seed: 33.5 MB / 3.5 s

@@ -67,10 +67,29 @@ def build_parser() -> argparse.ArgumentParser:
     group.add_argument(
         "--psnr", type=float, help="target PSNR in dB (model)"
     )
+    comp.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="split the code stream into blocks of this many symbols "
+        "(chunked v3 container; enables parallel encode/decode)",
+    )
+    comp.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="threads for chunked block encoding",
+    )
 
     dec = sub.add_parser("decompress", help="decompress a .rqsz blob")
     dec.add_argument("input", help=".rqsz blob")
     dec.add_argument("output", help="destination .npy")
+    dec.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="threads for chunked block decoding",
+    )
 
     ins = sub.add_parser("inspect", help="print a blob's header")
     ins.add_argument("input", help=".rqsz blob")
@@ -137,9 +156,12 @@ def _cmd_compress(args: argparse.Namespace) -> int:
             eb = model.error_bound_for_psnr(args.psnr)
         print(f"model-selected error bound: {eb:.6g}")
     config = CompressionConfig(
-        predictor=args.predictor, mode=mode, error_bound=float(eb)
+        predictor=args.predictor,
+        mode=mode,
+        error_bound=float(eb),
+        chunk_size=args.chunk_size,
     )
-    result = SZCompressor().compress(data, config)
+    result = SZCompressor(workers=args.workers).compress(data, config)
     with open(args.output, "wb") as fh:
         fh.write(result.blob)
     print(
@@ -153,7 +175,7 @@ def _cmd_compress(args: argparse.Namespace) -> int:
 def _cmd_decompress(args: argparse.Namespace) -> int:
     with open(args.input, "rb") as fh:
         blob = fh.read()
-    data = SZCompressor().decompress(blob)
+    data = SZCompressor(workers=args.workers).decompress(blob)
     np.save(args.output, data)
     print(f"{args.input} -> {args.output}: {data.shape} {data.dtype}")
     return 0

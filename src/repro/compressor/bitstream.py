@@ -1,17 +1,26 @@
 """Bit-level I/O used by the entropy coders.
 
 ``BitWriter`` packs variable-length codes into bytes; ``BitReader``
-extracts them.  Both are vectorized with NumPy: the writer expands all
-codewords into a flat bit matrix in one shot, the reader exposes a sliding
-16-bit window so table-driven Huffman decoding touches Python only once
-per symbol.
+extracts them.  Both are vectorized with NumPy: the writer scatters each
+equal-length group of codewords into a flat bit array in one shot, and
+the reader offers both a sliding 16-bit window and random-access window
+gathers (:func:`build_bit_window` / :func:`gather_window16`) so
+table-driven Huffman decoding runs in batched rounds instead of one
+Python step per symbol.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["BitWriter", "BitReader", "pack_codes", "bits_to_bytes"]
+__all__ = [
+    "BitWriter",
+    "BitReader",
+    "pack_codes",
+    "bits_to_bytes",
+    "build_bit_window",
+    "gather_window16",
+]
 
 
 def pack_codes(codes: np.ndarray, lengths: np.ndarray) -> tuple[bytes, int]:
@@ -40,24 +49,55 @@ def pack_codes(codes: np.ndarray, lengths: np.ndarray) -> tuple[bytes, int]:
     max_len = int(lengths.max())
     if max_len > 57:
         raise ValueError(f"codeword length {max_len} exceeds 57 bits")
-    total_bits = int(lengths.sum())
+    ends = np.cumsum(lengths)
+    total_bits = int(ends[-1])
+    starts = ends - lengths
 
-    # Expand every codeword into its bits: row i holds the bits of code i
-    # left-aligned in `max_len` slots, then select the meaningful ones.
-    # Work in chunks to bound peak memory to ~32 MB.
-    chunk = max(1, (1 << 25) // max(max_len, 1))
-    pieces: list[np.ndarray] = []
-    shifts = np.arange(max_len, dtype=np.uint64)
-    for start in range(0, codes.size, chunk):
-        c = codes[start : start + chunk, None]
-        ln = lengths[start : start + chunk, None]
-        # bit j (0-based from MSB of this codeword) = (c >> (len-1-j)) & 1
-        shift = ln - 1 - shifts[None, :].astype(np.int64)
-        valid = shift >= 0
-        bits = (c >> np.where(valid, shift, 0).astype(np.uint64)) & np.uint64(1)
-        pieces.append(bits[valid].astype(np.uint8))
-    flat = np.concatenate(pieces)
+    # Scatter per code-length group: every group expands to a dense
+    # (n_group, length) bit matrix with no masking, then lands at its
+    # final bit positions in one fancy-index store.  Alphabets have at
+    # most 57 distinct lengths, so the Python loop is tiny.
+    flat = np.zeros(total_bits, dtype=np.uint8)
+    present = np.flatnonzero(np.bincount(lengths, minlength=58))
+    for ln in present:
+        ln = int(ln)
+        if ln == 0:
+            continue
+        idx = np.flatnonzero(lengths == ln)
+        shifts = np.arange(ln - 1, -1, -1, dtype=np.uint64)
+        offsets = np.arange(ln, dtype=np.int64)
+        # Chunk the scatter to bound peak index memory to ~32 MB.
+        chunk = max(1, (1 << 22) // ln)
+        for lo in range(0, idx.size, chunk):
+            sel = idx[lo : lo + chunk]
+            bits = (codes[sel, None] >> shifts[None, :]) & np.uint64(1)
+            pos = starts[sel, None] + offsets[None, :]
+            flat[pos.ravel()] = bits.ravel().astype(np.uint8)
     return bits_to_bytes(flat), total_bits
+
+
+def build_bit_window(payload: bytes) -> np.ndarray:
+    """Random-access window index over *payload* for :func:`gather_window16`.
+
+    Entry *i* packs bytes ``i, i+1, i+2`` big-endian into 24 bits (the
+    stream is conceptually zero-padded), so the 16 bits starting at any
+    bit offset ``p`` are a shift of ``window[p >> 3]``.
+    """
+    raw = np.frombuffer(payload, dtype=np.uint8).astype(np.uint32)
+    b = np.concatenate([raw, np.zeros(3, dtype=np.uint32)])
+    return (b[:-2] << np.uint32(16)) | (b[1:-1] << np.uint32(8)) | b[2:]
+
+
+def gather_window16(window: np.ndarray, positions: np.ndarray) -> np.ndarray:
+    """The 16 bits starting at each bit *position*, MSB-first, as uint32.
+
+    *window* comes from :func:`build_bit_window`; *positions* must lie in
+    ``[0, 8 * len(payload)]`` (the end position reads zero padding).
+    """
+    positions = np.asarray(positions, dtype=np.int64)
+    word = window[positions >> 3]
+    shift = (8 - (positions & 7)).astype(np.uint32)
+    return (word >> shift) & np.uint32(0xFFFF)
 
 
 def bits_to_bytes(bits: np.ndarray) -> bytes:
@@ -190,6 +230,61 @@ class BitReader:
             value = (value << 1) | int(self._bits[self.pos])
             self.pos += 1
         return value
+
+    def read_gamma_array(self, count: int) -> np.ndarray:
+        """Read *count* Elias-gamma values in one vectorized pass.
+
+        Gamma codes chain sequentially (each code's width depends on its
+        leading zero run), so the start positions are recovered with
+        pointer doubling over the per-position jump map
+        ``jump[p] = 2 * nextone[p] - p + 1`` — ``O(log count)`` rounds of
+        NumPy gathers instead of one Python iteration per bit.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return np.zeros(0, dtype=np.int64)
+        region = self._bits[self.pos :].astype(np.int64)
+        n = region.size
+        if n == 0:
+            raise EOFError("bitstream exhausted")
+        # nextone[p]: index of the first 1-bit at position >= p (n if none).
+        marks = np.where(region == 1, np.arange(n, dtype=np.int64), n)
+        nextone = np.minimum.accumulate(marks[::-1])[::-1]
+        nextone = np.concatenate([nextone, np.array([n], dtype=np.int64)])
+        # jump[p]: start of the next code when a code starts at p.  A code
+        # is k zeros, a 1 at nextone[p], then k value bits.
+        jump = np.minimum(2 * nextone - np.arange(n + 1, dtype=np.int64) + 1, n)
+        starts = np.empty(count + 1, dtype=np.int64)
+        starts[0] = 0
+        have = 1
+        while have < count + 1:
+            take = min(have, count + 1 - have)
+            starts[have : have + take] = jump[starts[:take]]
+            have += take
+            if have < count + 1:
+                jump = jump[jump]
+        heads = nextone[starts[:count]]
+        ks = heads - starts[:count]
+        # Each code's value bits must lie inside the region: the
+        # *unclamped* start of the next code is 2*head - start + 1, and
+        # the clamped `jump` used for chaining would silently hide an
+        # overrun of the final code.
+        ends = 2 * heads - starts[:count] + 1
+        if (
+            np.any(heads >= n)
+            or np.any(ends > n)
+            or np.any(starts[1:] <= starts[:-1])
+        ):
+            raise EOFError("bitstream exhausted")
+        if np.any(ks > 62):
+            raise ValueError("Elias-gamma value exceeds 63 bits")
+        values = np.ones(count, dtype=np.int64)
+        for j in range(int(ks.max())):
+            live = j < ks
+            values[live] = (values[live] << 1) | region[heads[live] + 1 + j]
+        self.pos += int(starts[count])
+        return values
 
     def read_array(self, count: int, nbits: int) -> np.ndarray:
         """Read *count* fixed-width fields of *nbits* bits each."""

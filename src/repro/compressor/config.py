@@ -66,6 +66,12 @@ class CompressionConfig:
         Block edge length for the regression predictor (paper: 6).
     interp_direction:
         Axis ordering for the interpolation predictor sweeps.
+    chunk_size:
+        When set, the quantization-code stream is split into blocks of
+        this many symbols, each independently Huffman + lossless coded
+        (container format v3).  Blocks encode/decode in parallel when the
+        compressor is constructed with ``workers > 1``.  ``None`` keeps
+        the single-stream v2 container.
     """
 
     predictor: str = "lorenzo"
@@ -76,6 +82,7 @@ class CompressionConfig:
     lorenzo_levels: int = 1
     regression_block: int = 6
     interp_direction: tuple[int, ...] = field(default=())
+    chunk_size: int | None = None
 
     _KNOWN_PREDICTORS = ("lorenzo", "interpolation", "regression")
     _KNOWN_LOSSLESS = ("zstd_like", "gzip_like", "rle", None)
@@ -101,6 +108,8 @@ class CompressionConfig:
             raise ValueError("lorenzo_levels must be 1 or 2")
         if self.regression_block < 2:
             raise ValueError("regression_block must be at least 2")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError("chunk_size must be positive (or None)")
 
     def absolute_bound(self, data: np.ndarray) -> float:
         """Resolve the *absolute* bound this config implies on *data*.

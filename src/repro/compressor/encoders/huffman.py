@@ -11,9 +11,14 @@ The implementation is written for NumPy throughput:
 * codes are *canonical*, so only the code lengths ship in the header;
 * encoding maps symbols through lookup tables and packs all codewords in
   one vectorized pass (:func:`repro.compressor.bitstream.pack_codes`);
-* decoding walks a 16-bit primary lookup table (one Python step per
-  symbol); codes longer than 16 bits take a per-bit canonical walk, which
-  is rare because long codes correspond to near-zero-probability symbols.
+* the serialized stream embeds a *sync table* (the bit offset of every
+  K-th symbol), so decoding runs in batched rounds: one NumPy gather over
+  the 16-bit window advances every sync block by one symbol, touching
+  Python ``K`` times total instead of once per symbol;
+* codes longer than 16 bits take a per-bit canonical walk, which is rare
+  because long codes correspond to near-zero-probability symbols;
+* streams serialized by older versions (no sync table) still decode via
+  the scalar table walk.
 """
 
 from __future__ import annotations
@@ -23,12 +28,40 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.compressor.bitstream import BitReader, BitWriter, pack_codes
+from repro.compressor.bitstream import (
+    BitReader,
+    BitWriter,
+    build_bit_window,
+    gather_window16,
+    pack_codes,
+)
 
-__all__ = ["HuffmanCode", "HuffmanEncoder", "huffman_code_lengths"]
+__all__ = [
+    "HuffmanCode",
+    "HuffmanEncodePlan",
+    "HuffmanEncoder",
+    "huffman_code_lengths",
+]
 
 _PRIMARY_BITS = 16
 _MAX_CODE_LEN = 57
+
+#: Top bit of the big-endian header-length word marks the sync-table
+#: serialization (format 2).  Legacy blobs always have it clear because
+#: their headers are far smaller than 2 GiB.
+_SYNC_FLAG = 0x80000000
+
+#: Streams shorter than this serialize without a sync table: the table
+#: would cost more than the scalar decode of a tiny stream saves.
+_SYNC_MIN_STREAM = 4096
+
+#: Target number of sync blocks; the decode rounds run one gather per
+#: block, so more blocks means fewer, wider rounds.
+_SYNC_TARGET_BLOCKS = 4096
+
+#: Floor on symbols per sync block, bounding table overhead to
+#: 32 / _SYNC_MIN_INTERVAL bits per symbol.
+_SYNC_MIN_INTERVAL = 256
 
 
 def huffman_code_lengths(counts: np.ndarray) -> np.ndarray:
@@ -147,33 +180,116 @@ class HuffmanCode:
         return float(np.sum(p * self.lengths))
 
 
+@dataclass(frozen=True)
+class HuffmanEncodePlan:
+    """Everything :meth:`HuffmanEncoder.encode` needs except the packed
+    payload bits, plus the exact serialized size (see
+    :meth:`HuffmanEncoder.plan`)."""
+
+    code: HuffmanCode
+    dense: np.ndarray
+    lengths: np.ndarray
+    interval: int
+    sync: np.ndarray
+    container_bytes: int
+
+
 class HuffmanEncoder:
     """Encode/decode integer symbol streams with canonical Huffman codes.
 
     The serialized container is self-describing::
 
         [n_symbols:u32][symbol values: zigzag u64 varbits]
-        [code lengths: 6 bits each][n_data:u64][payload bits]
+        [code lengths: 6 bits each][n_data:u64][total_bits:u64]
+        ([sync_interval:u32][n_sync:u32] when the format-2 flag is set)
+        [sync offsets: u32 LE each][payload bits]
+
+    Format 2 (flagged by the top bit of the header-length word) appends
+    the bit offset of every ``sync_interval``-th symbol, enabling the
+    batched round-based decode; format-1 blobs decode via the scalar
+    table walk.
     """
 
-    def encode(self, stream: np.ndarray) -> bytes:
-        """Compress *stream* (any integer dtype) to bytes."""
+    def encode(
+        self, stream: np.ndarray, plan: "HuffmanEncodePlan | None" = None
+    ) -> bytes:
+        """Compress *stream* (any integer dtype) to bytes.
+
+        ``plan`` (from :meth:`plan`) reuses an already-built code —
+        callers that first ask for the coded size avoid rebuilding the
+        histogram, tree and sync table.
+        """
+        stream = np.asarray(stream, dtype=np.int64).ravel()
+        if plan is None:
+            plan = self.plan(stream)
+        if plan is None:
+            return self._serialize_empty()
+        code = plan.code
+        payload, total_bits = pack_codes(
+            code.codes[plan.dense], plan.lengths
+        )
+        return self._serialize(
+            code, stream.size, payload, total_bits, plan.interval, plan.sync
+        )
+
+    def plan(self, stream: np.ndarray) -> "HuffmanEncodePlan | None":
+        """Build everything :meth:`encode` needs except the packed bits.
+
+        Returns ``None`` for an empty stream.  The plan carries the exact
+        serialized size (``container_bytes``), so escape decisions can be
+        made — and the stream then encoded — with one code construction.
+        """
         stream = np.asarray(stream, dtype=np.int64).ravel()
         if stream.size == 0:
-            return self._serialize_empty()
+            return None
         code = HuffmanCode.from_stream(stream)
-        dense = np.searchsorted(code.symbols, stream)
-        payload, total_bits = pack_codes(
-            code.codes[dense], code.lengths[dense]
+        dense = self._dense_indices(code.symbols, stream)
+        lengths = code.lengths[dense]
+        total_bits = int(lengths.sum())
+        interval, sync = self._sync_offsets(lengths)
+        gamma_bits = sum(
+            2 * int(d).bit_length() - 1 for d in np.diff(code.symbols)
         )
-        return self._serialize(code, stream.size, payload, total_bits)
+        header_bits = (
+            32  # n_symbols
+            + 64  # first symbol, zigzag
+            + gamma_bits
+            + 6 * code.symbols.size
+            + 64  # n_data
+            + 64  # total_bits
+            + (64 if interval else 0)  # sync interval + count
+        )
+        container_bytes = (
+            4
+            + (header_bits + 7) // 8
+            + 4 * sync.size
+            + (total_bits + 7) // 8
+        )
+        return HuffmanEncodePlan(
+            code, dense, lengths, interval, sync, container_bytes
+        )
 
     def decode(self, blob: bytes) -> np.ndarray:
         """Invert :meth:`encode`, returning an ``int64`` array."""
-        code, n_data, payload, total_bits = self._deserialize(blob)
+        code, n_data, payload, total_bits, interval, sync = (
+            self._deserialize(blob)
+        )
         if n_data == 0:
             return np.zeros(0, dtype=np.int64)
-        dense = self._decode_payload(code, n_data, payload, total_bits)
+        if 8 * len(payload) < total_bits:
+            raise ValueError("Huffman payload truncated")
+        if n_data > total_bits:
+            # every symbol costs at least one bit; a larger count means a
+            # corrupt header (and would over-allocate the output)
+            raise ValueError("corrupt Huffman header")
+        if interval and n_data > interval:
+            dense = self._decode_payload_batched(
+                code, n_data, payload, total_bits, interval, sync
+            )
+        else:
+            # sync-free (legacy format) streams, and corrupt intervals
+            # that would make the round loop unbounded: scalar walk
+            dense = self._decode_payload(code, n_data, payload, total_bits)
         return code.symbols[dense]
 
     def encoded_size_bits(self, stream: np.ndarray) -> int:
@@ -186,8 +302,57 @@ class HuffmanEncoder:
         if stream.size == 0:
             return 0
         code = HuffmanCode.from_stream(stream)
-        dense = np.searchsorted(code.symbols, stream)
+        dense = self._dense_indices(code.symbols, stream)
         return int(code.lengths[dense].sum())
+
+    def encoded_container_bytes(self, stream: np.ndarray) -> int:
+        """Exact byte size of ``encode(stream)`` without packing anything.
+
+        Every serialized field has a size computable from the code
+        lengths alone, so escape decisions (store raw vs coded) can skip
+        the bit-packing entirely when coding cannot win.
+        """
+        plan = self.plan(stream)
+        if plan is None:
+            return 8  # header-length word + 32-bit zero alphabet
+        return plan.container_bytes
+
+    # -- encoding ----------------------------------------------------------
+
+    @staticmethod
+    def _dense_indices(symbols: np.ndarray, stream: np.ndarray) -> np.ndarray:
+        """Map stream values to dense alphabet indices.
+
+        A direct lookup table beats binary search whenever the alphabet
+        span is modest (quantization codes span at most ``2 * radius``);
+        sparse alphabets fall back to ``searchsorted``.
+        """
+        lo = int(symbols[0])
+        span = int(symbols[-1]) - lo + 1
+        if span <= max(1 << 17, 4 * symbols.size):
+            lut = np.zeros(span, dtype=np.int64)
+            lut[symbols - lo] = np.arange(symbols.size, dtype=np.int64)
+            return lut[stream - lo]
+        return np.searchsorted(symbols, stream)
+
+    @staticmethod
+    def _sync_offsets(lengths: np.ndarray) -> tuple[int, np.ndarray]:
+        """Pick a sync interval and the bit offsets of the block starts.
+
+        Returns ``(0, empty)`` when the stream is too small to benefit or
+        the payload exceeds the u32 offset range.
+        """
+        n = int(lengths.size)
+        if n < _SYNC_MIN_STREAM:
+            return 0, np.zeros(0, dtype=np.uint32)
+        ends = np.cumsum(lengths, dtype=np.int64)
+        if int(ends[-1]) >= 1 << 32:
+            return 0, np.zeros(0, dtype=np.uint32)
+        interval = max(
+            _SYNC_MIN_INTERVAL, -(-n // _SYNC_TARGET_BLOCKS)
+        )
+        idx = np.arange(interval, n, interval, dtype=np.int64)
+        return interval, ends[idx - 1].astype(np.uint32)
 
     # -- serialization -----------------------------------------------------
 
@@ -198,7 +363,13 @@ class HuffmanEncoder:
         return len(header).to_bytes(4, "big") + header
 
     def _serialize(
-        self, code: HuffmanCode, n_data: int, payload: bytes, total_bits: int
+        self,
+        code: HuffmanCode,
+        n_data: int,
+        payload: bytes,
+        total_bits: int,
+        sync_interval: int = 0,
+        sync_offsets: np.ndarray | None = None,
     ) -> bytes:
         writer = BitWriter()
         writer.write(code.symbols.size, 32)
@@ -212,34 +383,67 @@ class HuffmanEncoder:
         writer.write_array(code.lengths.astype(np.uint64), 6)
         writer.write(n_data, 64)
         writer.write(total_bits, 64)
+        if sync_interval:
+            writer.write(sync_interval, 32)
+            writer.write(sync_offsets.size, 32)
         header = writer.getvalue()
-        return len(header).to_bytes(4, "big") + header + payload
+        flag = _SYNC_FLAG if sync_interval else 0
+        sync_bytes = (
+            sync_offsets.astype("<u4").tobytes() if sync_interval else b""
+        )
+        return (
+            (len(header) | flag).to_bytes(4, "big")
+            + header
+            + sync_bytes
+            + payload
+        )
 
     def _deserialize(
         self, blob: bytes
-    ) -> tuple[HuffmanCode, int, bytes, int]:
-        header_len = int.from_bytes(blob[:4], "big")
-        header = BitReader(blob[4 : 4 + header_len])
-        n_symbols = header.read(32)
-        if n_symbols == 0:
-            return HuffmanCode(
-                np.zeros(0, dtype=np.int64),
-                np.zeros(0, dtype=np.int64),
-                np.zeros(0, dtype=np.uint64),
-            ), 0, b"", 0
-        zz_first = header.read(64)
-        first = (zz_first >> 1) ^ -(zz_first & 1)
-        symbols = np.empty(n_symbols, dtype=np.int64)
-        symbols[0] = first
-        value = first
-        for i in range(1, n_symbols):
-            value += header.read_gamma()
-            symbols[i] = value
-        lengths = header.read_array(n_symbols, 6).astype(np.int64)
-        n_data = header.read(64)
-        total_bits = header.read(64)
+    ) -> tuple[HuffmanCode, int, bytes, int, int, np.ndarray]:
+        if len(blob) < 4:
+            raise ValueError("truncated Huffman container")
+        word = int.from_bytes(blob[:4], "big")
+        has_sync = bool(word & _SYNC_FLAG)
+        header_len = word & ~_SYNC_FLAG
+        try:
+            header = BitReader(blob[4 : 4 + header_len])
+            n_symbols = header.read(32)
+            if 6 * n_symbols > 8 * header_len:
+                # the code-length section alone would not fit the header
+                raise ValueError("corrupt Huffman header")
+            empty_sync = np.zeros(0, dtype=np.uint32)
+            if n_symbols == 0:
+                return HuffmanCode(
+                    np.zeros(0, dtype=np.int64),
+                    np.zeros(0, dtype=np.int64),
+                    np.zeros(0, dtype=np.uint64),
+                ), 0, b"", 0, 0, empty_sync
+            zz_first = header.read(64)
+            first = (zz_first >> 1) ^ -(zz_first & 1)
+            deltas = header.read_gamma_array(n_symbols - 1)
+            symbols = np.empty(n_symbols, dtype=np.int64)
+            symbols[0] = first
+            np.cumsum(deltas, out=symbols[1:])
+            symbols[1:] += first
+            lengths = header.read_array(n_symbols, 6).astype(np.int64)
+            n_data = header.read(64)
+            total_bits = header.read(64)
+            interval = 0
+            sync = empty_sync
+            pos = 4 + header_len
+            if has_sync:
+                interval = header.read(32)
+                n_sync = header.read(32)
+                sync_end = pos + 4 * n_sync
+                if interval <= 0 or sync_end > len(blob):
+                    raise ValueError("corrupt Huffman sync table")
+                sync = np.frombuffer(blob[pos:sync_end], dtype="<u4")
+                pos = sync_end
+        except EOFError as exc:
+            raise ValueError("truncated Huffman header") from exc
         code = HuffmanCode(symbols, lengths, _canonical_codes(lengths))
-        return code, n_data, blob[4 + header_len :], total_bits
+        return code, n_data, blob[pos:], total_bits, interval, sync
 
     # -- decoding ----------------------------------------------------------
 
@@ -254,6 +458,8 @@ class HuffmanEncoder:
         out = np.empty(n_data, dtype=np.int64)
         pos = 0
         for i in range(n_data):
+            if pos >= window.size:
+                raise ValueError("Huffman payload truncated")
             prefix = int(window[pos])
             ln = int(len_table[prefix])
             if ln:
@@ -265,6 +471,77 @@ class HuffmanEncoder:
                 pos += ln
         if pos > total_bits:
             raise ValueError("Huffman payload truncated")
+        return out
+
+    def _decode_payload_batched(
+        self,
+        code: HuffmanCode,
+        n_data: int,
+        payload: bytes,
+        total_bits: int,
+        interval: int,
+        sync: np.ndarray,
+    ) -> np.ndarray:
+        """Round-based table decode: every sync block advances in lockstep.
+
+        Round *r* gathers the 16-bit window at each block's cursor,
+        resolves symbol and code length through the primary tables, and
+        advances all cursors at once; block boundaries come from the
+        serialized sync table, so blocks are mutually independent.
+        """
+        expected_sync = (n_data - 1) // interval
+        if sync.size != expected_sync:
+            raise ValueError("corrupt Huffman sync table")
+        starts = np.concatenate(
+            [np.zeros(1, dtype=np.int64), sync.astype(np.int64)]
+        )
+        if np.any(starts[1:] <= starts[:-1]) or int(starts[-1]) >= total_bits:
+            raise ValueError("corrupt Huffman sync table")
+        n_blocks = starts.size
+        rem = n_data - (n_blocks - 1) * interval
+        sym_table, len_table = self._primary_tables(code)
+        window = build_bit_window(payload)
+        limit = np.int64(total_bits)
+
+        out = np.empty(n_data, dtype=np.int64)
+        cur = starts.copy()
+        base = np.arange(n_blocks, dtype=np.int64) * interval
+        slow: dict | None = None  # lazy long-code index
+        for r in range(interval):
+            if r == rem:
+                # The (shorter) final block is exhausted: its cursor must
+                # sit exactly on the end of the payload; drop it.
+                if int(cur[-1]) != total_bits:
+                    raise ValueError("corrupt Huffman payload")
+                cur = cur[:-1]
+                base = base[:-1]
+            prefix = gather_window16(window, np.minimum(cur, limit))
+            ln = len_table[prefix]
+            out[base + r] = sym_table[prefix]
+            if not ln.all():
+                if slow is None:
+                    slow = self._long_code_index(code)
+                ln = ln.astype(np.int64)
+                for e in np.flatnonzero(ln == 0):
+                    # clamp like the gather above: a corrupt sync table
+                    # can push a cursor past the payload end, and the
+                    # final integrity check reports that — the escape
+                    # walk must not index out of bounds first
+                    dense, ln_e = self._decode_long_bytes(
+                        window, int(min(cur[e], limit)), total_bits, slow
+                    )
+                    out[base[e] + r] = dense
+                    ln[e] = ln_e
+            cur = cur + ln
+        # Every surviving block must land exactly on the next block's
+        # start (the last full one on total_bits) — a cheap, complete
+        # integrity check against truncated or corrupted payloads.
+        if rem == interval:
+            final = np.concatenate([starts[1:], np.array([limit])])
+        else:
+            final = starts[1:]
+        if not np.array_equal(cur, final):
+            raise ValueError("corrupt Huffman payload")
         return out
 
     def _primary_tables(
@@ -311,6 +588,36 @@ class HuffmanEncoder:
             ln += 1
             nxt = pos + ln - 1
             bit = int(window[nxt]) >> (_PRIMARY_BITS - 1) if nxt < window.size else 0
+            value = (value << 1) | bit
+            hit = long_codes.get((ln, value))
+            if hit is not None:
+                return hit, ln
+        raise ValueError("invalid Huffman payload: no code matched")
+
+    @staticmethod
+    def _decode_long_bytes(
+        window: np.ndarray,
+        pos: int,
+        total_bits: int,
+        long_codes: dict[tuple[int, int], int],
+    ) -> tuple[int, int]:
+        """Canonical walk for codes > 16 bits over the byte-window index.
+
+        Same walk as :meth:`_decode_long` but reads bits from the
+        :func:`repro.compressor.bitstream.build_bit_window` index the
+        batched decoder already holds, so the escape path never builds
+        the per-bit sliding window.
+        """
+        word = int(window[pos >> 3])
+        value = (word >> (8 - (pos & 7))) & 0xFFFF
+        ln = _PRIMARY_BITS
+        while ln < _MAX_CODE_LEN:
+            ln += 1
+            nxt = pos + ln - 1
+            if nxt < total_bits:
+                bit = (int(window[nxt >> 3]) >> (23 - (nxt & 7))) & 1
+            else:
+                bit = 0
             value = (value << 1) | bit
             hit = long_codes.get((ln, value))
             if hit is not None:

@@ -56,7 +56,7 @@ class LosslessBackend:
     def compress(self, data: bytes) -> bytes:
         """Compress *data*; never larger than ``len(data) + 1``."""
         body = self._compress_body(data)
-        if len(body) >= len(data):
+        if body is None or len(body) >= len(data):
             return bytes([_RAW]) + data
         return bytes([_CODED]) + body
 
@@ -73,15 +73,25 @@ class LosslessBackend:
 
     # -- bodies -------------------------------------------------------------
 
-    def _compress_body(self, data: bytes) -> bytes:
+    def _compress_body(self, data: bytes) -> bytes | None:
+        """Coded body, or ``None`` when the raw escape is sure to win.
+
+        The exact coded size is known from the Huffman code lengths
+        alone; when it already matches or exceeds the input
+        (incompressible token streams), skip the expensive bit-packing —
+        the caller emits the raw escape either way, so the container
+        bytes are identical to always packing.
+        """
         if self._lz is not None:
-            tokens = self._lz.encode(data)
-            return self._huffman.encode(
-                np.frombuffer(tokens, dtype=np.uint8)
-            )
-        symbols = np.frombuffer(data, dtype=np.uint8).astype(np.int64)
-        tokens, _ = self._rle.encode(symbols, zero_symbol=0)
-        return self._huffman.encode(tokens)
+            tokens = np.frombuffer(self._lz.encode(data), dtype=np.uint8)
+        else:
+            symbols = np.frombuffer(data, dtype=np.uint8).astype(np.int64)
+            tokens, _ = self._rle.encode(symbols, zero_symbol=0)
+        plan = self._huffman.plan(tokens)
+        coded_bytes = 8 if plan is None else plan.container_bytes
+        if coded_bytes >= len(data):
+            return None
+        return self._huffman.encode(tokens, plan=plan)
 
     def _decompress_body(self, body: bytes) -> bytes:
         decoded = self._huffman.decode(body)

@@ -1,10 +1,11 @@
 """A small LZ77 dictionary coder (LZ4-flavoured token stream).
 
 This is the substrate for the "optional lossless encoder" stage (the paper
-uses Zstandard/Gzip there).  Parsing is greedy with a hash table over
-4-byte prefixes — one candidate per bucket, like LZ4 — which is fast in
-pure Python because the zero-dominated Huffman output produces long
-matches that let the parser skip ahead.
+uses Zstandard/Gzip there).  Parsing is greedy over a *precomputed*
+candidate scan: the previous occurrence of every 4-byte prefix is found
+in one vectorized pass (a stable radix argsort over the prefix hashes),
+so the Python loop only runs once per emitted match — incompressible
+stretches are skipped in O(log n) rather than byte by byte.
 
 Token stream (all fields byte-aligned):
 
@@ -112,49 +113,28 @@ class Lz77Codec:
 
         window = self.params.window
         max_match = self.params.max_match
-        # Hash of the 4 bytes starting at every position (vectorized).
-        arr = np.frombuffer(data, dtype=np.uint8)
-        if n >= _MIN_MATCH:
-            quad = (
-                arr[: n - 3].astype(np.uint32)
-                | (arr[1 : n - 2].astype(np.uint32) << np.uint32(8))
-                | (arr[2 : n - 1].astype(np.uint32) << np.uint32(16))
-                | (arr[3:n].astype(np.uint32) << np.uint32(24))
-            )
-            hashes = ((quad * np.uint32(2654435761)) >> np.uint32(
-                32 - _HASH_BITS
-            )).astype(np.int64)
-        else:
-            hashes = np.zeros(0, dtype=np.int64)
-        table = np.full(1 << _HASH_BITS, -1, dtype=np.int64)
+        match_pos, cand = self._candidate_scan(data, window)
 
         pos = 0
         literal_start = 0
         n_matches = 0
         n_literals = 0
-        limit = n - _MIN_MATCH + 1
-        while pos < limit:
-            h = hashes[pos]
-            candidate = table[h]
-            table[h] = pos
-            if (
-                candidate >= 0
-                and pos - candidate <= window
-                and data[candidate : candidate + _MIN_MATCH]
-                == data[pos : pos + _MIN_MATCH]
-            ):
-                length = self._extend_match(data, candidate, pos, max_match)
-                literals = data[literal_start:pos]
-                _write_varint(out, len(literals))
-                out.extend(literals)
-                _write_varint(out, length)
-                out.extend(int(pos - candidate).to_bytes(3, "big"))
-                n_matches += 1
-                n_literals += len(literals)
-                pos += length
-                literal_start = pos
-            else:
-                pos += 1
+        while True:
+            j = int(np.searchsorted(match_pos, pos))
+            if j >= match_pos.size:
+                break
+            p = int(match_pos[j])
+            candidate = int(cand[p])
+            length = self._extend_match(data, candidate, p, max_match)
+            literals = data[literal_start:p]
+            _write_varint(out, len(literals))
+            out.extend(literals)
+            _write_varint(out, length)
+            out.extend((p - candidate).to_bytes(3, "big"))
+            n_matches += 1
+            n_literals += len(literals)
+            pos = p + length
+            literal_start = pos
         # Trailing literals with an empty match.
         literals = data[literal_start:]
         _write_varint(out, len(literals))
@@ -164,6 +144,43 @@ class Lz77Codec:
         n_literals += len(literals)
         stats = Lz77Stats(n, len(out), n_matches, n_literals)
         return bytes(out), stats
+
+    @staticmethod
+    def _candidate_scan(
+        data: bytes, window: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized single-candidate match scan.
+
+        Returns ``(match_pos, cand)``: the sorted positions where a match
+        of at least :data:`_MIN_MATCH` bytes starts, and for every
+        position the previous occurrence of its 4-byte prefix (or -1).
+        The previous occurrence is found with a stable argsort over the
+        16-bit prefix hashes (radix sort, O(n)); equal hashes land
+        adjacent in scan order, so each position's predecessor in its
+        bucket is its nearest earlier candidate.
+        """
+        n = len(data)
+        if n < _MIN_MATCH:
+            return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+        arr = np.frombuffer(data, dtype=np.uint8)
+        quad = (
+            arr[: n - 3].astype(np.uint32)
+            | (arr[1 : n - 2].astype(np.uint32) << np.uint32(8))
+            | (arr[2 : n - 1].astype(np.uint32) << np.uint32(16))
+            | (arr[3:n].astype(np.uint32) << np.uint32(24))
+        )
+        hashes = (
+            (quad * np.uint32(2654435761)) >> np.uint32(32 - _HASH_BITS)
+        ).astype(np.uint16)
+        order = np.argsort(hashes, kind="stable").astype(np.int64)
+        cand = np.full(quad.size, -1, dtype=np.int64)
+        same = hashes[order[1:]] == hashes[order[:-1]]
+        cand[order[1:][same]] = order[:-1][same]
+        ok = cand >= 0
+        np.logical_and(ok, np.arange(quad.size) - cand <= window, out=ok)
+        # verify the actual bytes (the hash can collide)
+        np.logical_and(ok, quad[np.maximum(cand, 0)] == quad, out=ok)
+        return np.flatnonzero(ok), cand
 
     @staticmethod
     def _extend_match(
@@ -218,9 +235,12 @@ class Lz77Codec:
                 if dist >= match_len:
                     out.extend(out[start : start + match_len])
                 else:
-                    # Overlapping copy (e.g. runs): byte-by-byte semantics.
-                    for i in range(match_len):
-                        out.append(out[start + i])
+                    # Overlapping copy (e.g. runs): byte-by-byte semantics
+                    # periodically extend the last `dist` bytes, so tile
+                    # the period instead of looping per byte.
+                    period = bytes(out[start:])
+                    reps = -(-match_len // dist)
+                    out.extend((period * reps)[:match_len])
         if len(out) != expected:
             raise ValueError("corrupt LZ77 stream")
         return bytes(out)

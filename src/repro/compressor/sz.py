@@ -12,11 +12,27 @@ The container format (little-endian):
 where each section is ``length:u64 | bytes`` and the header records the
 section order.  Sections: Huffman/lossless code payload, outlier
 positions, outlier values, predictor side payload, PW_REL sign payload.
+
+Two container versions are written:
+
+* **v2** — the code stream is one Huffman(+lossless) payload.
+* **v3** — written when ``config.chunk_size`` is set and the stream
+  exceeds it: the code stream is split into fixed-size blocks, each
+  independently Huffman(+lossless) coded.  The codes section becomes
+  ``n_chunks:u32 | chunk_len:u64 ... | chunk payloads``.  Blocks are
+  mutually independent, so they encode and decode in parallel when the
+  compressor is constructed with ``workers > 1``.
+
+Degenerate inputs take a trivial container: empty arrays round-trip to
+the correct shape/dtype, and constant fields under ``REL`` mode (whose
+value range — hence absolute bound — collapses to zero) are stored as a
+single value and reconstruct exactly.  Both still carry the full header.
 """
 
 from __future__ import annotations
 
 import json
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -33,6 +49,8 @@ __all__ = ["SZCompressor", "CompressionResult", "StageSizes"]
 
 _MAGIC = b"RQSZ"
 _VERSION = 2
+_VERSION_CHUNKED = 3
+_SUPPORTED_VERSIONS = (_VERSION, _VERSION_CHUNKED)
 
 
 @dataclass(frozen=True)
@@ -92,19 +110,31 @@ class CompressionResult:
     @property
     def bit_rate(self) -> float:
         """Bits per data point of the full container."""
+        if self.n_points == 0:
+            return 0.0
         return 8.0 * self.compressed_bytes / self.n_points
 
     @property
     def huffman_bit_rate(self) -> float:
         """Bits per point of the Huffman-coded quantization codes only."""
+        if self.n_points == 0:
+            return 0.0
         return 8.0 * self.sizes.huffman_only / self.n_points
 
 
 class SZCompressor:
-    """Facade bundling predictors, quantization and encoders."""
+    """Facade bundling predictors, quantization and encoders.
 
-    def __init__(self) -> None:
+    ``workers`` sets the default parallelism for chunked (v3) containers:
+    blocks are encoded/decoded through a ``concurrent.futures`` thread
+    pool.  ``None`` or 1 keeps everything on the calling thread.
+    """
+
+    def __init__(self, workers: int | None = None) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be a positive integer or None")
         self._huffman = HuffmanEncoder()
+        self._workers = workers or 1
 
     # -- public API ------------------------------------------------------------
 
@@ -115,29 +145,35 @@ class SZCompressor:
         data = np.asarray(data)
         original_bytes = data.nbytes
         times = StageTimes()
+        # 0-d arrays compress as their single element; the header's empty
+        # shape list restores the original dimensionality.
+        core = data.reshape(1) if data.ndim == 0 else data
+
+        if data.size == 0:
+            return self._trivial_result(data, config, times)
 
         with Timer() as t:
             work, transform_meta, signs_payload = self._forward_transform(
-                data, config
+                core, config
             )
-            abs_eb = config.absolute_bound(data)
+            abs_eb = config.absolute_bound(core)
         times.add("transform", t.elapsed)
+
+        if abs_eb <= 0:
+            # REL bound on a constant field: the value range is zero, so
+            # the bound demands exact reconstruction — store the value.
+            return self._trivial_result(
+                data, config, times, constant=float(core.flat[0])
+            )
 
         predictor = self._make_predictor(config)
         with Timer() as t:
             output = predictor.decompose(work, abs_eb, config.quant_radius)
         times.add("predict_quantize", t.elapsed)
 
-        with Timer() as t:
-            huffman_payload = self._huffman.encode(output.codes)
-        times.add("huffman", t.elapsed)
-
-        codes_payload = huffman_payload
-        if config.lossless is not None:
-            with Timer() as t:
-                backend = get_lossless_backend(config.lossless)
-                codes_payload = backend.compress(huffman_payload)
-            times.add("lossless", t.elapsed)
+        codes_payload, huffman_only, n_chunks = self._encode_codes(
+            output.codes, config, times
+        )
 
         p0 = (
             float(np.count_nonzero(output.codes == 0) / output.codes.size)
@@ -151,9 +187,10 @@ class SZCompressor:
                 abs_eb,
                 output,
                 codes_payload,
-                len(huffman_payload),
+                huffman_only,
                 transform_meta,
                 signs_payload,
+                n_chunks=n_chunks,
             )
         times.add("serialize", t.elapsed)
 
@@ -167,18 +204,33 @@ class SZCompressor:
             times=times,
         )
 
-    def decompress(self, blob: bytes) -> np.ndarray:
-        """Decompress a container produced by :meth:`compress`."""
+    def decompress(
+        self, blob: bytes, workers: int | None = None
+    ) -> np.ndarray:
+        """Decompress a container produced by :meth:`compress`.
+
+        ``workers`` overrides the constructor's parallelism for chunked
+        (v3) containers.
+        """
         header, sections = self._disassemble(blob)
+        version = header["container_version"]
+        shape = tuple(header["shape"])
+        dtype = np.dtype(header["dtype"])
+        n_points = int(np.prod(shape)) if shape else 1
+        if n_points == 0:
+            return np.zeros(shape, dtype=dtype)
+        if "constant" in header:
+            return np.full(shape, header["constant"], dtype=dtype)
+
         config = self._config_from_header(header)
         codes_payload, pos_b, val_b, side, signs = sections
 
-        if config.lossless is not None:
-            backend = get_lossless_backend(config.lossless)
-            huffman_payload = backend.decompress(codes_payload)
+        if version == _VERSION_CHUNKED:
+            codes = self._decode_chunked(codes_payload, config, workers)
         else:
-            huffman_payload = codes_payload
-        codes = self._huffman.decode(huffman_payload)
+            codes = self._huffman.decode(
+                self._unwrap_lossless(codes_payload, config)
+            )
 
         out_dtype = np.int64 if header["outlier_kind"] == "codes" else np.float64
         output = PredictorOutput(
@@ -189,10 +241,10 @@ class SZCompressor:
             meta=header["predictor_meta"],
         )
         predictor = self._make_predictor(config)
-        shape = tuple(header["shape"])
-        work = predictor.reconstruct(output, shape, header["abs_eb"])
+        core_shape = shape if shape else (1,)
+        work = predictor.reconstruct(output, core_shape, header["abs_eb"])
         data = self._inverse_transform(work, header, signs)
-        return data.astype(np.dtype(header["dtype"]))
+        return data.reshape(shape).astype(dtype)
 
     def roundtrip(
         self, data: np.ndarray, config: CompressionConfig
@@ -200,6 +252,138 @@ class SZCompressor:
         """Compress then decompress; returns ``(result, reconstruction)``."""
         result = self.compress(data, config)
         return result, self.decompress(result.blob)
+
+    # -- chunked code stream ---------------------------------------------------
+
+    def _encode_codes(
+        self, codes: np.ndarray, config: CompressionConfig, times: StageTimes
+    ) -> tuple[bytes, int, int]:
+        """Encode the quantization codes; returns ``(payload, huffman_only,
+        n_chunks)`` with ``n_chunks == 0`` for the single-stream v2 layout."""
+        chunk = config.chunk_size
+        if not chunk or codes.size <= chunk:
+            with Timer() as t:
+                huffman_payload = self._huffman.encode(codes)
+            times.add("huffman", t.elapsed)
+            codes_payload = huffman_payload
+            if config.lossless is not None:
+                with Timer() as t:
+                    backend = get_lossless_backend(config.lossless)
+                    codes_payload = backend.compress(huffman_payload)
+                times.add("lossless", t.elapsed)
+            return codes_payload, len(huffman_payload), 0
+
+        backend = (
+            get_lossless_backend(config.lossless)
+            if config.lossless is not None
+            else None
+        )
+
+        def encode_block(block: np.ndarray) -> tuple[bytes, int]:
+            huffman_payload = self._huffman.encode(block)
+            payload = (
+                backend.compress(huffman_payload)
+                if backend is not None
+                else huffman_payload
+            )
+            return payload, len(huffman_payload)
+
+        blocks = [
+            codes[lo : lo + chunk] for lo in range(0, codes.size, chunk)
+        ]
+        with Timer() as t:
+            if self._workers > 1:
+                with ThreadPoolExecutor(
+                    max_workers=min(self._workers, len(blocks))
+                ) as pool:
+                    encoded = list(pool.map(encode_block, blocks))
+            else:
+                encoded = [encode_block(b) for b in blocks]
+        times.add("encode_chunks", t.elapsed)
+
+        parts = [len(encoded).to_bytes(4, "little")]
+        parts.extend(
+            len(payload).to_bytes(8, "little") for payload, _ in encoded
+        )
+        parts.extend(payload for payload, _ in encoded)
+        huffman_only = sum(h for _, h in encoded)
+        return b"".join(parts), huffman_only, len(encoded)
+
+    def _decode_chunked(
+        self, payload: bytes, config: CompressionConfig, workers: int | None
+    ) -> np.ndarray:
+        """Decode a v3 chunked codes section back to one code stream."""
+        if len(payload) < 4:
+            raise ValueError("corrupt chunked codes section")
+        n_chunks = int.from_bytes(payload[:4], "little")
+        table_end = 4 + 8 * n_chunks
+        if n_chunks < 1 or len(payload) < table_end:
+            raise ValueError("corrupt chunked codes section")
+        lengths = [
+            int.from_bytes(payload[4 + 8 * i : 12 + 8 * i], "little")
+            for i in range(n_chunks)
+        ]
+        blobs: list[bytes] = []
+        pos = table_end
+        for length in lengths:
+            blobs.append(payload[pos : pos + length])
+            pos += length
+        if pos != len(payload):
+            raise ValueError("corrupt chunked codes section")
+
+        def decode_block(blob: bytes) -> np.ndarray:
+            return self._huffman.decode(
+                self._unwrap_lossless(blob, config)
+            )
+
+        effective = workers if workers is not None else self._workers
+        if effective > 1 and n_chunks > 1:
+            with ThreadPoolExecutor(
+                max_workers=min(effective, n_chunks)
+            ) as pool:
+                parts = list(pool.map(decode_block, blobs))
+        else:
+            parts = [decode_block(b) for b in blobs]
+        return np.concatenate(parts)
+
+    @staticmethod
+    def _unwrap_lossless(
+        payload: bytes, config: CompressionConfig
+    ) -> bytes:
+        if config.lossless is None:
+            return payload
+        return get_lossless_backend(config.lossless).decompress(payload)
+
+    # -- trivial containers ----------------------------------------------------
+
+    def _trivial_result(
+        self,
+        data: np.ndarray,
+        config: CompressionConfig,
+        times: StageTimes,
+        constant: float | None = None,
+    ) -> CompressionResult:
+        """Container for degenerate inputs (empty or constant-under-REL)."""
+        output = PredictorOutput(
+            codes=np.zeros(0, dtype=np.int64),
+            outlier_positions=np.zeros(0, dtype=np.int64),
+            outlier_values=np.zeros(0, dtype=np.float64),
+        )
+        extra = {} if constant is None else {"constant": constant}
+        with Timer() as t:
+            blob, sizes = self._assemble(
+                data, config, 0.0, output, b"", 0, {}, b"", extra_header=extra
+            )
+        times.add("serialize", t.elapsed)
+        return CompressionResult(
+            blob=blob,
+            n_points=int(data.size),
+            original_bytes=data.nbytes,
+            sizes=sizes,
+            p0=1.0,
+            n_outliers=0,
+            times=times,
+        )
 
     # -- transforms ------------------------------------------------------------
 
@@ -219,9 +403,8 @@ class SZCompressor:
         """Invert :meth:`_forward_transform`."""
         if not header.get("transform", {}).get("pw_rel"):
             return work
-        return inverse_log_transform(
-            work, tuple(header["shape"]), signs_payload
-        )
+        shape = tuple(header["shape"]) or (1,)
+        return inverse_log_transform(work, shape, signs_payload)
 
     # -- helpers ------------------------------------------------------------
 
@@ -243,6 +426,8 @@ class SZCompressor:
         huffman_only_bytes: int,
         transform_meta: dict,
         signs_payload: bytes,
+        n_chunks: int = 0,
+        extra_header: dict | None = None,
     ) -> tuple[bytes, StageSizes]:
         outlier_kind = (
             "codes" if output.outlier_values.dtype == np.int64 else "values"
@@ -256,12 +441,15 @@ class SZCompressor:
             "lossless": config.lossless,
             "lorenzo_levels": config.lorenzo_levels,
             "regression_block": config.regression_block,
+            "chunk_size": config.chunk_size,
             "shape": list(data.shape),
             "dtype": np.asarray(data).dtype.str,
             "predictor_meta": output.meta,
             "outlier_kind": outlier_kind,
             "transform": transform_meta,
         }
+        if extra_header:
+            header.update(extra_header)
         header_bytes = json.dumps(header, sort_keys=True).encode()
         pos_b = output.outlier_positions.astype(np.int64).tobytes()
         val_b = output.outlier_values.tobytes()
@@ -272,7 +460,8 @@ class SZCompressor:
             output.side_payload,
             signs_payload,
         ]
-        parts = [_MAGIC, bytes([_VERSION])]
+        version = _VERSION_CHUNKED if n_chunks else _VERSION
+        parts = [_MAGIC, bytes([version])]
         parts.append(len(header_bytes).to_bytes(4, "little"))
         parts.append(header_bytes)
         for section in sections:
@@ -291,15 +480,26 @@ class SZCompressor:
 
     @staticmethod
     def _disassemble(blob: bytes) -> tuple[dict, list[bytes]]:
+        """Split a container into its parsed header and raw sections.
+
+        The container version is reported as ``container_version`` in the
+        returned header dict.
+        """
         if blob[: len(_MAGIC)] != _MAGIC:
             raise ValueError("not an RQSZ container")
         version = blob[len(_MAGIC)]
-        if version != _VERSION:
+        if version not in _SUPPORTED_VERSIONS:
             raise ValueError(f"unsupported container version {version}")
         pos = len(_MAGIC) + 1
         header_len = int.from_bytes(blob[pos : pos + 4], "little")
         pos += 4
-        header = json.loads(blob[pos : pos + header_len].decode())
+        try:
+            header = json.loads(blob[pos : pos + header_len].decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValueError("corrupt container header") from exc
+        if not isinstance(header, dict):
+            raise ValueError("corrupt container header")
+        header["container_version"] = int(version)
         pos += header_len
         sections: list[bytes] = []
         for _ in range(5):
@@ -319,4 +519,5 @@ class SZCompressor:
             lossless=header["lossless"],
             lorenzo_levels=header["lorenzo_levels"],
             regression_block=header["regression_block"],
+            chunk_size=header.get("chunk_size"),
         )

@@ -334,4 +334,8 @@ class HuffmanAnchorModel:
         interp = PchipInterpolator(
             rates_sorted[keep], logs_sorted[keep], extrapolate=True
         )
-        return float(np.exp(interp(target_bitrate)))
+        # Extrapolation below the profiled anchors can produce arbitrarily
+        # large log bounds; clamp before exponentiating so the result is a
+        # (huge but finite) float instead of an overflow warning + inf.
+        log_eb = float(np.clip(interp(target_bitrate), -700.0, 700.0))
+        return float(np.exp(log_eb))

@@ -66,6 +66,8 @@ class RateDistortionStudy:
         relative_bounds=(1e-4, 1e-3, 1e-2),
         measure_quality: bool = True,
         lossless: str | None = "zstd_like",
+        chunk_size: int | None = None,
+        workers: int | None = None,
     ) -> None:
         if not fields:
             raise ValueError("need at least one field")
@@ -76,12 +78,14 @@ class RateDistortionStudy:
         self.relative_bounds = tuple(relative_bounds)
         self.measure_quality = measure_quality
         self.lossless = lossless
+        self.chunk_size = chunk_size
+        self.workers = workers
 
     def run(self) -> list[StudyCell]:
         """Execute the full sweep; returns one cell per combination."""
         import time
 
-        sz = SZCompressor()
+        sz = SZCompressor(workers=self.workers)
         cells: list[StudyCell] = []
         for name, data in self.fields.items():
             data = np.asarray(data)
@@ -101,6 +105,7 @@ class RateDistortionStudy:
                         predictor=predictor,
                         error_bound=eb,
                         lossless=self.lossless,
+                        chunk_size=self.chunk_size,
                     )
                     start = time.perf_counter()
                     result = sz.compress(data, config)
