@@ -18,16 +18,20 @@ from repro.compressor import (
     CompressionResult,
     ErrorBoundMode,
     SZCompressor,
+    TiledCompressor,
 )
+from repro.factory import CodecFactory
 from repro.harness import RateDistortionStudy
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CompressionConfig",
     "CompressionResult",
     "ErrorBoundMode",
     "SZCompressor",
+    "TiledCompressor",
+    "CodecFactory",
     "RateDistortionStudy",
     "__version__",
 ]

@@ -4,14 +4,23 @@ Entry point for the library's day-to-day workflow on ``.npy`` arrays::
 
     python -m repro estimate field.npy --predictor lorenzo --eb 1e-3
     python -m repro compress field.npy out.rqsz --psnr 60
+    python -m repro compress big.npy out.rqsz --eb 1e-3 --tile 64,64,64
     python -m repro decompress out.rqsz back.npy
+    python -m repro decompress out.rqsz roi.npy --region 0:32,16:48,:
     python -m repro inspect out.rqsz
     python -m repro datasets
     python -m repro generate Nyx temperature field.npy --scale 0.5
 
 ``compress`` accepts exactly one targeting flag: ``--eb`` (direct
 bound), ``--ratio`` (model-derived bound for a target ratio) or
-``--psnr`` (model-derived bound for a target quality).
+``--psnr`` (model-derived bound for a target quality).  ``--tile``
+switches to the tiled v4 container, streamed tile-by-tile with bounded
+memory (the input is opened as a memmap); ``--region`` decodes only the
+tiles intersecting the requested hyperslab.
+
+The shared codec flags (``--predictor``, ``--mode``, ``--lossless``)
+are defined once on a parent parser, so they land in every subcommand
+that compresses or models data.
 """
 
 from __future__ import annotations
@@ -22,12 +31,47 @@ import sys
 
 import numpy as np
 
-from repro.compressor import CompressionConfig, ErrorBoundMode, SZCompressor
-from repro.core.model import RatioQualityModel
+from repro.compressor import (
+    SZCompressor,
+    TiledCompressor,
+)
+from repro.compressor import container
+from repro.compressor.container import TiledReader
 from repro.datasets import DATASETS, load_field
+from repro.factory import CodecFactory
 from repro.utils.tables import format_table
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "parse_region", "parse_tile_shape"]
+
+_LOSSLESS_CHOICES = ["zstd_like", "gzip_like", "rle", "none"]
+
+
+def _codec_parent() -> argparse.ArgumentParser:
+    """Shared ``--predictor``/``--mode``/``--lossless`` flags.
+
+    Defined once so new codec flags land in every subcommand that uses
+    this parent, instead of being copy-pasted per subparser.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--predictor",
+        default="lorenzo",
+        choices=["lorenzo", "interpolation", "regression"],
+        help="prediction scheme",
+    )
+    parent.add_argument(
+        "--mode",
+        default="abs",
+        choices=["abs", "rel", "pw_rel"],
+        help="error-bound mode",
+    )
+    parent.add_argument(
+        "--lossless",
+        default="zstd_like",
+        choices=_LOSSLESS_CHOICES,
+        help="lossless stage after Huffman ('none' disables it)",
+    )
+    return parent
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -37,13 +81,12 @@ def build_parser() -> argparse.ArgumentParser:
         description="ratio-quality-modelled lossy compression for arrays",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    codec = _codec_parent()
 
-    est = sub.add_parser("estimate", help="model forecasts for an array")
-    est.add_argument("input", help=".npy array to profile")
-    est.add_argument("--predictor", default="lorenzo")
-    est.add_argument(
-        "--mode", default="abs", choices=["abs", "rel", "pw_rel"]
+    est = sub.add_parser(
+        "estimate", parents=[codec], help="model forecasts for an array"
     )
+    est.add_argument("input", help=".npy array to profile")
     est.add_argument(
         "--eb",
         type=float,
@@ -52,13 +95,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="error bound(s) to estimate at",
     )
 
-    comp = sub.add_parser("compress", help="compress a .npy array")
+    comp = sub.add_parser(
+        "compress", parents=[codec], help="compress a .npy array"
+    )
     comp.add_argument("input", help=".npy array")
     comp.add_argument("output", help="destination .rqsz blob")
-    comp.add_argument("--predictor", default="lorenzo")
-    comp.add_argument(
-        "--mode", default="abs", choices=["abs", "rel", "pw_rel"]
-    )
     group = comp.add_mutually_exclusive_group(required=True)
     group.add_argument("--eb", type=float, help="error bound")
     group.add_argument(
@@ -75,20 +116,34 @@ def build_parser() -> argparse.ArgumentParser:
         "(chunked v3 container; enables parallel encode/decode)",
     )
     comp.add_argument(
+        "--tile",
+        default=None,
+        metavar="T1,T2,...",
+        help="tile shape for the tiled v4 container (out-of-core "
+        "streaming + region decode), e.g. 64,64,64",
+    )
+    comp.add_argument(
         "--workers",
         type=int,
         default=1,
-        help="threads for chunked block encoding",
+        help="threads for chunked block / tile encoding",
     )
 
     dec = sub.add_parser("decompress", help="decompress a .rqsz blob")
     dec.add_argument("input", help=".rqsz blob")
     dec.add_argument("output", help="destination .npy")
     dec.add_argument(
+        "--region",
+        default=None,
+        metavar="A:B,C:D,...",
+        help="decode only this hyperslab (tiled containers read only "
+        "the intersecting tiles), e.g. 0:32,16:48,:",
+    )
+    dec.add_argument(
         "--workers",
         type=int,
         default=1,
-        help="threads for chunked block decoding",
+        help="threads for chunked block / tile decoding",
     )
 
     ins = sub.add_parser("inspect", help="print a blob's header")
@@ -105,18 +160,69 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _load_array(path: str) -> np.ndarray:
-    data = np.load(path)
+# -- argument parsing helpers --------------------------------------------------
+
+
+def parse_tile_shape(text: str) -> tuple[int, ...]:
+    """Parse ``"64,64,64"`` into a tile shape tuple."""
+    try:
+        tile = tuple(int(part) for part in text.split(","))
+    except ValueError:
+        raise SystemExit(f"invalid tile shape {text!r}") from None
+    if not tile or any(t < 1 for t in tile):
+        raise SystemExit(f"invalid tile shape {text!r}")
+    return tile
+
+
+def parse_region(text: str) -> tuple[slice | int, ...]:
+    """Parse ``"0:32,16:48,:"`` into per-axis slices (ints stay ints)."""
+    items: list[slice | int] = []
+    for part in text.split(","):
+        part = part.strip()
+        try:
+            if ":" in part:
+                bounds = part.split(":")
+                if len(bounds) != 2:
+                    raise ValueError(part)
+                start = int(bounds[0]) if bounds[0] else None
+                stop = int(bounds[1]) if bounds[1] else None
+                items.append(slice(start, stop))
+            else:
+                items.append(int(part))
+        except ValueError:
+            raise SystemExit(f"invalid region {text!r}") from None
+    return tuple(items)
+
+
+def _factory_from_args(args: argparse.Namespace) -> CodecFactory:
+    """The CodecFactory the shared codec flags describe."""
+    from repro.compressor import ErrorBoundMode
+
+    return CodecFactory(
+        predictor=args.predictor,
+        mode=ErrorBoundMode(args.mode),
+        lossless=None if args.lossless == "none" else args.lossless,
+        chunk_size=getattr(args, "chunk_size", None),
+        workers=getattr(args, "workers", None),
+    )
+
+
+def _load_array(path: str, mmap: bool = False) -> np.ndarray:
+    data = np.load(path, mmap_mode="r" if mmap else None)
     if not isinstance(data, np.ndarray):
         raise SystemExit(f"{path} does not contain a numpy array")
     return data
 
 
+# -- subcommands ---------------------------------------------------------------
+
+
 def _cmd_estimate(args: argparse.Namespace) -> int:
     data = _load_array(args.input)
-    model = RatioQualityModel(
-        predictor=args.predictor, mode=ErrorBoundMode(args.mode)
-    ).fit(data)
+    factory = _factory_from_args(args)
+    model = factory.fit_model(
+        data, use_lossless=factory.lossless is not None
+    )
     rows = [
         (
             eb,
@@ -142,26 +248,38 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
 
 
 def _cmd_compress(args: argparse.Namespace) -> int:
-    data = _load_array(args.input)
-    mode = ErrorBoundMode(args.mode)
+    factory = _factory_from_args(args)
+    tile_shape = parse_tile_shape(args.tile) if args.tile else None
+    # tiled compression streams from a memmap so huge inputs never
+    # materialize in RAM
+    data = _load_array(args.input, mmap=tile_shape is not None)
     if args.eb is not None:
         eb = args.eb
     else:
-        model = RatioQualityModel(
-            predictor=args.predictor, mode=mode
-        ).fit(data)
+        model = factory.fit_model(
+            np.asarray(data), use_lossless=factory.lossless is not None
+        )
         if args.ratio is not None:
             eb = model.error_bound_for_ratio(args.ratio)
         else:
             eb = model.error_bound_for_psnr(args.psnr)
         print(f"model-selected error bound: {eb:.6g}")
-    config = CompressionConfig(
-        predictor=args.predictor,
-        mode=mode,
-        error_bound=float(eb),
-        chunk_size=args.chunk_size,
-    )
-    result = SZCompressor(workers=args.workers).compress(data, config)
+
+    if tile_shape is not None:
+        config = factory.config(eb, tile_shape=tile_shape)
+        result = factory.tiled_compressor().compress(
+            data, config, out=args.output
+        )
+        print(
+            f"{args.input} -> {args.output}: {result.original_bytes} -> "
+            f"{result.compressed_bytes} bytes ({result.ratio:.2f}x, "
+            f"{result.bit_rate:.3f} bits/pt, {result.n_tiles} tiles of "
+            f"{result.tile_shape})"
+        )
+        return 0
+
+    config = factory.config(eb)
+    result = factory.compressor().compress(data, config)
     with open(args.output, "wb") as fh:
         fh.write(result.blob)
     print(
@@ -173,9 +291,19 @@ def _cmd_compress(args: argparse.Namespace) -> int:
 
 
 def _cmd_decompress(args: argparse.Namespace) -> int:
-    with open(args.input, "rb") as fh:
-        blob = fh.read()
-    data = SZCompressor(workers=args.workers).decompress(blob)
+    tiled = TiledCompressor(workers=args.workers)
+    if args.region is not None:
+        region = parse_region(args.region)
+        data = tiled.decompress_region(args.input, region)
+        np.save(args.output, data)
+        print(
+            f"{args.input} -> {args.output}: region {args.region} -> "
+            f"{data.shape} {data.dtype} "
+            f"({tiled.last_tiles_decoded} tiles decoded)"
+        )
+        return 0
+    # TiledCompressor dispatches flat v2/v3 and tiled v4 uniformly
+    data = tiled.decompress(args.input, workers=args.workers)
     np.save(args.output, data)
     print(f"{args.input} -> {args.output}: {data.shape} {data.dtype}")
     return 0
@@ -184,13 +312,31 @@ def _cmd_decompress(args: argparse.Namespace) -> int:
 def _cmd_inspect(args: argparse.Namespace) -> int:
     with open(args.input, "rb") as fh:
         blob = fh.read()
+    if container.container_version(blob) == container.VERSION_TILED:
+        with TiledReader(blob) as reader:
+            header = dict(reader.header)
+            sizes = [t.size for t in reader.tiles]
+            header["tile_map"] = {
+                "n_tiles": len(reader.tiles),
+                "payload_bytes": sum(sizes),
+                "tile_bytes_min": min(sizes, default=0),
+                "tile_bytes_max": max(sizes, default=0),
+                "tiles": [
+                    {
+                        "start": list(t.start),
+                        "stop": list(t.stop),
+                        "offset": t.offset,
+                        "size": t.size,
+                    }
+                    for t in reader.tiles
+                ],
+            }
+        print(json.dumps(header, indent=2, sort_keys=True))
+        return 0
     header, sections = SZCompressor._disassemble(blob)
     header["section_bytes"] = {
         name: len(section)
-        for name, section in zip(
-            ["codes", "outlier_positions", "outlier_values", "side", "signs"],
-            sections,
-        )
+        for name, section in zip(container.SECTION_NAMES, sections)
     }
     print(json.dumps(header, indent=2, sort_keys=True))
     return 0

@@ -1,9 +1,14 @@
 """SZ3-like prediction-based error-bounded lossy compressor.
 
-The substrate the ratio-quality model describes: predictors
-(Lorenzo / interpolation / regression), a linear-scaling quantizer,
-Huffman coding and optional lossless back-ends, assembled by
-:class:`repro.compressor.sz.SZCompressor`.
+The substrate the ratio-quality model describes, organized as a staged
+pipeline: predictors (Lorenzo / interpolation / regression), a
+linear-scaling quantizer, Huffman coding and optional lossless
+back-ends, composed behind small stage interfaces
+(:mod:`repro.compressor.stages`) by the flat
+:class:`repro.compressor.sz.SZCompressor` facade; the byte formats live
+in :mod:`repro.compressor.container`; and
+:class:`repro.compressor.tiled.TiledCompressor` layers tiled
+out-of-core streaming with region-of-interest decode on top.
 """
 
 from repro.compressor.config import (
@@ -13,6 +18,7 @@ from repro.compressor.config import (
 )
 from repro.compressor.quantizer import LinearQuantizer, QuantizedBlock
 from repro.compressor.sz import CompressionResult, SZCompressor, StageSizes
+from repro.compressor.tiled import TiledCompressor, TiledResult
 
 __all__ = [
     "CompressionConfig",
@@ -23,4 +29,6 @@ __all__ = [
     "SZCompressor",
     "CompressionResult",
     "StageSizes",
+    "TiledCompressor",
+    "TiledResult",
 ]

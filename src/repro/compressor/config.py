@@ -72,6 +72,11 @@ class CompressionConfig:
         (container format v3).  Blocks encode/decode in parallel when the
         compressor is constructed with ``workers > 1``.  ``None`` keeps
         the single-stream v2 container.
+    tile_shape:
+        When set, :class:`repro.compressor.tiled.TiledCompressor` splits
+        the array into tiles of this shape and writes the tiled v4
+        container (out-of-core streaming, region-of-interest decode).
+        Ignored by the flat :class:`~repro.compressor.sz.SZCompressor`.
     """
 
     predictor: str = "lorenzo"
@@ -83,6 +88,7 @@ class CompressionConfig:
     regression_block: int = 6
     interp_direction: tuple[int, ...] = field(default=())
     chunk_size: int | None = None
+    tile_shape: tuple[int, ...] | None = None
 
     _KNOWN_PREDICTORS = ("lorenzo", "interpolation", "regression")
     _KNOWN_LOSSLESS = ("zstd_like", "gzip_like", "rle", None)
@@ -110,6 +116,14 @@ class CompressionConfig:
             raise ValueError("regression_block must be at least 2")
         if self.chunk_size is not None and self.chunk_size < 1:
             raise ValueError("chunk_size must be positive (or None)")
+        if self.tile_shape is not None:
+            tile_shape = tuple(int(t) for t in self.tile_shape)
+            if not tile_shape or any(t < 1 for t in tile_shape):
+                raise ValueError(
+                    "tile_shape must be a non-empty tuple of positive ints"
+                )
+            # normalize list/iterable inputs so equality and hashing work
+            object.__setattr__(self, "tile_shape", tile_shape)
 
     def absolute_bound(self, data: np.ndarray) -> float:
         """Resolve the *absolute* bound this config implies on *data*.

@@ -1,0 +1,424 @@
+"""Container formats for the RQSZ codec family.
+
+Every byte-level read/write of the on-disk formats lives here, so the
+rest of the pipeline (stages, compressors, CLI, storage) never touches
+offsets or length prefixes directly and section accounting is *derived*
+from the writer instead of hand-summed.
+
+Flat containers (one array, decoded whole)::
+
+    b"RQSZ" | version:u8 | header_len:u32 | header JSON | sections
+
+where each section is ``length:u64 | bytes``.  Sections, in order:
+Huffman/lossless code payload, outlier positions, outlier values,
+predictor side payload, PW_REL sign payload.
+
+* **v2** — the code stream is one Huffman(+lossless) payload.
+* **v3** — the code stream is split into fixed-size blocks, each
+  independently Huffman(+lossless) coded; the codes section becomes
+  ``n_chunks:u32 | chunk_len:u64 ... | chunk payloads``.
+
+Tiled container (out-of-core streaming, region-of-interest decode)::
+
+    b"RQSZ" | version=4:u8 | header_len:u32 | header JSON
+           | tile payloads ... | TOC JSON | toc_len:u64
+
+Each tile payload is itself a self-describing flat (v2/v3) container
+covering one N-d tile of the array.  The trailing TOC records every
+tile's byte extent (``offset``/``size``) and index-space extent
+(``start``/``stop``), so a reader can seek straight to the tiles
+intersecting a requested hyperslab without touching the rest of the
+file.  The TOC trails the payloads so writers can stream tiles to disk
+with bounded memory and fix the offsets up at close time.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import threading
+from dataclasses import dataclass
+from typing import BinaryIO, Sequence
+
+__all__ = [
+    "MAGIC",
+    "VERSION_SINGLE",
+    "VERSION_CHUNKED",
+    "VERSION_TILED",
+    "SECTION_NAMES",
+    "flat_overhead",
+    "write_flat",
+    "read_flat",
+    "container_version",
+    "write_chunked_codes",
+    "read_chunked_codes",
+    "TileRecord",
+    "TiledWriter",
+    "TiledReader",
+]
+
+MAGIC = b"RQSZ"
+#: flat container, single-stream codes section
+VERSION_SINGLE = 2
+#: flat container, chunked codes section
+VERSION_CHUNKED = 3
+#: tiled container with a trailing TOC
+VERSION_TILED = 4
+
+_FLAT_VERSIONS = (VERSION_SINGLE, VERSION_CHUNKED)
+
+# Writer layout constants -- every size computation below derives from
+# these, so accounting cannot drift from the format.
+_VERSION_BYTES = 1
+_HEADER_LEN_BYTES = 4
+_SECTION_LEN_BYTES = 8
+_CHUNK_COUNT_BYTES = 4
+_CHUNK_LEN_BYTES = 8
+_TOC_LEN_BYTES = 8
+
+#: flat container sections, in on-disk order
+SECTION_NAMES = (
+    "codes",
+    "outlier_positions",
+    "outlier_values",
+    "side",
+    "signs",
+)
+
+
+def container_version(blob: bytes) -> int:
+    """Version byte of any RQSZ container (flat or tiled)."""
+    if blob[: len(MAGIC)] != MAGIC:
+        raise ValueError("not an RQSZ container")
+    return blob[len(MAGIC)]
+
+
+# -- flat (v2/v3) containers ---------------------------------------------------
+
+
+def flat_overhead(
+    header_len: int, n_sections: int = len(SECTION_NAMES)
+) -> int:
+    """Bytes the flat writer adds around the header and section payloads."""
+    return (
+        len(MAGIC)
+        + _VERSION_BYTES
+        + _HEADER_LEN_BYTES
+        + header_len
+        + n_sections * _SECTION_LEN_BYTES
+    )
+
+
+def write_flat(
+    header: dict, sections: Sequence[bytes], version: int
+) -> tuple[bytes, int]:
+    """Serialize a flat container; returns ``(blob, header_bytes_len)``."""
+    if version not in _FLAT_VERSIONS:
+        raise ValueError(f"not a flat container version: {version}")
+    header_bytes = json.dumps(header, sort_keys=True).encode()
+    parts = [MAGIC, bytes([version])]
+    parts.append(len(header_bytes).to_bytes(_HEADER_LEN_BYTES, "little"))
+    parts.append(header_bytes)
+    for section in sections:
+        parts.append(len(section).to_bytes(_SECTION_LEN_BYTES, "little"))
+        parts.append(section)
+    return b"".join(parts), len(header_bytes)
+
+
+def _read_header(blob: bytes) -> tuple[dict, int, int]:
+    """Parse magic/version/header; returns ``(header, version, pos)``."""
+    version = container_version(blob)
+    pos = len(MAGIC) + _VERSION_BYTES
+    header_len = int.from_bytes(
+        blob[pos : pos + _HEADER_LEN_BYTES], "little"
+    )
+    pos += _HEADER_LEN_BYTES
+    try:
+        header = json.loads(blob[pos : pos + header_len].decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValueError("corrupt container header") from exc
+    if not isinstance(header, dict):
+        raise ValueError("corrupt container header")
+    header["container_version"] = int(version)
+    return header, version, pos + header_len
+
+
+def read_flat(blob: bytes) -> tuple[dict, list[bytes]]:
+    """Split a flat container into its parsed header and raw sections.
+
+    The container version is reported as ``container_version`` in the
+    returned header dict.
+    """
+    if container_version(blob) not in _FLAT_VERSIONS:
+        raise ValueError(
+            f"unsupported container version {container_version(blob)}"
+        )
+    header, _, pos = _read_header(blob)
+    sections: list[bytes] = []
+    for _ in SECTION_NAMES:
+        size = int.from_bytes(
+            blob[pos : pos + _SECTION_LEN_BYTES], "little"
+        )
+        pos += _SECTION_LEN_BYTES
+        sections.append(blob[pos : pos + size])
+        pos += size
+    return header, sections
+
+
+# -- chunked (v3) codes-section framing ----------------------------------------
+
+
+def write_chunked_codes(payloads: Sequence[bytes]) -> bytes:
+    """Frame independently coded blocks into one v3 codes section."""
+    parts = [len(payloads).to_bytes(_CHUNK_COUNT_BYTES, "little")]
+    parts.extend(
+        len(p).to_bytes(_CHUNK_LEN_BYTES, "little") for p in payloads
+    )
+    parts.extend(payloads)
+    return b"".join(parts)
+
+
+def read_chunked_codes(payload: bytes) -> list[bytes]:
+    """Split a v3 codes section back into its block payloads."""
+    if len(payload) < _CHUNK_COUNT_BYTES:
+        raise ValueError("corrupt chunked codes section")
+    n_chunks = int.from_bytes(payload[:_CHUNK_COUNT_BYTES], "little")
+    table_end = _CHUNK_COUNT_BYTES + _CHUNK_LEN_BYTES * n_chunks
+    if n_chunks < 1 or len(payload) < table_end:
+        raise ValueError("corrupt chunked codes section")
+    lengths = [
+        int.from_bytes(
+            payload[
+                _CHUNK_COUNT_BYTES
+                + _CHUNK_LEN_BYTES * i : _CHUNK_COUNT_BYTES
+                + _CHUNK_LEN_BYTES * (i + 1)
+            ],
+            "little",
+        )
+        for i in range(n_chunks)
+    ]
+    blobs: list[bytes] = []
+    pos = table_end
+    for length in lengths:
+        blobs.append(payload[pos : pos + length])
+        pos += length
+    if pos != len(payload):
+        raise ValueError("corrupt chunked codes section")
+    return blobs
+
+
+# -- tiled (v4) containers -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TileRecord:
+    """One tile's byte extent and index-space extent."""
+
+    offset: int
+    size: int
+    start: tuple[int, ...]
+    stop: tuple[int, ...]
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Shape of the tile in index space."""
+        return tuple(b - a for a, b in zip(self.start, self.stop))
+
+    def to_json(self) -> dict:
+        return {
+            "offset": self.offset,
+            "size": self.size,
+            "start": list(self.start),
+            "stop": list(self.stop),
+        }
+
+    @staticmethod
+    def from_json(record: dict) -> "TileRecord":
+        return TileRecord(
+            offset=int(record["offset"]),
+            size=int(record["size"]),
+            start=tuple(int(x) for x in record["start"]),
+            stop=tuple(int(x) for x in record["stop"]),
+        )
+
+
+class TiledWriter:
+    """Streams a v4 tiled container to a binary sink.
+
+    Tiles are appended one at a time (bounded memory); the TOC is
+    written at close.  Use as a context manager or call :meth:`finish`.
+    """
+
+    def __init__(self, sink: BinaryIO, header: dict) -> None:
+        self._fh = sink
+        self._tiles: list[TileRecord] = []
+        self._finished = False
+        try:
+            self._start = sink.tell()
+        except (OSError, AttributeError):
+            self._start = 0  # non-seekable sink: container starts it
+        prelude, _ = self._prelude(header)
+        self._fh.write(prelude)
+        # _pos tracks the sink's absolute position so TOC offsets stay
+        # valid even when the container does not begin at byte 0
+        self._pos = self._start + len(prelude)
+
+    @staticmethod
+    def _prelude(header: dict) -> tuple[bytes, int]:
+        header_bytes = json.dumps(header, sort_keys=True).encode()
+        return (
+            MAGIC
+            + bytes([VERSION_TILED])
+            + len(header_bytes).to_bytes(_HEADER_LEN_BYTES, "little")
+            + header_bytes,
+            len(header_bytes),
+        )
+
+    def add_tile(
+        self,
+        start: Sequence[int],
+        stop: Sequence[int],
+        payload: bytes,
+    ) -> TileRecord:
+        """Append one encoded tile; returns its TOC record."""
+        if self._finished:
+            raise ValueError("writer already finished")
+        record = TileRecord(
+            offset=self._pos,
+            size=len(payload),
+            start=tuple(int(x) for x in start),
+            stop=tuple(int(x) for x in stop),
+        )
+        self._fh.write(payload)
+        self._pos += len(payload)
+        self._tiles.append(record)
+        return record
+
+    @property
+    def tiles(self) -> list[TileRecord]:
+        """Records of the tiles appended so far."""
+        return list(self._tiles)
+
+    @property
+    def bytes_written(self) -> int:
+        """Container bytes written so far (before the TOC)."""
+        return self._pos - self._start
+
+    def finish(self) -> int:
+        """Write the trailing TOC; returns the total container size."""
+        if self._finished:
+            return self._pos - self._start
+        toc = json.dumps(
+            {"tiles": [t.to_json() for t in self._tiles]}
+        ).encode()
+        self._fh.write(toc)
+        self._fh.write(len(toc).to_bytes(_TOC_LEN_BYTES, "little"))
+        self._pos += len(toc) + _TOC_LEN_BYTES
+        self._finished = True
+        return self._pos - self._start
+
+    def __enter__(self) -> "TiledWriter":
+        return self
+
+    def __exit__(self, exc_type: object, *exc_info: object) -> None:
+        if exc_type is None:
+            self.finish()
+
+
+class _ByteSource:
+    """Random-access reads over bytes, a path, or a binary file object.
+
+    ``read_at`` is thread-safe: concurrent tile decodes share one
+    underlying handle, so the seek+read pair must be atomic.
+    """
+
+    def __init__(self, source: bytes | str | os.PathLike | BinaryIO):
+        self._owns = False
+        self._lock = threading.Lock()
+        if isinstance(source, (bytes, bytearray, memoryview)):
+            self._fh: BinaryIO = io.BytesIO(bytes(source))
+            self._owns = True
+        elif isinstance(source, (str, os.PathLike)):
+            self._fh = open(source, "rb")
+            self._owns = True
+        else:
+            self._fh = source
+
+    def read_at(self, offset: int, size: int) -> bytes:
+        with self._lock:
+            self._fh.seek(offset)
+            data = self._fh.read(size)
+        if len(data) != size:
+            raise ValueError("truncated container")
+        return data
+
+    def size(self) -> int:
+        with self._lock:
+            self._fh.seek(0, os.SEEK_END)
+            return self._fh.tell()
+
+    def close(self) -> None:
+        if self._owns:
+            self._fh.close()
+
+
+class TiledReader:
+    """Random-access reader over a v4 tiled container.
+
+    Accepts a ``bytes`` blob, a filesystem path, or an open binary file;
+    only the header, the TOC and explicitly requested tiles are ever
+    read, so region decodes touch a fraction of the file.
+    """
+
+    def __init__(self, source: bytes | str | os.PathLike | BinaryIO):
+        self._src = _ByteSource(source)
+        total = self._src.size()
+        head_len = len(MAGIC) + _VERSION_BYTES + _HEADER_LEN_BYTES
+        if total < head_len + _TOC_LEN_BYTES:
+            raise ValueError("truncated container")
+        head = self._src.read_at(0, head_len)
+        if head[: len(MAGIC)] != MAGIC:
+            raise ValueError("not an RQSZ container")
+        if head[len(MAGIC)] != VERSION_TILED:
+            raise ValueError(
+                f"not a tiled container (version {head[len(MAGIC)]})"
+            )
+        header_len = int.from_bytes(head[-_HEADER_LEN_BYTES:], "little")
+        try:
+            self.header: dict = json.loads(
+                self._src.read_at(head_len, header_len).decode()
+            )
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValueError("corrupt container header") from exc
+        if not isinstance(self.header, dict):
+            raise ValueError("corrupt container header")
+        self.header["container_version"] = VERSION_TILED
+
+        toc_len = int.from_bytes(
+            self._src.read_at(total - _TOC_LEN_BYTES, _TOC_LEN_BYTES),
+            "little",
+        )
+        toc_start = total - _TOC_LEN_BYTES - toc_len
+        if toc_len <= 0 or toc_start < head_len + header_len:
+            raise ValueError("corrupt tile TOC")
+        try:
+            toc = json.loads(self._src.read_at(toc_start, toc_len).decode())
+            self.tiles: list[TileRecord] = [
+                TileRecord.from_json(t) for t in toc["tiles"]
+            ]
+        except (UnicodeDecodeError, json.JSONDecodeError, KeyError, TypeError) as exc:
+            raise ValueError("corrupt tile TOC") from exc
+
+    def read_tile(self, record: TileRecord) -> bytes:
+        """Read one tile's payload (a flat v2/v3 container)."""
+        return self._src.read_at(record.offset, record.size)
+
+    def close(self) -> None:
+        self._src.close()
+
+    def __enter__(self) -> "TiledReader":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,291 @@
+"""Composable pipeline stages: transform → predict/quantize → entropy.
+
+:class:`~repro.compressor.sz.SZCompressor` is a thin facade over three
+stage objects, each behind a small interface so alternatives can be
+swapped in without touching the facade or the container layer:
+
+* :class:`TransformStage` — an invertible pre-transform of the raw
+  values (the PW_REL log transform, or the identity);
+* :class:`PredictionStage` — turns the (transformed) array into integer
+  quantization codes plus outliers, and back;
+* :class:`EntropyStage` — losslessly encodes the code stream, either as
+  one payload (v2) or as independently coded fixed-size blocks (v3)
+  that encode/decode in parallel across a thread pool.
+
+Container serialization is *not* a stage object: the byte formats live
+in :mod:`repro.compressor.container` and the facade calls them directly.
+"""
+
+from __future__ import annotations
+
+import abc
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compressor import container
+from repro.compressor.config import CompressionConfig, ErrorBoundMode
+from repro.compressor.encoders.huffman import HuffmanEncoder
+from repro.compressor.encoders.lossless import get_lossless_backend
+from repro.compressor.predictors import make_predictor
+from repro.compressor.predictors.base import PredictorOutput
+from repro.compressor.transform import inverse_log_transform, log_transform
+from repro.utils.timer import StageTimes, Timer
+
+__all__ = [
+    "TransformStage",
+    "PwRelLogTransform",
+    "PredictionStage",
+    "PredictorStage",
+    "EntropyStage",
+    "HuffmanEntropyStage",
+    "EncodedCodes",
+]
+
+
+# -- transform stage -----------------------------------------------------------
+
+
+class TransformStage(abc.ABC):
+    """Invertible value-domain transform applied before prediction."""
+
+    @abc.abstractmethod
+    def forward(
+        self, data: np.ndarray, config: CompressionConfig
+    ) -> tuple[np.ndarray, dict, bytes]:
+        """Transform *data*; returns ``(work, meta, signs_payload)``.
+
+        ``meta`` is recorded in the container header under
+        ``"transform"``; ``signs_payload`` is stored as its own section.
+        """
+
+    @abc.abstractmethod
+    def inverse(
+        self, work: np.ndarray, header: dict, signs_payload: bytes
+    ) -> np.ndarray:
+        """Invert :meth:`forward` using the stored header/payload."""
+
+
+class PwRelLogTransform(TransformStage):
+    """Log transform for PW_REL mode; identity for ABS/REL.
+
+    Liang et al. (CLUSTER'18): a point-wise relative bound becomes an
+    absolute bound in log space.
+    """
+
+    def forward(
+        self, data: np.ndarray, config: CompressionConfig
+    ) -> tuple[np.ndarray, dict, bytes]:
+        if config.mode is not ErrorBoundMode.PW_REL:
+            return np.asarray(data, dtype=np.float64), {}, b""
+        return log_transform(data)
+
+    def inverse(
+        self, work: np.ndarray, header: dict, signs_payload: bytes
+    ) -> np.ndarray:
+        if not header.get("transform", {}).get("pw_rel"):
+            return work
+        shape = tuple(header["shape"]) or (1,)
+        return inverse_log_transform(work, shape, signs_payload)
+
+
+# -- prediction/quantization stage ---------------------------------------------
+
+
+class PredictionStage(abc.ABC):
+    """Decompose values into quantization codes + outliers, and back."""
+
+    @abc.abstractmethod
+    def decompose(
+        self, work: np.ndarray, config: CompressionConfig, abs_eb: float
+    ) -> PredictorOutput:
+        """Predict + quantize *work* under the absolute bound."""
+
+    @abc.abstractmethod
+    def reconstruct(
+        self,
+        output: PredictorOutput,
+        shape: tuple[int, ...],
+        abs_eb: float,
+        config: CompressionConfig,
+    ) -> np.ndarray:
+        """Invert :meth:`decompose` (returns ``float64``)."""
+
+
+class PredictorStage(PredictionStage):
+    """Dispatches to the configured predictor (Lorenzo/interp/regression)."""
+
+    @staticmethod
+    def make_predictor(config: CompressionConfig):
+        """Instantiate the predictor the config names."""
+        if config.predictor == "lorenzo":
+            return make_predictor("lorenzo", order=config.lorenzo_levels)
+        if config.predictor == "interpolation":
+            return make_predictor("interpolation")
+        return make_predictor("regression", block=config.regression_block)
+
+    def decompose(
+        self, work: np.ndarray, config: CompressionConfig, abs_eb: float
+    ) -> PredictorOutput:
+        predictor = self.make_predictor(config)
+        return predictor.decompose(work, abs_eb, config.quant_radius)
+
+    def reconstruct(
+        self,
+        output: PredictorOutput,
+        shape: tuple[int, ...],
+        abs_eb: float,
+        config: CompressionConfig,
+    ) -> np.ndarray:
+        predictor = self.make_predictor(config)
+        return predictor.reconstruct(output, shape, abs_eb)
+
+
+# -- entropy-coding stage ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EncodedCodes:
+    """Encoded code stream plus the accounting the measurements need."""
+
+    payload: bytes
+    huffman_only: int
+    n_chunks: int
+
+    @property
+    def chunked(self) -> bool:
+        """True when the payload uses the v3 chunked framing."""
+        return self.n_chunks > 0
+
+
+class EntropyStage(abc.ABC):
+    """Lossless coding of the quantization-code stream."""
+
+    @abc.abstractmethod
+    def encode(
+        self,
+        codes: np.ndarray,
+        config: CompressionConfig,
+        times: StageTimes | None = None,
+    ) -> EncodedCodes:
+        """Encode *codes*; chunked framing when the config asks for it."""
+
+    @abc.abstractmethod
+    def decode(
+        self,
+        payload: bytes,
+        config: CompressionConfig,
+        chunked: bool,
+        workers: int | None = None,
+    ) -> np.ndarray:
+        """Invert :meth:`encode` back to the flat ``int64`` code stream."""
+
+
+class HuffmanEntropyStage(EntropyStage):
+    """Huffman + optional lossless back-end, with parallel v3 blocks.
+
+    ``workers`` sets the default thread-pool width for chunked payloads;
+    ``decode`` may override it per call.
+    """
+
+    def __init__(self, workers: int | None = None) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be a positive integer or None")
+        self._huffman = HuffmanEncoder()
+        self._workers = workers or 1
+
+    @property
+    def workers(self) -> int:
+        """Default thread-pool width."""
+        return self._workers
+
+    def encode(
+        self,
+        codes: np.ndarray,
+        config: CompressionConfig,
+        times: StageTimes | None = None,
+    ) -> EncodedCodes:
+        times = times if times is not None else StageTimes()
+        chunk = config.chunk_size
+        if not chunk or codes.size <= chunk:
+            with Timer() as t:
+                huffman_payload = self._huffman.encode(codes)
+            times.add("huffman", t.elapsed)
+            payload = huffman_payload
+            if config.lossless is not None:
+                with Timer() as t:
+                    backend = get_lossless_backend(config.lossless)
+                    payload = backend.compress(huffman_payload)
+                times.add("lossless", t.elapsed)
+            return EncodedCodes(payload, len(huffman_payload), 0)
+
+        backend = (
+            get_lossless_backend(config.lossless)
+            if config.lossless is not None
+            else None
+        )
+
+        def encode_block(block: np.ndarray) -> tuple[bytes, int]:
+            huffman_payload = self._huffman.encode(block)
+            payload = (
+                backend.compress(huffman_payload)
+                if backend is not None
+                else huffman_payload
+            )
+            return payload, len(huffman_payload)
+
+        blocks = [
+            codes[lo : lo + chunk] for lo in range(0, codes.size, chunk)
+        ]
+        with Timer() as t:
+            if self._workers > 1:
+                with ThreadPoolExecutor(
+                    max_workers=min(self._workers, len(blocks))
+                ) as pool:
+                    encoded = list(pool.map(encode_block, blocks))
+            else:
+                encoded = [encode_block(b) for b in blocks]
+        times.add("encode_chunks", t.elapsed)
+
+        payload = container.write_chunked_codes(
+            [p for p, _ in encoded]
+        )
+        huffman_only = sum(h for _, h in encoded)
+        return EncodedCodes(payload, huffman_only, len(encoded))
+
+    def decode(
+        self,
+        payload: bytes,
+        config: CompressionConfig,
+        chunked: bool,
+        workers: int | None = None,
+    ) -> np.ndarray:
+        if not chunked:
+            return self._huffman.decode(
+                self._unwrap_lossless(payload, config)
+            )
+        blobs = container.read_chunked_codes(payload)
+
+        def decode_block(blob: bytes) -> np.ndarray:
+            return self._huffman.decode(
+                self._unwrap_lossless(blob, config)
+            )
+
+        effective = workers if workers is not None else self._workers
+        if effective > 1 and len(blobs) > 1:
+            with ThreadPoolExecutor(
+                max_workers=min(effective, len(blobs))
+            ) as pool:
+                parts = list(pool.map(decode_block, blobs))
+        else:
+            parts = [decode_block(b) for b in blobs]
+        return np.concatenate(parts)
+
+    @staticmethod
+    def _unwrap_lossless(
+        payload: bytes, config: CompressionConfig
+    ) -> bytes:
+        if config.lossless is None:
+            return payload
+        return get_lossless_backend(config.lossless).decompress(payload)

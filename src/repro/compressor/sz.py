@@ -1,27 +1,24 @@
 """The end-to-end prediction-based lossy compressor (SZ3-like pipeline).
 
-Pipeline: (optional log transform for PW_REL) -> predictor + linear-scaling
-quantization -> Huffman coding of the quantization codes -> optional
-lossless stage -> self-describing container.  Decompression inverts every
-stage and, by construction, honours the configured error bound.
+:class:`SZCompressor` is a facade over the staged pipeline in
+:mod:`repro.compressor.stages`::
 
-The container format (little-endian):
+    transform → predict/quantize → entropy-encode → container
 
-``b"RQSZ" | version:u8 | header_len:u32 | header JSON | sections``
+Each stage sits behind a small interface (:class:`TransformStage`,
+:class:`PredictionStage`, :class:`EntropyStage`) and can be swapped via
+the constructor; the byte formats live in
+:mod:`repro.compressor.container`.  Decompression inverts every stage
+and, by construction, honours the configured error bound.
 
-where each section is ``length:u64 | bytes`` and the header records the
-section order.  Sections: Huffman/lossless code payload, outlier
-positions, outlier values, predictor side payload, PW_REL sign payload.
-
-Two container versions are written:
-
-* **v2** — the code stream is one Huffman(+lossless) payload.
-* **v3** — written when ``config.chunk_size`` is set and the stream
-  exceeds it: the code stream is split into fixed-size blocks, each
-  independently Huffman(+lossless) coded.  The codes section becomes
-  ``n_chunks:u32 | chunk_len:u64 ... | chunk payloads``.  Blocks are
-  mutually independent, so they encode and decode in parallel when the
-  compressor is constructed with ``workers > 1``.
+Two flat container versions are written (see :mod:`container` for the
+layouts): **v2** with a single Huffman(+lossless) code payload, and
+**v3** — written when ``config.chunk_size`` is set and the stream
+exceeds it — whose code stream is split into fixed-size blocks that
+encode and decode in parallel when the compressor is constructed with
+``workers > 1``.  The tiled **v4** container is produced by
+:class:`repro.compressor.tiled.TiledCompressor`, which drives this
+facade per tile.
 
 Degenerate inputs take a trivial container: empty arrays round-trip to
 the correct shape/dtype, and constant fields under ``REL`` mode (whose
@@ -31,26 +28,25 @@ single value and reconstruct exactly.  Both still carry the full header.
 
 from __future__ import annotations
 
-import json
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.compressor import container
 from repro.compressor.config import CompressionConfig, ErrorBoundMode
-from repro.compressor.encoders.huffman import HuffmanEncoder
-from repro.compressor.encoders.lossless import get_lossless_backend
-from repro.compressor.predictors import make_predictor
 from repro.compressor.predictors.base import PredictorOutput
-from repro.compressor.transform import inverse_log_transform, log_transform
+from repro.compressor.stages import (
+    EncodedCodes,
+    EntropyStage,
+    HuffmanEntropyStage,
+    PredictionStage,
+    PredictorStage,
+    PwRelLogTransform,
+    TransformStage,
+)
 from repro.utils.timer import StageTimes, Timer
 
 __all__ = ["SZCompressor", "CompressionResult", "StageSizes"]
-
-_MAGIC = b"RQSZ"
-_VERSION = 2
-_VERSION_CHUNKED = 3
-_SUPPORTED_VERSIONS = (_VERSION, _VERSION_CHUNKED)
 
 
 @dataclass(frozen=True)
@@ -66,13 +62,9 @@ class StageSizes:
 
     @property
     def total(self) -> int:
-        """Container size in bytes."""
+        """Container size in bytes, derived from the writer's layout."""
         return (
-            len(_MAGIC)
-            + 1
-            + 4
-            + self.header
-            + 5 * 8
+            container.flat_overhead(self.header)
             + self.codes
             + self.outliers
             + self.side
@@ -123,18 +115,28 @@ class CompressionResult:
 
 
 class SZCompressor:
-    """Facade bundling predictors, quantization and encoders.
+    """Facade composing the transform, prediction and entropy stages.
 
     ``workers`` sets the default parallelism for chunked (v3) containers:
     blocks are encoded/decoded through a ``concurrent.futures`` thread
-    pool.  ``None`` or 1 keeps everything on the calling thread.
+    pool.  ``None`` or 1 keeps everything on the calling thread.  Pass
+    alternative stage implementations to swap parts of the pipeline.
     """
 
-    def __init__(self, workers: int | None = None) -> None:
+    def __init__(
+        self,
+        workers: int | None = None,
+        *,
+        transform: TransformStage | None = None,
+        prediction: PredictionStage | None = None,
+        entropy: EntropyStage | None = None,
+    ) -> None:
         if workers is not None and workers < 1:
             raise ValueError("workers must be a positive integer or None")
-        self._huffman = HuffmanEncoder()
         self._workers = workers or 1
+        self._transform = transform or PwRelLogTransform()
+        self._prediction = prediction or PredictorStage()
+        self._entropy = entropy or HuffmanEntropyStage(workers=workers)
 
     # -- public API ------------------------------------------------------------
 
@@ -153,7 +155,7 @@ class SZCompressor:
             return self._trivial_result(data, config, times)
 
         with Timer() as t:
-            work, transform_meta, signs_payload = self._forward_transform(
+            work, transform_meta, signs_payload = self._transform.forward(
                 core, config
             )
             abs_eb = config.absolute_bound(core)
@@ -166,14 +168,11 @@ class SZCompressor:
                 data, config, times, constant=float(core.flat[0])
             )
 
-        predictor = self._make_predictor(config)
         with Timer() as t:
-            output = predictor.decompose(work, abs_eb, config.quant_radius)
+            output = self._prediction.decompose(work, config, abs_eb)
         times.add("predict_quantize", t.elapsed)
 
-        codes_payload, huffman_only, n_chunks = self._encode_codes(
-            output.codes, config, times
-        )
+        encoded = self._entropy.encode(output.codes, config, times)
 
         p0 = (
             float(np.count_nonzero(output.codes == 0) / output.codes.size)
@@ -186,11 +185,9 @@ class SZCompressor:
                 config,
                 abs_eb,
                 output,
-                codes_payload,
-                huffman_only,
+                encoded,
                 transform_meta,
                 signs_payload,
-                n_chunks=n_chunks,
             )
         times.add("serialize", t.elapsed)
 
@@ -225,12 +222,12 @@ class SZCompressor:
         config = self._config_from_header(header)
         codes_payload, pos_b, val_b, side, signs = sections
 
-        if version == _VERSION_CHUNKED:
-            codes = self._decode_chunked(codes_payload, config, workers)
-        else:
-            codes = self._huffman.decode(
-                self._unwrap_lossless(codes_payload, config)
-            )
+        codes = self._entropy.decode(
+            codes_payload,
+            config,
+            chunked=version == container.VERSION_CHUNKED,
+            workers=workers,
+        )
 
         out_dtype = np.int64 if header["outlier_kind"] == "codes" else np.float64
         output = PredictorOutput(
@@ -240,10 +237,11 @@ class SZCompressor:
             side_payload=side,
             meta=header["predictor_meta"],
         )
-        predictor = self._make_predictor(config)
         core_shape = shape if shape else (1,)
-        work = predictor.reconstruct(output, core_shape, header["abs_eb"])
-        data = self._inverse_transform(work, header, signs)
+        work = self._prediction.reconstruct(
+            output, core_shape, header["abs_eb"], config
+        )
+        data = self._transform.inverse(work, header, signs)
         return data.reshape(shape).astype(dtype)
 
     def roundtrip(
@@ -253,106 +251,19 @@ class SZCompressor:
         result = self.compress(data, config)
         return result, self.decompress(result.blob)
 
-    # -- chunked code stream ---------------------------------------------------
-
-    def _encode_codes(
-        self, codes: np.ndarray, config: CompressionConfig, times: StageTimes
-    ) -> tuple[bytes, int, int]:
-        """Encode the quantization codes; returns ``(payload, huffman_only,
-        n_chunks)`` with ``n_chunks == 0`` for the single-stream v2 layout."""
-        chunk = config.chunk_size
-        if not chunk or codes.size <= chunk:
-            with Timer() as t:
-                huffman_payload = self._huffman.encode(codes)
-            times.add("huffman", t.elapsed)
-            codes_payload = huffman_payload
-            if config.lossless is not None:
-                with Timer() as t:
-                    backend = get_lossless_backend(config.lossless)
-                    codes_payload = backend.compress(huffman_payload)
-                times.add("lossless", t.elapsed)
-            return codes_payload, len(huffman_payload), 0
-
-        backend = (
-            get_lossless_backend(config.lossless)
-            if config.lossless is not None
-            else None
-        )
-
-        def encode_block(block: np.ndarray) -> tuple[bytes, int]:
-            huffman_payload = self._huffman.encode(block)
-            payload = (
-                backend.compress(huffman_payload)
-                if backend is not None
-                else huffman_payload
-            )
-            return payload, len(huffman_payload)
-
-        blocks = [
-            codes[lo : lo + chunk] for lo in range(0, codes.size, chunk)
-        ]
-        with Timer() as t:
-            if self._workers > 1:
-                with ThreadPoolExecutor(
-                    max_workers=min(self._workers, len(blocks))
-                ) as pool:
-                    encoded = list(pool.map(encode_block, blocks))
-            else:
-                encoded = [encode_block(b) for b in blocks]
-        times.add("encode_chunks", t.elapsed)
-
-        parts = [len(encoded).to_bytes(4, "little")]
-        parts.extend(
-            len(payload).to_bytes(8, "little") for payload, _ in encoded
-        )
-        parts.extend(payload for payload, _ in encoded)
-        huffman_only = sum(h for _, h in encoded)
-        return b"".join(parts), huffman_only, len(encoded)
+    # -- compatibility shims ---------------------------------------------------
 
     def _decode_chunked(
         self, payload: bytes, config: CompressionConfig, workers: int | None
     ) -> np.ndarray:
         """Decode a v3 chunked codes section back to one code stream."""
-        if len(payload) < 4:
-            raise ValueError("corrupt chunked codes section")
-        n_chunks = int.from_bytes(payload[:4], "little")
-        table_end = 4 + 8 * n_chunks
-        if n_chunks < 1 or len(payload) < table_end:
-            raise ValueError("corrupt chunked codes section")
-        lengths = [
-            int.from_bytes(payload[4 + 8 * i : 12 + 8 * i], "little")
-            for i in range(n_chunks)
-        ]
-        blobs: list[bytes] = []
-        pos = table_end
-        for length in lengths:
-            blobs.append(payload[pos : pos + length])
-            pos += length
-        if pos != len(payload):
-            raise ValueError("corrupt chunked codes section")
-
-        def decode_block(blob: bytes) -> np.ndarray:
-            return self._huffman.decode(
-                self._unwrap_lossless(blob, config)
-            )
-
-        effective = workers if workers is not None else self._workers
-        if effective > 1 and n_chunks > 1:
-            with ThreadPoolExecutor(
-                max_workers=min(effective, n_chunks)
-            ) as pool:
-                parts = list(pool.map(decode_block, blobs))
-        else:
-            parts = [decode_block(b) for b in blobs]
-        return np.concatenate(parts)
+        return self._entropy.decode(
+            payload, config, chunked=True, workers=workers
+        )
 
     @staticmethod
-    def _unwrap_lossless(
-        payload: bytes, config: CompressionConfig
-    ) -> bytes:
-        if config.lossless is None:
-            return payload
-        return get_lossless_backend(config.lossless).decompress(payload)
+    def _make_predictor(config: CompressionConfig):
+        return PredictorStage.make_predictor(config)
 
     # -- trivial containers ----------------------------------------------------
 
@@ -372,7 +283,14 @@ class SZCompressor:
         extra = {} if constant is None else {"constant": constant}
         with Timer() as t:
             blob, sizes = self._assemble(
-                data, config, 0.0, output, b"", 0, {}, b"", extra_header=extra
+                data,
+                config,
+                0.0,
+                output,
+                EncodedCodes(b"", 0, 0),
+                {},
+                b"",
+                extra_header=extra,
             )
         times.add("serialize", t.elapsed)
         return CompressionResult(
@@ -385,36 +303,7 @@ class SZCompressor:
             times=times,
         )
 
-    # -- transforms ------------------------------------------------------------
-
-    @staticmethod
-    def _forward_transform(
-        data: np.ndarray, config: CompressionConfig
-    ) -> tuple[np.ndarray, dict, bytes]:
-        """Apply the PW_REL log transform when configured."""
-        if config.mode is not ErrorBoundMode.PW_REL:
-            return np.asarray(data, dtype=np.float64), {}, b""
-        return log_transform(data)
-
-    @staticmethod
-    def _inverse_transform(
-        work: np.ndarray, header: dict, signs_payload: bytes
-    ) -> np.ndarray:
-        """Invert :meth:`_forward_transform`."""
-        if not header.get("transform", {}).get("pw_rel"):
-            return work
-        shape = tuple(header["shape"]) or (1,)
-        return inverse_log_transform(work, shape, signs_payload)
-
-    # -- helpers ------------------------------------------------------------
-
-    @staticmethod
-    def _make_predictor(config: CompressionConfig):
-        if config.predictor == "lorenzo":
-            return make_predictor("lorenzo", order=config.lorenzo_levels)
-        if config.predictor == "interpolation":
-            return make_predictor("interpolation")
-        return make_predictor("regression", block=config.regression_block)
+    # -- container assembly ----------------------------------------------------
 
     def _assemble(
         self,
@@ -422,11 +311,9 @@ class SZCompressor:
         config: CompressionConfig,
         abs_eb: float,
         output: PredictorOutput,
-        codes_payload: bytes,
-        huffman_only_bytes: int,
+        encoded: EncodedCodes,
         transform_meta: dict,
         signs_payload: bytes,
-        n_chunks: int = 0,
         extra_header: dict | None = None,
     ) -> tuple[bytes, StageSizes]:
         outlier_kind = (
@@ -450,28 +337,25 @@ class SZCompressor:
         }
         if extra_header:
             header.update(extra_header)
-        header_bytes = json.dumps(header, sort_keys=True).encode()
         pos_b = output.outlier_positions.astype(np.int64).tobytes()
         val_b = output.outlier_values.tobytes()
         sections = [
-            codes_payload,
+            encoded.payload,
             pos_b,
             val_b,
             output.side_payload,
             signs_payload,
         ]
-        version = _VERSION_CHUNKED if n_chunks else _VERSION
-        parts = [_MAGIC, bytes([version])]
-        parts.append(len(header_bytes).to_bytes(4, "little"))
-        parts.append(header_bytes)
-        for section in sections:
-            parts.append(len(section).to_bytes(8, "little"))
-            parts.append(section)
-        blob = b"".join(parts)
+        version = (
+            container.VERSION_CHUNKED
+            if encoded.chunked
+            else container.VERSION_SINGLE
+        )
+        blob, header_len = container.write_flat(header, sections, version)
         sizes = StageSizes(
-            header=len(header_bytes),
-            codes=len(codes_payload),
-            huffman_only=huffman_only_bytes,
+            header=header_len,
+            codes=len(encoded.payload),
+            huffman_only=encoded.huffman_only,
             outliers=len(pos_b) + len(val_b),
             side=len(output.side_payload),
             signs=len(signs_payload),
@@ -480,34 +364,12 @@ class SZCompressor:
 
     @staticmethod
     def _disassemble(blob: bytes) -> tuple[dict, list[bytes]]:
-        """Split a container into its parsed header and raw sections.
+        """Split a flat container into its parsed header and raw sections.
 
         The container version is reported as ``container_version`` in the
         returned header dict.
         """
-        if blob[: len(_MAGIC)] != _MAGIC:
-            raise ValueError("not an RQSZ container")
-        version = blob[len(_MAGIC)]
-        if version not in _SUPPORTED_VERSIONS:
-            raise ValueError(f"unsupported container version {version}")
-        pos = len(_MAGIC) + 1
-        header_len = int.from_bytes(blob[pos : pos + 4], "little")
-        pos += 4
-        try:
-            header = json.loads(blob[pos : pos + header_len].decode())
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise ValueError("corrupt container header") from exc
-        if not isinstance(header, dict):
-            raise ValueError("corrupt container header")
-        header["container_version"] = int(version)
-        pos += header_len
-        sections: list[bytes] = []
-        for _ in range(5):
-            size = int.from_bytes(blob[pos : pos + 8], "little")
-            pos += 8
-            sections.append(blob[pos : pos + size])
-            pos += size
-        return header, sections
+        return container.read_flat(blob)
 
     @staticmethod
     def _config_from_header(header: dict) -> CompressionConfig:

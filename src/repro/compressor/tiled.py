@@ -1,0 +1,499 @@
+"""Tiled out-of-core compression with region-of-interest decode.
+
+:class:`TiledCompressor` splits an N-d field into tiles (configurable
+``config.tile_shape``), drives the flat :class:`SZCompressor` pipeline
+once per tile, and writes the v4 tiled container described in
+:mod:`repro.compressor.container`.  Because tiles are encoded one batch
+at a time and streamed straight to the sink, peak memory is bounded by
+a few tiles — the input may be a ``np.memmap``/``np.load(mmap_mode=...)``
+array far larger than RAM.  Tiles are mutually independent, so a batch
+encodes in parallel across a thread pool (``workers``).
+
+Reading is random-access: :meth:`TiledCompressor.decompress_region`
+seeks to, reads and decodes *only* the tiles intersecting the requested
+hyperslab — the access pattern HDF5+H5Z-SZ deployments serve.  The
+``tiles_decoded`` / ``last_tiles_decoded`` counters expose exactly how
+many tiles each call touched.
+
+Error-bound semantics match the flat pipeline exactly:
+
+* ``ABS`` and ``PW_REL`` bounds are data-independent (the latter in log
+  space), so tiles compress under the user's config directly;
+* ``REL`` scales the bound by the *global* value range, which a first
+  streaming min/max pass resolves before any tile is encoded — a naive
+  per-tile range would silently tighten or loosen the bound per tile.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import BinaryIO, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.compressor import container
+from repro.compressor.config import CompressionConfig, ErrorBoundMode
+from repro.compressor.container import TiledReader, TiledWriter, TileRecord
+from repro.compressor.sz import SZCompressor
+from repro.utils.timer import StageTimes, Timer
+
+__all__ = [
+    "TiledCompressor",
+    "TiledResult",
+    "iter_tiles",
+    "tile_grid",
+    "normalize_region",
+    "intersect_extent",
+]
+
+
+# -- tile / region geometry ----------------------------------------------------
+
+
+def tile_grid(
+    shape: Sequence[int], tile_shape: Sequence[int]
+) -> tuple[int, ...]:
+    """Number of tiles along each axis (ceiling division)."""
+    if len(tile_shape) != len(shape):
+        raise ValueError(
+            f"tile shape {tuple(tile_shape)} does not match array "
+            f"dimensionality {tuple(shape)}"
+        )
+    if any(t < 1 for t in tile_shape):
+        raise ValueError("tile dimensions must be positive")
+    return tuple((n + t - 1) // t for n, t in zip(shape, tile_shape))
+
+
+def iter_tiles(
+    shape: Sequence[int], tile_shape: Sequence[int]
+) -> Iterator[tuple[tuple[int, ...], tuple[int, ...]]]:
+    """Yield every tile's ``(start, stop)`` extents in C order.
+
+    Edge tiles are clipped to the array bounds, so stops never exceed
+    the shape.
+    """
+    counts = tile_grid(shape, tile_shape)
+    for flat in range(int(np.prod(counts))):
+        idx = np.unravel_index(flat, counts)
+        yield (
+            tuple(int(i * t) for i, t in zip(idx, tile_shape)),
+            tuple(
+                int(min((i + 1) * t, n))
+                for i, t, n in zip(idx, tile_shape, shape)
+            ),
+        )
+
+
+def normalize_region(
+    region: Sequence[slice | int] | slice | int,
+    shape: Sequence[int],
+) -> tuple[slice, ...]:
+    """Resolve *region* to per-axis ``slice(start, stop)`` with step 1.
+
+    Accepts slices (with ``None`` endpoints and negative indices, numpy
+    style) and integers (kept as width-1 slices, so dimensionality is
+    preserved).  Missing trailing axes default to the full extent.
+    """
+    if isinstance(region, (slice, int)):
+        region = (region,)
+    region = tuple(region)
+    if len(region) > len(shape):
+        raise ValueError(
+            f"region has {len(region)} axes but the array has {len(shape)}"
+        )
+    region = region + (slice(None),) * (len(shape) - len(region))
+    out: list[slice] = []
+    for axis, (item, n) in enumerate(zip(region, shape)):
+        if isinstance(item, int):
+            if item < -n or item >= n:
+                raise IndexError(
+                    f"index {item} out of bounds for axis {axis} "
+                    f"with size {n}"
+                )
+            start = item + n if item < 0 else item
+            out.append(slice(start, start + 1))
+            continue
+        if item.step not in (None, 1):
+            raise ValueError("region slices must have step 1")
+        start, stop, _ = item.indices(n)
+        out.append(slice(start, max(start, stop)))
+    return tuple(out)
+
+
+def intersect_extent(
+    start: Sequence[int],
+    stop: Sequence[int],
+    region: Sequence[slice],
+) -> tuple[slice, ...] | None:
+    """Overlap of a tile extent with a normalized region.
+
+    Returns global-coordinate slices of the overlap, or ``None`` when
+    the tile and the region are disjoint.
+    """
+    overlap: list[slice] = []
+    for a, b, r in zip(start, stop, region):
+        lo, hi = max(a, r.start), min(b, r.stop)
+        if lo >= hi:
+            return None
+        overlap.append(slice(lo, hi))
+    return tuple(overlap)
+
+
+# -- results -------------------------------------------------------------------
+
+
+@dataclass
+class TiledResult:
+    """Outcome of one tiled compression run."""
+
+    n_points: int
+    original_bytes: int
+    compressed_bytes: int
+    tile_shape: tuple[int, ...]
+    tiles: list[TileRecord]
+    blob: bytes | None = None
+    times: StageTimes = field(default_factory=StageTimes)
+
+    @property
+    def n_tiles(self) -> int:
+        """Number of tiles in the container."""
+        return len(self.tiles)
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio (original / compressed)."""
+        return self.original_bytes / self.compressed_bytes
+
+    @property
+    def bit_rate(self) -> float:
+        """Bits per data point of the full container."""
+        if self.n_points == 0:
+            return 0.0
+        return 8.0 * self.compressed_bytes / self.n_points
+
+
+# -- the tiled compressor ------------------------------------------------------
+
+
+class TiledCompressor:
+    """Out-of-core tiled front-end over the flat SZ pipeline.
+
+    ``workers`` bounds both the encode parallelism *and* the number of
+    tiles materialized at once, so peak memory stays at a few tiles.
+    ``codec`` swaps the per-tile compressor (any :class:`SZCompressor`-
+    compatible facade).
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        codec: SZCompressor | None = None,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be a positive integer or None")
+        self._workers = workers or 1
+        self._codec = codec or SZCompressor()
+        #: tiles decoded since construction (all decode calls)
+        self.tiles_decoded = 0
+        #: tiles decoded by the most recent decode call
+        self.last_tiles_decoded = 0
+
+    # -- compression -----------------------------------------------------------
+
+    def compress(
+        self,
+        data: np.ndarray,
+        config: CompressionConfig,
+        out: str | os.PathLike | BinaryIO | None = None,
+    ) -> TiledResult:
+        """Tile-compress *data* into a v4 container.
+
+        ``out`` may be a path or binary file object to stream the
+        container to (bounded memory); ``None`` builds the blob in
+        memory and returns it in ``result.blob``.  *data* may be any
+        array-like, including a ``np.memmap`` over a file that does not
+        fit in RAM.
+        """
+        if not hasattr(data, "ndim"):
+            data = np.asarray(data)
+        if data.ndim == 0:
+            raise ValueError(
+                "tiled compression needs at least one dimension; "
+                "use SZCompressor for scalars"
+            )
+        tile_shape = self._resolve_tile_shape(data.shape, config)
+        times = StageTimes()
+
+        with Timer() as t:
+            tile_config, header_extra = self._resolve_tile_config(
+                data, config, tile_shape
+            )
+        times.add("scan", t.elapsed)
+
+        header = {
+            "shape": list(data.shape),
+            "dtype": data.dtype.str,
+            "tile_shape": list(tile_shape),
+            "predictor": config.predictor,
+            "mode": config.mode.value,
+            "error_bound": config.error_bound,
+            "lossless": config.lossless,
+            "chunk_size": config.chunk_size,
+            "quant_radius": config.quant_radius,
+            **header_extra,
+        }
+
+        sink, close_sink = self._open_sink(out)
+        try:
+            writer = TiledWriter(sink, header)
+            with Timer() as t:
+                self._encode_tiles(
+                    data, tile_config, tile_shape, writer, times
+                )
+            times.add("encode_tiles", t.elapsed)
+            total = writer.finish()
+        finally:
+            if close_sink:
+                sink.close()
+
+        blob = sink.getvalue() if isinstance(sink, io.BytesIO) else None
+        return TiledResult(
+            n_points=int(data.size),
+            original_bytes=int(data.nbytes),
+            compressed_bytes=total,
+            tile_shape=tile_shape,
+            tiles=writer.tiles,
+            blob=blob,
+            times=times,
+        )
+
+    def _encode_tiles(
+        self,
+        data: np.ndarray,
+        tile_config: CompressionConfig,
+        tile_shape: tuple[int, ...],
+        writer: TiledWriter,
+        times: StageTimes,
+    ) -> None:
+        """Encode tiles batch-by-batch; at most ``workers`` tiles live."""
+
+        def encode(extent: tuple[tuple[int, ...], tuple[int, ...]]) -> bytes:
+            start, stop = extent
+            slc = tuple(slice(a, b) for a, b in zip(start, stop))
+            tile = np.ascontiguousarray(data[slc])
+            return self._codec.compress(tile, tile_config).blob
+
+        pool = (
+            ThreadPoolExecutor(max_workers=self._workers)
+            if self._workers > 1
+            else None
+        )
+        try:
+            for batch in _batched(
+                iter_tiles(data.shape, tile_shape), max(self._workers, 1)
+            ):
+                payloads = (
+                    list(pool.map(encode, batch))
+                    if pool is not None
+                    else [encode(extent) for extent in batch]
+                )
+                with Timer() as t:
+                    for (start, stop), payload in zip(batch, payloads):
+                        writer.add_tile(start, stop, payload)
+                times.add("io", t.elapsed)
+        finally:
+            if pool is not None:
+                pool.shutdown()
+
+    @staticmethod
+    def _resolve_tile_shape(
+        shape: tuple[int, ...], config: CompressionConfig
+    ) -> tuple[int, ...]:
+        tile_shape = config.tile_shape
+        if tile_shape is None:
+            # default: one tile covering the array (still a valid v4
+            # container, just without partial-decode benefits)
+            return tuple(max(1, n) for n in shape)
+        tile_grid(shape, tile_shape)  # validates rank/positivity
+        return tuple(
+            int(max(1, min(t, n))) for t, n in zip(tile_shape, shape)
+        )
+
+    def _resolve_tile_config(
+        self,
+        data: np.ndarray,
+        config: CompressionConfig,
+        tile_shape: tuple[int, ...],
+    ) -> tuple[CompressionConfig, dict]:
+        """Per-tile config with data-independent bound, plus header extras."""
+        base = replace(config, tile_shape=None)
+        if config.mode is not ErrorBoundMode.REL or data.size == 0:
+            return base, {}
+        # REL: one streaming pass over the tiles resolves the global
+        # value range without materializing the array.
+        lo, hi = np.inf, -np.inf
+        for start, stop in iter_tiles(data.shape, tile_shape):
+            tile = data[tuple(slice(a, b) for a, b in zip(start, stop))]
+            lo = min(lo, float(np.min(tile)))
+            hi = max(hi, float(np.max(tile)))
+        abs_eb = config.error_bound * (hi - lo)
+        if abs_eb <= 0:
+            # constant field: every tile is constant too; the per-tile
+            # REL path stores each as an exact trivial container.
+            return base, {"value_range": [lo, hi]}
+        return (
+            replace(base, mode=ErrorBoundMode.ABS, error_bound=abs_eb),
+            {"value_range": [lo, hi]},
+        )
+
+    @staticmethod
+    def _open_sink(
+        out: str | os.PathLike | BinaryIO | None,
+    ) -> tuple[BinaryIO, bool]:
+        if out is None:
+            return io.BytesIO(), False
+        if isinstance(out, (str, os.PathLike)):
+            return open(out, "wb"), True
+        return out, False
+
+    # -- decompression ---------------------------------------------------------
+
+    def decompress(
+        self,
+        source: bytes | str | os.PathLike | BinaryIO,
+        workers: int | None = None,
+    ) -> np.ndarray:
+        """Decode a full array from a v4 container (or flat v2/v3 blob)."""
+        flat = self._as_flat_blob(source)
+        if flat is not None:
+            return self._codec.decompress(flat, workers=workers)
+        with TiledReader(source) as reader:
+            shape = tuple(reader.header["shape"])
+            region = tuple(slice(0, n) for n in shape)
+            return self._decode_tiles(reader, region, workers)
+
+    def decompress_region(
+        self,
+        source: bytes | str | os.PathLike | BinaryIO,
+        region: Sequence[slice | int] | slice | int,
+        workers: int | None = None,
+    ) -> np.ndarray:
+        """Decode only the hyperslab *region*.
+
+        Only the tiles intersecting the region are read from the source
+        and decoded (see ``last_tiles_decoded``).  The result has the
+        region's shape; an empty intersection yields an empty array.
+        Flat v2/v3 blobs are supported via a full decode + slice.
+        """
+        flat = self._as_flat_blob(source)
+        if flat is not None:
+            data = self._codec.decompress(flat, workers=workers)
+            self.last_tiles_decoded = 1
+            self.tiles_decoded += 1
+            return np.ascontiguousarray(
+                data[normalize_region(region, data.shape)]
+            )
+        with TiledReader(source) as reader:
+            shape = tuple(reader.header["shape"])
+            return self._decode_tiles(
+                reader, normalize_region(region, shape), workers
+            )
+
+    def _decode_tiles(
+        self,
+        reader: TiledReader,
+        region: tuple[slice, ...],
+        workers: int | None,
+    ) -> np.ndarray:
+        dtype = np.dtype(reader.header["dtype"])
+        out_shape = tuple(r.stop - r.start for r in region)
+        out = np.zeros(out_shape, dtype=dtype)
+        hits = [
+            (record, overlap)
+            for record in reader.tiles
+            for overlap in [
+                intersect_extent(record.start, record.stop, region)
+            ]
+            if overlap is not None
+        ]
+
+        def decode(
+            hit: tuple[TileRecord, tuple[slice, ...]]
+        ) -> tuple[TileRecord, tuple[slice, ...], np.ndarray]:
+            record, overlap = hit
+            tile = self._codec.decompress(reader.read_tile(record))
+            return record, overlap, tile
+
+        effective = workers if workers is not None else self._workers
+        if effective > 1 and len(hits) > 1:
+            with ThreadPoolExecutor(
+                max_workers=min(effective, len(hits))
+            ) as pool:
+                decoded: Iterable = pool.map(decode, hits)
+                decoded = list(decoded)
+        else:
+            decoded = [decode(h) for h in hits]
+
+        for record, overlap, tile in decoded:
+            # overlap is in global coordinates; shift into the tile's
+            # local frame and the output region's frame
+            tile_slc = tuple(
+                slice(o.start - a, o.stop - a)
+                for o, a in zip(overlap, record.start)
+            )
+            out_slc = tuple(
+                slice(o.start - r.start, o.stop - r.start)
+                for o, r in zip(overlap, region)
+            )
+            out[out_slc] = tile[tile_slc]
+
+        self.last_tiles_decoded = len(hits)
+        self.tiles_decoded += len(hits)
+        return out
+
+    @staticmethod
+    def _as_flat_blob(
+        source: bytes | str | os.PathLike | BinaryIO,
+    ) -> bytes | None:
+        """Return the full blob when *source* is a flat v2/v3 container."""
+        if isinstance(source, (bytes, bytearray, memoryview)):
+            blob = bytes(source)
+            if container.container_version(blob) != container.VERSION_TILED:
+                return blob
+            return None
+        if isinstance(source, (str, os.PathLike)):
+            with open(source, "rb") as fh:
+                head = fh.read(len(container.MAGIC) + 1)
+                if (
+                    len(head) > len(container.MAGIC)
+                    and head[: len(container.MAGIC)] == container.MAGIC
+                    and head[len(container.MAGIC)]
+                    != container.VERSION_TILED
+                ):
+                    return head + fh.read()
+            return None
+        pos = source.tell()
+        head = source.read(len(container.MAGIC) + 1)
+        source.seek(pos)
+        if (
+            len(head) > len(container.MAGIC)
+            and head[: len(container.MAGIC)] == container.MAGIC
+            and head[len(container.MAGIC)] != container.VERSION_TILED
+        ):
+            return source.read()
+        return None
+
+
+def _batched(iterable: Iterable, size: int) -> Iterator[list]:
+    """Yield lists of up to *size* items (itertools.batched, py<3.12)."""
+    batch: list = []
+    for item in iterable:
+        batch.append(item)
+        if len(batch) >= size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch

@@ -1,0 +1,100 @@
+"""Shared construction of compressors, configs and ratio-quality models.
+
+The study harness and all three use cases need the same plumbing — a
+predictor name, an error-bound mode, sampling parameters and codec
+knobs, threaded through to ``CompressionConfig``, ``SZCompressor`` /
+``TiledCompressor`` and ``RatioQualityModel`` constructors.  Before this
+module each of them carried its own copy of that kwargs forwarding;
+:class:`CodecFactory` holds it once.
+
+Usage::
+
+    factory = CodecFactory(predictor="interpolation", sample_rate=0.02)
+    model = factory.fit_model(data)
+    result = factory.compressor().compress(
+        data, factory.config(error_bound=1e-3)
+    )
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.compressor import (
+    CompressionConfig,
+    ErrorBoundMode,
+    SZCompressor,
+    TiledCompressor,
+)
+from repro.core.model import DEFAULT_SAMPLE_RATE, RatioQualityModel
+
+__all__ = ["CodecFactory"]
+
+
+@dataclass(frozen=True)
+class CodecFactory:
+    """One place for the (predictor, mode, codec, sampling) settings.
+
+    Immutable; derive variants with :meth:`with_predictor` or
+    ``dataclasses.replace``.
+    """
+
+    predictor: str = "lorenzo"
+    mode: ErrorBoundMode = ErrorBoundMode.ABS
+    lossless: str | None = "zstd_like"
+    chunk_size: int | None = None
+    tile_shape: tuple[int, ...] | None = None
+    workers: int | None = None
+    sample_rate: float = DEFAULT_SAMPLE_RATE
+    seed: int | None = 0
+
+    # -- codec construction ----------------------------------------------------
+
+    def config(self, error_bound: float, **overrides) -> CompressionConfig:
+        """A :class:`CompressionConfig` at *error_bound*.
+
+        Keyword *overrides* replace individual config fields (e.g. a
+        per-call ``predictor`` or ``tile_shape``).
+        """
+        base = CompressionConfig(
+            predictor=self.predictor,
+            mode=self.mode,
+            error_bound=float(error_bound),
+            lossless=self.lossless,
+            chunk_size=self.chunk_size,
+            tile_shape=self.tile_shape,
+        )
+        return replace(base, **overrides) if overrides else base
+
+    def compressor(self) -> SZCompressor:
+        """The flat staged-pipeline compressor."""
+        return SZCompressor(workers=self.workers)
+
+    def tiled_compressor(self) -> TiledCompressor:
+        """The tiled out-of-core compressor."""
+        return TiledCompressor(workers=self.workers)
+
+    # -- model construction ----------------------------------------------------
+
+    def model(self, **overrides) -> RatioQualityModel:
+        """An unfitted :class:`RatioQualityModel` with these settings."""
+        kwargs = dict(
+            predictor=self.predictor,
+            mode=self.mode,
+            sample_rate=self.sample_rate,
+            seed=self.seed,
+        )
+        kwargs.update(overrides)
+        return RatioQualityModel(**kwargs)
+
+    def fit_model(self, data: np.ndarray, **overrides) -> RatioQualityModel:
+        """Fit a model on *data* (the one-time sampling pass)."""
+        return self.model(**overrides).fit(data)
+
+    # -- variants --------------------------------------------------------------
+
+    def with_predictor(self, predictor: str) -> "CodecFactory":
+        """A copy of this factory for a different predictor."""
+        return replace(self, predictor=predictor)

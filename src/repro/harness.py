@@ -28,9 +28,8 @@ from dataclasses import asdict, dataclass
 import numpy as np
 
 from repro.analysis.metrics import psnr, ssim_global
-from repro.compressor import CompressionConfig, SZCompressor
 from repro.core.accuracy import estimation_accuracy
-from repro.core.model import RatioQualityModel
+from repro.factory import CodecFactory
 from repro.utils.tables import format_table
 
 __all__ = ["StudyCell", "RateDistortionStudy"]
@@ -68,6 +67,7 @@ class RateDistortionStudy:
         lossless: str | None = "zstd_like",
         chunk_size: int | None = None,
         workers: int | None = None,
+        factory: CodecFactory | None = None,
     ) -> None:
         if not fields:
             raise ValueError("need at least one field")
@@ -77,22 +77,23 @@ class RateDistortionStudy:
         self.predictors = tuple(predictors)
         self.relative_bounds = tuple(relative_bounds)
         self.measure_quality = measure_quality
-        self.lossless = lossless
-        self.chunk_size = chunk_size
-        self.workers = workers
+        self.factory = factory or CodecFactory(
+            lossless=lossless, chunk_size=chunk_size, workers=workers
+        )
 
     def run(self) -> list[StudyCell]:
         """Execute the full sweep; returns one cell per combination."""
         import time
 
-        sz = SZCompressor(workers=self.workers)
+        sz = self.factory.compressor()
         cells: list[StudyCell] = []
         for name, data in self.fields.items():
             data = np.asarray(data)
             vrange = float(data.max()) - float(data.min())
             for predictor in self.predictors:
+                factory = self.factory.with_predictor(predictor)
                 start = time.perf_counter()
-                model = RatioQualityModel(predictor=predictor).fit(data)
+                model = factory.fit_model(data)
                 fit_seconds = time.perf_counter() - start
                 for rel in self.relative_bounds:
                     eb = vrange * rel
@@ -101,12 +102,7 @@ class RateDistortionStudy:
                     model_seconds = (
                         fit_seconds + time.perf_counter() - start
                     )
-                    config = CompressionConfig(
-                        predictor=predictor,
-                        error_bound=eb,
-                        lossless=self.lossless,
-                        chunk_size=self.chunk_size,
-                    )
+                    config = factory.config(eb)
                     start = time.perf_counter()
                     result = sz.compress(data, config)
                     compress_seconds = time.perf_counter() - start

@@ -7,6 +7,14 @@ that pass through an optional compression filter (our SZ pipeline) on
 write and are decompressed transparently on read — the same architecture
 as an HDF5 dataset with a dynamically loaded filter.
 
+Chunk geometry delegates to the tiled subsystem
+(:func:`repro.compressor.tiled.iter_tiles` and friends), which also
+powers :meth:`H5LikeFile.read_region` — a partial read that touches and
+decompresses only the chunks intersecting a requested hyperslab, the
+same access pattern :meth:`TiledCompressor.decompress_region` serves on
+bare v4 containers.  When a dataset's filter config carries a
+``tile_shape`` it becomes the default chunk grid.
+
 File layout::
 
     b"RQH5" | version:u8 | chunk payloads ... | TOC JSON | toc_len:u64
@@ -20,10 +28,16 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from repro.compressor import CompressionConfig, SZCompressor
+from repro.compressor.tiled import (
+    intersect_extent,
+    iter_tiles,
+    normalize_region,
+)
 
 __all__ = ["H5LikeFile", "DatasetInfo"]
 
@@ -50,21 +64,6 @@ class DatasetInfo:
         if self.compressed_bytes == 0:
             return float("inf")
         return self.raw_bytes / self.compressed_bytes
-
-
-def _chunk_slices(
-    shape: tuple[int, ...], chunk_shape: tuple[int, ...]
-):
-    """Yield the slice tuple of every chunk in C order."""
-    counts = [
-        (n + c - 1) // c for n, c in zip(shape, chunk_shape)
-    ]
-    for flat in range(int(np.prod(counts))):
-        idx = np.unravel_index(flat, counts)
-        yield tuple(
-            slice(i * c, min((i + 1) * c, n))
-            for i, c, n in zip(idx, chunk_shape, shape)
-        )
 
 
 class H5LikeFile:
@@ -125,8 +124,9 @@ class H5LikeFile:
     ) -> DatasetInfo:
         """Store *data*, optionally through the lossy filter.
 
-        ``chunk_shape`` defaults to the full array (one chunk); pass a
-        smaller grid for partial-read patterns.
+        ``chunk_shape`` defaults to the filter config's ``tile_shape``
+        when set, else the full array (one chunk); pass a smaller grid
+        for partial-read patterns (:meth:`read_region`).
         """
         if self.mode != "w":
             raise IOError("file is open read-only")
@@ -134,7 +134,12 @@ class H5LikeFile:
             raise ValueError(f"dataset {name!r} already exists")
         data = np.asarray(data)
         if chunk_shape is None:
-            chunk_shape = data.shape
+            if config is not None and config.tile_shape is not None:
+                chunk_shape = tuple(
+                    min(t, n) for t, n in zip(config.tile_shape, data.shape)
+                )
+            else:
+                chunk_shape = data.shape
         if len(chunk_shape) != data.ndim or any(
             c <= 0 for c in chunk_shape
         ):
@@ -142,7 +147,8 @@ class H5LikeFile:
 
         chunk_records: list[dict] = []
         total = 0
-        for slc in _chunk_slices(data.shape, chunk_shape):
+        for start, stop in iter_tiles(data.shape, chunk_shape):
+            slc = tuple(slice(a, b) for a, b in zip(start, stop))
             chunk = np.ascontiguousarray(data[slc])
             if config is not None:
                 payload = self._sz.compress(chunk, config).blob
@@ -184,6 +190,11 @@ class H5LikeFile:
             "mode": config.mode.value,
             "error_bound": config.error_bound,
             "lossless": config.lossless,
+            "tile_shape": (
+                list(config.tile_shape)
+                if config.tile_shape is not None
+                else None
+            ),
         }
 
     # -- reading ------------------------------------------------------------
@@ -238,6 +249,51 @@ class H5LikeFile:
                 shape = tuple(b - a for a, b in zip(record["start"], record["stop"]))
                 chunk = np.frombuffer(payload, dtype=dtype).reshape(shape)
             out[slc] = chunk
+        return out
+
+    def read_region(
+        self, name: str, region: Sequence[slice | int] | slice | int
+    ) -> np.ndarray:
+        """Read only the hyperslab *region* of a dataset.
+
+        Seeks to, reads and decompresses exclusively the chunks
+        intersecting the region — a partial read in the H5Z-SZ sense.
+        *region* follows :func:`repro.compressor.tiled.normalize_region`
+        semantics (slices and width-1 ints, numpy-style endpoints).
+        """
+        entry = self._entry(name)
+        dtype = np.dtype(entry["dtype"])
+        shape = tuple(entry["shape"])
+        slices = normalize_region(region, shape)
+        out = np.zeros(
+            tuple(r.stop - r.start for r in slices), dtype=dtype
+        )
+        for record in entry["chunks"]:
+            overlap = intersect_extent(
+                record["start"], record["stop"], slices
+            )
+            if overlap is None:
+                continue
+            self._fh.seek(record["offset"])
+            payload = self._fh.read(record["size"])
+            if record["kind"] == "sz":
+                chunk = self._sz.decompress(payload)
+            else:
+                chunk_shape = tuple(
+                    b - a for a, b in zip(record["start"], record["stop"])
+                )
+                chunk = np.frombuffer(payload, dtype=dtype).reshape(
+                    chunk_shape
+                )
+            chunk_slc = tuple(
+                slice(o.start - a, o.stop - a)
+                for o, a in zip(overlap, record["start"])
+            )
+            out_slc = tuple(
+                slice(o.start - r.start, o.stop - r.start)
+                for o, r in zip(overlap, slices)
+            )
+            out[out_slc] = chunk[chunk_slc]
         return out
 
     def _entry(self, name: str) -> dict:

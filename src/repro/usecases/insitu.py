@@ -20,9 +20,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.analysis.metrics import psnr
-from repro.compressor import CompressionConfig, CompressionResult, SZCompressor
-from repro.core.model import RatioQualityModel
+from repro.compressor import CompressionResult
 from repro.core.optimizer import PartitionOptimizer, PartitionPlan
+from repro.factory import CodecFactory
 from repro.utils.timer import StageTimes, Timer
 
 __all__ = ["PartitionTuner", "TunedCompression", "SnapshotPipeline", "SnapshotRecord"]
@@ -47,28 +47,25 @@ class PartitionTuner:
         sample_rate: float = 0.01,
         grid_points: int = 40,
         seed: int | None = 0,
+        factory: CodecFactory | None = None,
     ) -> None:
-        self.predictor = predictor
-        self.sample_rate = sample_rate
+        self.factory = factory or CodecFactory(
+            predictor=predictor, sample_rate=sample_rate, seed=seed
+        )
+        self.predictor = self.factory.predictor
+        self.sample_rate = self.factory.sample_rate
         self.grid_points = grid_points
-        self.seed = seed
+        self.seed = self.factory.seed
         self.partitions: list[np.ndarray] = []
         self.optimizer: PartitionOptimizer | None = None
-        self._sz = SZCompressor()
+        self._sz = self.factory.compressor()
 
     def fit(self, partitions: list[np.ndarray]) -> "PartitionTuner":
         """Fit one model per partition and build the optimizer grid."""
         if not partitions:
             raise ValueError("need at least one partition")
         self.partitions = [np.asarray(p) for p in partitions]
-        models = [
-            RatioQualityModel(
-                predictor=self.predictor,
-                sample_rate=self.sample_rate,
-                seed=self.seed,
-            ).fit(p)
-            for p in self.partitions
-        ]
+        models = [self.factory.fit_model(p) for p in self.partitions]
         self.optimizer = PartitionOptimizer(
             models, grid_points=self.grid_points
         )
@@ -101,9 +98,7 @@ class PartitionTuner:
         n_sum = 0
         vrange = 0.0
         for partition, eb in zip(self.partitions, plan.error_bounds):
-            config = CompressionConfig(
-                predictor=self.predictor, error_bound=float(eb)
-            )
+            config = self.factory.config(eb)
             result, recon = self._sz.roundtrip(partition, config)
             results.append(result)
             diff = partition.astype(np.float64) - recon.astype(np.float64)
@@ -149,12 +144,16 @@ class SnapshotPipeline:
         predictor: str = "lorenzo",
         sample_rate: float = 0.01,
         seed: int | None = 0,
+        factory: CodecFactory | None = None,
     ) -> None:
         self.target_psnr = target_psnr
-        self.predictor = predictor
-        self.sample_rate = sample_rate
-        self.seed = seed
-        self._sz = SZCompressor()
+        self.factory = factory or CodecFactory(
+            predictor=predictor, sample_rate=sample_rate, seed=seed
+        )
+        self.predictor = self.factory.predictor
+        self.sample_rate = self.factory.sample_rate
+        self.seed = self.factory.seed
+        self._sz = self.factory.compressor()
         self.records: list[SnapshotRecord] = []
 
     def process(self, snapshot: np.ndarray) -> SnapshotRecord:
@@ -162,17 +161,11 @@ class SnapshotPipeline:
         snapshot = np.asarray(snapshot)
         times = StageTimes()
         with Timer() as t:
-            model = RatioQualityModel(
-                predictor=self.predictor,
-                sample_rate=self.sample_rate,
-                seed=self.seed,
-            ).fit(snapshot)
+            model = self.factory.fit_model(snapshot)
             eb = model.error_bound_for_psnr(self.target_psnr)
         times.add("optimize", t.elapsed)
 
-        config = CompressionConfig(
-            predictor=self.predictor, error_bound=float(eb)
-        )
+        config = self.factory.config(eb)
         result = self._sz.compress(snapshot, config)
         times.merge(result.times)
         with Timer() as t:

@@ -18,8 +18,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.compressor import CompressionConfig, CompressionResult, SZCompressor
-from repro.core.model import RatioQualityModel
+from repro.compressor import CompressionResult
+from repro.factory import CodecFactory
 
 __all__ = ["MemoryBudgetCompressor", "BudgetReport"]
 
@@ -59,18 +59,22 @@ class MemoryBudgetCompressor:
         max_rounds: int = 4,
         sample_rate: float = 0.01,
         seed: int | None = 0,
+        factory: CodecFactory | None = None,
     ) -> None:
         if not 0 < target_fraction <= 1:
             raise ValueError("target_fraction must be within (0, 1]")
         if max_rounds < 1:
             raise ValueError("max_rounds must be at least 1")
-        self.predictor = predictor
+        self.factory = factory or CodecFactory(
+            predictor=predictor, sample_rate=sample_rate, seed=seed
+        )
+        self.predictor = self.factory.predictor
         self.target_fraction = target_fraction
         self.strict = strict
         self.max_rounds = max_rounds
-        self.sample_rate = sample_rate
-        self.seed = seed
-        self._sz = SZCompressor()
+        self.sample_rate = self.factory.sample_rate
+        self.seed = self.factory.seed
+        self._sz = self.factory.compressor()
 
     def compress(self, data: np.ndarray, budget_bytes: int) -> BudgetReport:
         """Compress *data* to fit *budget_bytes*.
@@ -82,11 +86,7 @@ class MemoryBudgetCompressor:
         data = np.asarray(data)
         if budget_bytes <= 0:
             raise ValueError("budget_bytes must be positive")
-        model = RatioQualityModel(
-            predictor=self.predictor,
-            sample_rate=self.sample_rate,
-            seed=self.seed,
-        ).fit(data)
+        model = self.factory.fit_model(data)
         target_bytes = int(budget_bytes * self.target_fraction)
         target_bitrate = 8.0 * target_bytes / data.size
         eb = model.error_bound_for_bitrate(target_bitrate)
@@ -126,7 +126,4 @@ class MemoryBudgetCompressor:
         return reports
 
     def _compress_at(self, data: np.ndarray, eb: float) -> CompressionResult:
-        config = CompressionConfig(
-            predictor=self.predictor, error_bound=float(eb)
-        )
-        return self._sz.compress(data, config)
+        return self._sz.compress(data, self.factory.config(eb))

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.model import RatioQualityModel, RQEstimate
+from repro.factory import CodecFactory
 
 __all__ = ["PredictorSelector", "SelectionDecision"]
 
@@ -37,22 +38,24 @@ class PredictorSelector:
         candidates=DEFAULT_CANDIDATES,
         sample_rate: float = 0.01,
         seed: int | None = 0,
+        factory: CodecFactory | None = None,
     ) -> None:
         if not candidates:
             raise ValueError("need at least one candidate predictor")
         self.candidates = tuple(candidates)
-        self.sample_rate = sample_rate
-        self.seed = seed
+        self.factory = factory or CodecFactory(
+            sample_rate=sample_rate, seed=seed
+        )
+        self.sample_rate = self.factory.sample_rate
+        self.seed = self.factory.seed
         self.models: dict[str, RatioQualityModel] = {}
 
     def fit(self, data: np.ndarray) -> "PredictorSelector":
         """One-time sampling for every candidate."""
         for name in self.candidates:
-            self.models[name] = RatioQualityModel(
-                predictor=name,
-                sample_rate=self.sample_rate,
-                seed=self.seed,
-            ).fit(data)
+            self.models[name] = self.factory.with_predictor(
+                name
+            ).fit_model(data)
         return self
 
     def _require_fit(self) -> None:

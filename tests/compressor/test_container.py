@@ -1,0 +1,172 @@
+"""Container layer: flat/chunked/tiled formats and derived accounting."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.compressor import container
+from repro.compressor import CompressionConfig, SZCompressor
+from repro.compressor.container import TiledReader, TiledWriter, TileRecord
+from tests.conftest import smooth_field
+
+
+class TestFlat:
+    def test_write_read_roundtrip(self):
+        header = {"shape": [3], "dtype": "<f8", "x": 1}
+        sections = [b"codes", b"", b"vals", b"side", b"signs!"]
+        blob, header_len = container.write_flat(
+            header, sections, container.VERSION_SINGLE
+        )
+        back_header, back_sections = container.read_flat(blob)
+        assert back_header.pop("container_version") == 2
+        assert back_header == header
+        assert back_sections == sections
+        assert header_len > 0
+
+    def test_blob_size_matches_derived_overhead(self):
+        header = {"k": "v"}
+        sections = [b"a" * 10, b"b" * 3, b"", b"c", b"dd"]
+        blob, header_len = container.write_flat(
+            header, sections, container.VERSION_CHUNKED
+        )
+        expected = container.flat_overhead(header_len) + sum(
+            len(s) for s in sections
+        )
+        assert len(blob) == expected
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            container.read_flat(b"NOPE" + b"\x00" * 32)
+
+    def test_tiled_version_rejected_by_flat_reader(self):
+        header = {"shape": [1], "dtype": "<f8"}
+        sink = io.BytesIO()
+        with TiledWriter(sink, header):
+            pass
+        with pytest.raises(ValueError):
+            container.read_flat(sink.getvalue())
+
+    def test_non_flat_version_rejected_by_writer(self):
+        with pytest.raises(ValueError):
+            container.write_flat({}, [b""] * 5, container.VERSION_TILED)
+
+
+class TestStageSizesDerived:
+    """StageSizes.total must equal the real container size, with the
+    overhead derived from the writer's layout constants."""
+
+    @pytest.mark.parametrize(
+        "config",
+        [
+            CompressionConfig(error_bound=1e-3),
+            CompressionConfig(error_bound=1e-3, lossless=None),
+            CompressionConfig(error_bound=1e-3, chunk_size=300),
+            CompressionConfig(
+                predictor="regression", error_bound=1e-2
+            ),
+        ],
+    )
+    def test_total_matches_blob(self, config):
+        data = smooth_field((40, 40))
+        result = SZCompressor().compress(data, config)
+        assert result.sizes.total == len(result.blob)
+
+    def test_total_matches_for_trivial_containers(self):
+        result = SZCompressor().compress(
+            np.zeros((0, 2)), CompressionConfig()
+        )
+        assert result.sizes.total == len(result.blob)
+
+
+class TestChunkedFraming:
+    def test_roundtrip(self):
+        payloads = [b"one", b"", b"three" * 100]
+        framed = container.write_chunked_codes(payloads)
+        assert container.read_chunked_codes(framed) == payloads
+
+    @pytest.mark.parametrize(
+        "corrupt",
+        [
+            b"",
+            b"\x00\x00\x00\x00",  # zero chunks
+            b"\x02\x00\x00\x00" + b"\x00" * 8,  # truncated table
+        ],
+    )
+    def test_corrupt_rejected(self, corrupt):
+        with pytest.raises(ValueError):
+            container.read_chunked_codes(corrupt)
+
+    def test_trailing_garbage_rejected(self):
+        framed = container.write_chunked_codes([b"abc"]) + b"junk"
+        with pytest.raises(ValueError):
+            container.read_chunked_codes(framed)
+
+
+class TestTiledFormat:
+    def _write(self, sink):
+        header = {"shape": [4, 4], "dtype": "<f4", "tile_shape": [2, 4]}
+        with TiledWriter(sink, header) as writer:
+            writer.add_tile((0, 0), (2, 4), b"payload-a")
+            writer.add_tile((2, 0), (4, 4), b"payload-bb")
+        return header
+
+    def test_writer_reader_roundtrip_bytes(self):
+        sink = io.BytesIO()
+        header = self._write(sink)
+        reader = TiledReader(sink.getvalue())
+        assert reader.header["shape"] == header["shape"]
+        assert reader.header["container_version"] == 4
+        assert [t.size for t in reader.tiles] == [9, 10]
+        assert reader.read_tile(reader.tiles[0]) == b"payload-a"
+        assert reader.read_tile(reader.tiles[1]) == b"payload-bb"
+
+    def test_writer_reader_roundtrip_file(self, tmp_path):
+        path = tmp_path / "t.rqsz"
+        with open(path, "wb") as fh:
+            self._write(fh)
+        with TiledReader(str(path)) as reader:
+            assert reader.read_tile(reader.tiles[1]) == b"payload-bb"
+
+    def test_tile_record_geometry(self):
+        record = TileRecord(offset=0, size=1, start=(2, 0), stop=(4, 3))
+        assert record.shape == (2, 3)
+        assert TileRecord.from_json(record.to_json()) == record
+
+    def test_add_after_finish_rejected(self):
+        sink = io.BytesIO()
+        writer = TiledWriter(sink, {"shape": [1]})
+        writer.finish()
+        with pytest.raises(ValueError):
+            writer.add_tile((0,), (1,), b"x")
+
+    def test_finish_total_matches_container_size(self):
+        sink = io.BytesIO()
+        writer = TiledWriter(sink, {"shape": [2]})
+        writer.add_tile((0,), (2,), b"xy")
+        total = writer.finish()
+        assert total == len(sink.getvalue())
+
+    def test_flat_blob_rejected_by_tiled_reader(self):
+        blob = SZCompressor().compress(
+            smooth_field((10,)), CompressionConfig()
+        ).blob
+        with pytest.raises(ValueError):
+            TiledReader(blob)
+
+    def test_truncated_rejected(self):
+        sink = io.BytesIO()
+        self._write(sink)
+        blob = sink.getvalue()
+        with pytest.raises(ValueError):
+            TiledReader(blob[: len(blob) - 6])
+        with pytest.raises(ValueError):
+            TiledReader(blob[:10])
+
+    def test_container_version_helper(self):
+        sink = io.BytesIO()
+        self._write(sink)
+        assert (
+            container.container_version(sink.getvalue())
+            == container.VERSION_TILED
+        )

@@ -86,6 +86,62 @@ class TestMetadata:
         assert os.path.getsize(path) < os.path.getsize(raw_path)
 
 
+class TestReadRegion:
+    def test_region_matches_full_read_compressed(self, path):
+        data = smooth_field((30, 40))
+        cfg = CompressionConfig(error_bound=1e-3)
+        with H5LikeFile(path, "w") as f:
+            f.create_dataset("x", data, cfg, chunk_shape=(8, 16))
+        with H5LikeFile(path, "r") as f:
+            full = f.read_dataset("x")
+            region = (slice(5, 20), slice(10, 33))
+            np.testing.assert_array_equal(
+                f.read_region("x", region), full[region]
+            )
+
+    def test_region_matches_full_read_raw(self, path):
+        data = smooth_field((16, 16))
+        with H5LikeFile(path, "w") as f:
+            f.create_dataset("x", data, chunk_shape=(4, 8))
+        with H5LikeFile(path, "r") as f:
+            np.testing.assert_array_equal(
+                f.read_region("x", (slice(3, 9), slice(12, 16))),
+                data[3:9, 12:16],
+            )
+
+    def test_region_decompresses_only_intersecting_chunks(self, path):
+        data = smooth_field((32, 32))
+        cfg = CompressionConfig(error_bound=1e-3)
+        with H5LikeFile(path, "w") as f:
+            f.create_dataset("x", data, cfg, chunk_shape=(8, 8))
+        with H5LikeFile(path, "r") as f:
+            calls = []
+            original = f._sz.decompress
+            f._sz.decompress = lambda blob: calls.append(1) or original(blob)
+            f.read_region("x", (slice(1, 7), slice(9, 15)))
+            assert len(calls) == 1  # one of 16 chunks touched
+
+    def test_region_partial_spec_and_empty(self, path):
+        data = smooth_field((12, 10))
+        with H5LikeFile(path, "w") as f:
+            f.create_dataset("x", data, chunk_shape=(4, 4))
+        with H5LikeFile(path, "r") as f:
+            np.testing.assert_array_equal(
+                f.read_region("x", (slice(2, 5),)), data[2:5]
+            )
+            assert f.read_region("x", (slice(3, 3),)).shape == (0, 10)
+
+    def test_config_tile_shape_becomes_default_chunk_grid(self, path):
+        data = smooth_field((20, 20))
+        cfg = CompressionConfig(error_bound=1e-3, tile_shape=(8, 8))
+        with H5LikeFile(path, "w") as f:
+            info = f.create_dataset("x", data, cfg)
+        assert info.chunk_shape == (8, 8)
+        assert info.filter_config["tile_shape"] == [8, 8]
+        with H5LikeFile(path, "r") as f:
+            assert_error_bounded(data, f.read_dataset("x"), 1e-3)
+
+
 class TestErrors:
     def test_duplicate_name(self, path):
         data = smooth_field((8, 8))

@@ -107,6 +107,115 @@ class TestCompressDecompress:
             )
 
 
+class TestSharedCodecFlags:
+    """--predictor/--mode/--lossless come from one parent parser."""
+
+    @pytest.mark.parametrize("command", ["estimate", "compress"])
+    def test_flags_present_everywhere(self, command, field_file, tmp_path):
+        from repro.cli import build_parser
+
+        argv = [command, field_file, "--predictor", "interpolation",
+                "--mode", "rel", "--lossless", "rle"]
+        if command == "compress":
+            argv[2:2] = [str(tmp_path / "x.rqsz")]
+            argv += ["--eb", "0.01"]
+        else:
+            argv += ["--eb", "0.01"]
+        args = build_parser().parse_args(argv)
+        assert args.predictor == "interpolation"
+        assert args.mode == "rel"
+        assert args.lossless == "rle"
+
+    def test_lossless_none_roundtrip(self, field_file, tmp_path, capsys):
+        blob = str(tmp_path / "x.rqsz")
+        back = str(tmp_path / "b.npy")
+        assert (
+            main(
+                ["compress", field_file, blob, "--eb", "0.01",
+                 "--lossless", "none"]
+            )
+            == 0
+        )
+        assert main(["decompress", blob, back]) == 0
+        original = np.load(field_file)
+        assert np.max(np.abs(np.load(back) - original)) <= 0.01 * (1 + 1e-5)
+
+
+class TestTiledCli:
+    def test_tile_compress_and_region_decode(self, tmp_path, capsys):
+        src = str(tmp_path / "f.npy")
+        data = smooth_field((30, 30))
+        np.save(src, data)
+        blob = str(tmp_path / "f.rqsz")
+        roi_path = str(tmp_path / "roi.npy")
+        assert (
+            main(
+                ["compress", src, blob, "--eb", "0.01",
+                 "--tile", "12,12", "--workers", "2"]
+            )
+            == 0
+        )
+        assert "tiles" in capsys.readouterr().out
+        with open(blob, "rb") as fh:
+            assert fh.read()[4] == 4  # tiled v4 container
+        assert (
+            main(["decompress", blob, roi_path, "--region", "5:20,25:"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "tiles decoded" in out
+        roi = np.load(roi_path)
+        assert roi.shape == (15, 5)
+        assert np.max(np.abs(roi - data[5:20, 25:])) <= 0.01 * (1 + 1e-5)
+
+    def test_tiled_full_decompress(self, tmp_path, capsys):
+        src = str(tmp_path / "f.npy")
+        data = smooth_field((20, 20))
+        np.save(src, data)
+        blob = str(tmp_path / "f.rqsz")
+        back = str(tmp_path / "b.npy")
+        assert (
+            main(["compress", src, blob, "--eb", "0.01", "--tile", "8,8"])
+            == 0
+        )
+        assert main(["decompress", blob, back]) == 0
+        assert np.max(np.abs(np.load(back) - data)) <= 0.01 * (1 + 1e-5)
+
+    def test_region_decode_of_flat_blob(self, field_file, tmp_path, capsys):
+        blob = str(tmp_path / "x.rqsz")
+        roi_path = str(tmp_path / "roi.npy")
+        main(["compress", field_file, blob, "--eb", "0.01"])
+        assert (
+            main(["decompress", blob, roi_path, "--region", "0:5"]) == 0
+        )
+        assert np.load(roi_path).shape == (5, 24)
+
+    def test_inspect_shows_tile_map(self, tmp_path, capsys):
+        src = str(tmp_path / "f.npy")
+        np.save(src, smooth_field((20, 20)))
+        blob = str(tmp_path / "f.rqsz")
+        main(["compress", src, blob, "--eb", "0.01", "--tile", "10,10"])
+        capsys.readouterr()
+        assert main(["inspect", blob]) == 0
+        header = json.loads(capsys.readouterr().out)
+        assert header["container_version"] == 4
+        assert header["tile_map"]["n_tiles"] == 4
+        assert len(header["tile_map"]["tiles"]) == 4
+        assert header["tile_shape"] == [10, 10]
+
+    def test_bad_tile_and_region_specs(self, field_file, tmp_path):
+        blob = str(tmp_path / "x.rqsz")
+        with pytest.raises(SystemExit):
+            main(["compress", field_file, blob, "--eb", "0.01",
+                  "--tile", "0,8"])
+        with pytest.raises(SystemExit):
+            main(["compress", field_file, blob, "--eb", "0.01",
+                  "--tile", "a,b"])
+        main(["compress", field_file, blob, "--eb", "0.01"])
+        with pytest.raises(SystemExit):
+            main(["decompress", blob, str(tmp_path / "r.npy"),
+                  "--region", "1:2:3"])
+
+
 class TestInspect:
     def test_header_json(self, field_file, tmp_path, capsys):
         blob = str(tmp_path / "x.rqsz")

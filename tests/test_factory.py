@@ -1,0 +1,126 @@
+"""Tests for the shared CodecFactory plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.compressor import (
+    CompressionConfig,
+    ErrorBoundMode,
+    SZCompressor,
+    TiledCompressor,
+)
+from repro.core.model import RatioQualityModel
+from repro.factory import CodecFactory
+from tests.conftest import smooth_field
+
+
+class TestConfigs:
+    def test_config_carries_factory_settings(self):
+        factory = CodecFactory(
+            predictor="interpolation",
+            mode=ErrorBoundMode.REL,
+            lossless="rle",
+            chunk_size=512,
+            tile_shape=(8, 8),
+        )
+        config = factory.config(1e-3)
+        assert config == CompressionConfig(
+            predictor="interpolation",
+            mode=ErrorBoundMode.REL,
+            error_bound=1e-3,
+            lossless="rle",
+            chunk_size=512,
+            tile_shape=(8, 8),
+        )
+
+    def test_config_overrides(self):
+        factory = CodecFactory()
+        config = factory.config(1e-2, predictor="regression")
+        assert config.predictor == "regression"
+        assert config.error_bound == 1e-2
+
+    def test_with_predictor_variant(self):
+        factory = CodecFactory(sample_rate=0.05, seed=7)
+        variant = factory.with_predictor("regression")
+        assert variant.predictor == "regression"
+        assert variant.sample_rate == 0.05
+        assert variant.seed == 7
+        assert factory.predictor == "lorenzo"  # original untouched
+
+
+class TestConstruction:
+    def test_compressors(self):
+        factory = CodecFactory(workers=2)
+        assert isinstance(factory.compressor(), SZCompressor)
+        assert isinstance(factory.tiled_compressor(), TiledCompressor)
+
+    def test_model_settings(self):
+        factory = CodecFactory(
+            predictor="interpolation",
+            mode=ErrorBoundMode.REL,
+            sample_rate=0.02,
+            seed=11,
+        )
+        model = factory.model()
+        assert isinstance(model, RatioQualityModel)
+        assert model.predictor == "interpolation"
+        assert model.mode is ErrorBoundMode.REL
+        assert model.sample_rate == 0.02
+        assert model.seed == 11
+
+    def test_model_overrides(self):
+        model = CodecFactory().model(use_lossless=False)
+        assert model.use_lossless is False
+
+    def test_fit_model(self):
+        data = smooth_field((32, 32))
+        model = CodecFactory().fit_model(data)
+        est = model.estimate(1e-3)
+        assert np.isfinite(est.bitrate) and est.bitrate > 0
+
+
+class TestEndToEnd:
+    def test_factory_roundtrip_matches_direct_construction(self):
+        data = smooth_field((24, 24))
+        factory = CodecFactory(lossless="rle", chunk_size=300)
+        via_factory = factory.compressor().compress(
+            data, factory.config(1e-3)
+        )
+        direct = SZCompressor().compress(
+            data,
+            CompressionConfig(
+                error_bound=1e-3, lossless="rle", chunk_size=300
+            ),
+        )
+        assert via_factory.blob == direct.blob
+
+    def test_usecases_share_the_factory(self):
+        from repro.usecases import (
+            MemoryBudgetCompressor,
+            PredictorSelector,
+            SnapshotPipeline,
+        )
+
+        factory = CodecFactory(sample_rate=0.03, seed=5)
+        assert (
+            MemoryBudgetCompressor(factory=factory).factory is factory
+        )
+        assert PredictorSelector(factory=factory).factory is factory
+        pipeline = SnapshotPipeline(target_psnr=60.0, factory=factory)
+        assert pipeline.factory is factory
+        assert pipeline.sample_rate == 0.03
+
+    def test_harness_uses_factory(self):
+        from repro.harness import RateDistortionStudy
+
+        factory = CodecFactory(lossless=None)
+        study = RateDistortionStudy(
+            fields={"f": smooth_field((16, 16))},
+            relative_bounds=(1e-2,),
+            measure_quality=False,
+            factory=factory,
+        )
+        assert study.factory is factory
+        cells = study.run()
+        assert len(cells) == 1
+        assert np.isfinite(cells[0].meas_bitrate)
