@@ -14,6 +14,14 @@ whole-array (plus intermediates) footprint of the flat pipeline.  It
 also records a 1%-hyperslab region decode with the tile-decode counter,
 demonstrating that partial reads touch only the intersecting tiles.
 
+The **v5_adaptive** mode runs the model-driven per-tile planner on a
+heterogeneous field (smooth background + an injected halo-dense
+lognormal region) and compares the adaptive v5 container against the
+*best uniform v4 config at equal PSNR* — each uniform predictor's bound
+is bisected until its measured PSNR matches the adaptive run's.  The
+recorded ``equal_psnr_gain`` is the acceptance metric: adaptive must
+spend at least 5% fewer bytes than the best uniform baseline.
+
 Reference points on this workload: the seed implementation ran at
 14.4 s compress / 3.5 s decompress (~2.3 MB/s); the chunked vectorized
 pipeline targets >= 5x both ways with the ratio within 5%.
@@ -127,6 +135,112 @@ def _field() -> np.ndarray:
     return data + np.cumsum(rng.standard_normal(SHAPE), axis=0)
 
 
+# -- adaptive (v5) workload ----------------------------------------------------
+
+#: heterogeneous field: smooth background + injected halo region
+ADAPTIVE_SHAPE = (256, 256)
+ADAPTIVE_TILE = (32, 32)
+#: nominal bound ~= background std: just below background-tile
+#: saturation, where per-tile bound allocation has bits to harvest
+ADAPTIVE_EB = 1.0
+#: required byte advantage over the best uniform config at equal PSNR
+ADAPTIVE_MIN_GAIN = 1.05
+
+
+def _hetero_field() -> np.ndarray:
+    """Smooth background with a compact halo-dense (lognormal) region."""
+    from repro.datasets.generators import (
+        gaussian_random_field,
+        lognormal_field,
+    )
+
+    shape = ADAPTIVE_SHAPE
+    bg = gaussian_random_field(shape, slope=4.0, seed=7).astype(np.float64)
+    hs = tuple(n // 4 for n in shape)
+    halos = lognormal_field(hs, slope=2.0, seed=8, contrast=3.0)
+    pad = tuple((n // 8, n - h - n // 8) for n, h in zip(shape, hs))
+    return (bg + np.pad(0.5 * halos.astype(np.float64), pad)).astype(
+        np.float32
+    )
+
+
+def _measure_adaptive() -> dict:
+    """v5 adaptive vs best uniform v4 at equal measured PSNR."""
+    from repro.analysis.metrics import psnr
+
+    field = _hetero_field()
+    mb = field.nbytes / 1e6
+    tc = TiledCompressor()
+
+    start = time.perf_counter()
+    adaptive = tc.compress(
+        field,
+        CompressionConfig(
+            error_bound=ADAPTIVE_EB,
+            tile_shape=ADAPTIVE_TILE,
+            adaptive=True,
+        ),
+    )
+    compress_s = time.perf_counter() - start
+    start = time.perf_counter()
+    recon = tc.decompress(adaptive.blob)
+    decompress_s = time.perf_counter() - start
+    ada_psnr = psnr(field, recon)
+
+    uniform: dict = {}
+    for predictor in ("lorenzo", "interpolation"):
+        lo, hi = ADAPTIVE_EB / 16, ADAPTIVE_EB * 16
+        best = None
+        for _ in range(12):
+            mid = float(np.sqrt(lo * hi))
+            result = tc.compress(
+                field,
+                CompressionConfig(
+                    predictor=predictor,
+                    error_bound=mid,
+                    tile_shape=ADAPTIVE_TILE,
+                ),
+            )
+            measured = psnr(field, tc.decompress(result.blob))
+            if measured >= ada_psnr:
+                best = (result.compressed_bytes, measured, mid)
+                lo = mid
+            else:
+                hi = mid
+        if best is not None:
+            uniform[predictor] = {
+                "bytes": best[0],
+                "ratio": round(field.nbytes / best[0], 4),
+                "psnr": round(best[1], 3),
+                "error_bound": round(best[2], 6),
+            }
+    assert uniform, (
+        "no uniform config reached the adaptive run's PSNR "
+        f"({ada_psnr:.2f} dB) within the bisection span"
+    )
+    best_uniform = min(m["bytes"] for m in uniform.values())
+
+    return {
+        "field": {
+            "shape": list(ADAPTIVE_SHAPE),
+            "tile_shape": list(ADAPTIVE_TILE),
+            "nominal_eb": ADAPTIVE_EB,
+        },
+        "compress_s": round(compress_s, 4),
+        "decompress_s": round(decompress_s, 4),
+        "compress_mb_s": round(mb / compress_s, 2),
+        "decompress_mb_s": round(mb / decompress_s, 2),
+        "bytes": adaptive.compressed_bytes,
+        "ratio": round(field.nbytes / adaptive.compressed_bytes, 4),
+        "psnr": round(ada_psnr, 3),
+        "predictor_counts": adaptive.plan.predictor_counts(),
+        "uniform_equal_psnr": uniform,
+        "equal_psnr_gain": round(
+            best_uniform / adaptive.compressed_bytes, 4
+        ),
+    }
+
+
 def _measure(data: np.ndarray, chunk_size, workers) -> dict:
     config = CompressionConfig(
         predictor="lorenzo",
@@ -221,6 +335,7 @@ def test_throughput(report, tmp_path):
         label: _measure(data, **params) for label, params in MODES.items()
     }
     measurements["v4_tiled_w4"] = tiled = _measure_tiled(data, tmp_path)
+    measurements["v5_adaptive"] = adaptive = _measure_adaptive()
     rows = [
         (
             label,
@@ -274,3 +389,16 @@ def test_throughput(report, tmp_path):
     # the streamed path must stay well under the materialize-everything
     # footprint (whole array + codes + payloads in the flat pipeline)
     assert tiled["peak_rss_mb"] < 0.75 * tiled["flat_peak_rss_mb"]
+
+    # adaptive per-tile configuration (acceptance criterion): on the
+    # heterogeneous halo field the v5 container must spend >= 5% fewer
+    # bytes than the best uniform v4 config at equal measured PSNR
+    report(
+        "v5_adaptive equal-PSNR comparison "
+        f"(PSNR {adaptive['psnr']} dB): adaptive {adaptive['bytes']} B "
+        f"vs best uniform "
+        f"{min(m['bytes'] for m in adaptive['uniform_equal_psnr'].values())}"
+        f" B -> gain {adaptive['equal_psnr_gain']}x "
+        f"(predictors {adaptive['predictor_counts']})"
+    )
+    assert adaptive["equal_psnr_gain"] >= ADAPTIVE_MIN_GAIN

@@ -5,6 +5,8 @@ Entry point for the library's day-to-day workflow on ``.npy`` arrays::
     python -m repro estimate field.npy --predictor lorenzo --eb 1e-3
     python -m repro compress field.npy out.rqsz --psnr 60
     python -m repro compress big.npy out.rqsz --eb 1e-3 --tile 64,64,64
+    python -m repro compress big.npy out.rqsz --eb 1e-3 --tile 64,64,64 \
+        --adaptive
     python -m repro decompress out.rqsz back.npy
     python -m repro decompress out.rqsz roi.npy --region 0:32,16:48,:
     python -m repro inspect out.rqsz
@@ -15,8 +17,11 @@ Entry point for the library's day-to-day workflow on ``.npy`` arrays::
 bound), ``--ratio`` (model-derived bound for a target ratio) or
 ``--psnr`` (model-derived bound for a target quality).  ``--tile``
 switches to the tiled v4 container, streamed tile-by-tile with bounded
-memory (the input is opened as a memmap); ``--region`` decodes only the
-tiles intersecting the requested hyperslab.
+memory (the input is opened as a memmap); ``--adaptive`` additionally
+runs the model-driven planner so every tile gets its own predictor,
+bound and quantizer radius (adaptive v5 container; ``inspect`` prints
+the per-tile choices); ``--region`` decodes only the tiles
+intersecting the requested hyperslab.
 
 The shared codec flags (``--predictor``, ``--mode``, ``--lossless``)
 are defined once on a parent parser, so they land in every subcommand
@@ -123,6 +128,13 @@ def build_parser() -> argparse.ArgumentParser:
         "streaming + region decode), e.g. 64,64,64",
     )
     comp.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="model-driven per-tile configuration: each tile gets its "
+        "own predictor/bound/radius at matched aggregate quality "
+        "(adaptive v5 container; requires --tile, abs/rel modes)",
+    )
+    comp.add_argument(
         "--workers",
         type=int,
         default=1,
@@ -204,6 +216,7 @@ def _factory_from_args(args: argparse.Namespace) -> CodecFactory:
         lossless=None if args.lossless == "none" else args.lossless,
         chunk_size=getattr(args, "chunk_size", None),
         workers=getattr(args, "workers", None),
+        adaptive=getattr(args, "adaptive", False),
     )
 
 
@@ -250,6 +263,10 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
 def _cmd_compress(args: argparse.Namespace) -> int:
     factory = _factory_from_args(args)
     tile_shape = parse_tile_shape(args.tile) if args.tile else None
+    if args.adaptive and tile_shape is None:
+        raise SystemExit("--adaptive requires --tile")
+    if args.adaptive and args.mode == "pw_rel":
+        raise SystemExit("--adaptive supports --mode abs or rel only")
     # tiled compression streams from a memmap so huge inputs never
     # materialize in RAM
     data = _load_array(args.input, mmap=tile_shape is not None)
@@ -266,7 +283,9 @@ def _cmd_compress(args: argparse.Namespace) -> int:
         print(f"model-selected error bound: {eb:.6g}")
 
     if tile_shape is not None:
-        config = factory.config(eb, tile_shape=tile_shape)
+        config = factory.config(
+            eb, tile_shape=tile_shape, adaptive=args.adaptive
+        )
         result = factory.tiled_compressor().compress(
             data, config, out=args.output
         )
@@ -276,6 +295,20 @@ def _cmd_compress(args: argparse.Namespace) -> int:
             f"{result.bit_rate:.3f} bits/pt, {result.n_tiles} tiles of "
             f"{result.tile_shape})"
         )
+        if result.plan is not None:
+            bounds = [c.error_bound for c in result.plan.choices]
+            counts = ", ".join(
+                f"{predictor}={n}"
+                for predictor, n in sorted(
+                    result.plan.predictor_counts().items()
+                )
+            )
+            print(
+                f"adaptive plan: {counts}; per-tile eb in "
+                f"[{min(bounds):.4g}, {max(bounds):.4g}] "
+                f"(nominal {result.plan.nominal_bound:.4g}, target "
+                f"PSNR {result.plan.target_psnr:.2f} dB)"
+            )
         return 0
 
     config = factory.config(eb)
@@ -294,7 +327,10 @@ def _cmd_decompress(args: argparse.Namespace) -> int:
     tiled = TiledCompressor(workers=args.workers)
     if args.region is not None:
         region = parse_region(args.region)
-        data = tiled.decompress_region(args.input, region)
+        try:
+            data = tiled.decompress_region(args.input, region)
+        except (ValueError, IndexError) as exc:
+            raise SystemExit(f"invalid region {args.region!r}: {exc}") from exc
         np.save(args.output, data)
         print(
             f"{args.input} -> {args.output}: region {args.region} -> "
@@ -312,25 +348,44 @@ def _cmd_decompress(args: argparse.Namespace) -> int:
 def _cmd_inspect(args: argparse.Namespace) -> int:
     with open(args.input, "rb") as fh:
         blob = fh.read()
-    if container.container_version(blob) == container.VERSION_TILED:
+    if container.is_tiled_version(container.container_version(blob)):
         with TiledReader(blob) as reader:
             header = dict(reader.header)
             sizes = [t.size for t in reader.tiles]
+            tiles = []
+            for t in reader.tiles:
+                entry = {
+                    "start": list(t.start),
+                    "stop": list(t.stop),
+                    "offset": t.offset,
+                    "size": t.size,
+                }
+                if t.config is not None:
+                    entry["config"] = t.config
+                tiles.append(entry)
             header["tile_map"] = {
                 "n_tiles": len(reader.tiles),
                 "payload_bytes": sum(sizes),
                 "tile_bytes_min": min(sizes, default=0),
                 "tile_bytes_max": max(sizes, default=0),
-                "tiles": [
-                    {
-                        "start": list(t.start),
-                        "stop": list(t.stop),
-                        "offset": t.offset,
-                        "size": t.size,
-                    }
-                    for t in reader.tiles
-                ],
+                "tiles": tiles,
             }
+            configs = [t.config for t in reader.tiles if t.config]
+            if configs:
+                counts: dict[str, int] = {}
+                for cfg in configs:
+                    predictor = cfg.get("predictor", "?")
+                    counts[predictor] = counts.get(predictor, 0) + 1
+                bounds = [
+                    cfg["error_bound"]
+                    for cfg in configs
+                    if "error_bound" in cfg
+                ]
+                header["tile_map"]["adaptive"] = {
+                    "predictor_counts": counts,
+                    "error_bound_min": min(bounds, default=None),
+                    "error_bound_max": max(bounds, default=None),
+                }
         print(json.dumps(header, indent=2, sort_keys=True))
         return 0
     header, sections = SZCompressor._disassemble(blob)

@@ -6,11 +6,19 @@ linear-scaling quantizer, Huffman coding and optional lossless
 back-ends, composed behind small stage interfaces
 (:mod:`repro.compressor.stages`) by the flat
 :class:`repro.compressor.sz.SZCompressor` facade; the byte formats live
-in :mod:`repro.compressor.container`; and
+in :mod:`repro.compressor.container`;
 :class:`repro.compressor.tiled.TiledCompressor` layers tiled
-out-of-core streaming with region-of-interest decode on top.
+out-of-core streaming with region-of-interest decode on top; and
+:class:`repro.compressor.adaptive.AdaptivePlanner` turns the
+ratio-quality model into a per-tile configuration autotuner (the
+adaptive v5 container).
 """
 
+from repro.compressor.adaptive import (
+    AdaptivePlan,
+    AdaptivePlanner,
+    TileChoice,
+)
 from repro.compressor.config import (
     DEFAULT_QUANT_RADIUS,
     CompressionConfig,
@@ -31,4 +39,7 @@ __all__ = [
     "StageSizes",
     "TiledCompressor",
     "TiledResult",
+    "AdaptivePlanner",
+    "AdaptivePlan",
+    "TileChoice",
 ]

@@ -1,0 +1,397 @@
+"""Per-tile adaptive configuration planning (model-driven v5 container).
+
+The paper's rate-quality model answers "what would this config cost?"
+without running the compressor; this module turns that into an *online
+per-region autotuner*.  For every tile of a tiled compression run the
+planner draws the model's cheap sample (:mod:`repro.core.sampling`),
+fits a :class:`~repro.core.model.RatioQualityModel`, and drives the
+§IV-C rate-distortion machinery (:class:`~repro.core.optimizer.
+PartitionOptimizer`) to assign each tile its own codec configuration —
+error bound, predictor and quantizer radius — at matched aggregate
+quality.  :class:`~repro.compressor.tiled.TiledCompressor` encodes the
+resulting heterogeneous tiles into the v5 container, whose TOC records
+every tile's parameters.
+
+The planning pipeline, per :meth:`AdaptivePlanner.plan` call:
+
+1. **Sample + fit** — each tile gets one model per candidate predictor
+   (one sampling pass each; tiles below the sampling floor are covered
+   exhaustively, so small tiles fit exact models).
+2. **Allocate bounds** — a Lagrangian sweep over a log-spaced bound
+   grid centred on the nominal bound minimises predicted total bits
+   subject to the aggregate PSNR the *uniform* nominal config would
+   achieve.  The allocation always uses the dual-quantization Lorenzo
+   replay model: its value-residual MSE curve is exact in every regime,
+   including the saturated tiles (smooth or near-constant regions whose
+   code stream has collapsed) where the allocation gains actually live.
+3. **Select per-tile predictor** — at each tile's *allocated* bound the
+   candidates are ranked by predicted Huffman-stage bits plus predictor
+   side overhead plus outlier cost.  The lossless-stage term is
+   deliberately excluded: its run-length approximation is replayed
+   exactly only for Lorenzo, which skews cross-predictor comparisons of
+   total bit-rate.
+4. **Pick the quantizer radius** — the smallest power-of-two radius
+   that covers the predicted code alphabet with margin, bounding the
+   decoder-side code table for near-constant tiles while never
+   manufacturing outliers.
+
+Bound semantics: ``ABS`` bounds pass through; ``REL`` bounds are
+resolved against the *global* value range first (exactly like the
+uniform tiled path).  Every tile still honours its own recorded
+absolute bound — the per-point guarantee moves from the nominal bound
+to the per-tile bound, which the allocation keeps within
+``span`` (default 16x) of nominal and the TOC records per tile.
+``PW_REL`` planning is rejected: the planner works in the value domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.compressor.config import (
+    DEFAULT_QUANT_RADIUS,
+    CompressionConfig,
+    ErrorBoundMode,
+)
+from repro.compressor.tiled_geometry import iter_tiles
+from repro.core.model import OUTLIER_BITS, RatioQualityModel
+from repro.core.optimizer import PartitionOptimizer
+
+__all__ = ["AdaptivePlanner", "AdaptivePlan", "TileChoice"]
+
+#: Tiles smaller than this fall back to the nominal config: a handful of
+#: points cannot support a meaningful histogram fit, and the bits at
+#: stake are dominated by the per-tile container header anyway.
+MIN_PLAN_POINTS = 64
+
+#: Smallest selectable quantizer radius.  Keeps a healthy alphabet even
+#: when the predicted code spread collapses to a few bins.
+MIN_QUANT_RADIUS = 256
+
+#: Safety factor between the predicted maximum |code| and the chosen
+#: radius, absorbing sampling error so the radius never turns predicted
+#: in-range codes into verbatim outliers.
+RADIUS_MARGIN = 4
+
+
+@dataclass(frozen=True)
+class TileChoice:
+    """One tile's model-selected codec parameters plus estimates."""
+
+    start: tuple[int, ...]
+    stop: tuple[int, ...]
+    predictor: str
+    error_bound: float
+    quant_radius: int
+    est_bitrate: float
+    est_mse: float
+
+    def to_json(self) -> dict:
+        """The ``config`` dict stored in the v5 TOC record."""
+        return {
+            "predictor": self.predictor,
+            "error_bound": self.error_bound,
+            "quant_radius": self.quant_radius,
+        }
+
+
+@dataclass(frozen=True)
+class AdaptivePlan:
+    """Per-tile assignment produced by :class:`AdaptivePlanner`."""
+
+    tile_shape: tuple[int, ...]
+    nominal_bound: float
+    target_psnr: float
+    value_range: float
+    choices: tuple[TileChoice, ...]
+    est_bitrate: float
+    est_psnr: float
+
+    @property
+    def n_tiles(self) -> int:
+        """Number of planned tiles."""
+        return len(self.choices)
+
+    def predictor_counts(self) -> dict[str, int]:
+        """How many tiles chose each predictor."""
+        counts: dict[str, int] = {}
+        for choice in self.choices:
+            counts[choice.predictor] = counts.get(choice.predictor, 0) + 1
+        return counts
+
+    def config_for(
+        self, base: CompressionConfig, index: int
+    ) -> CompressionConfig:
+        """The concrete per-tile config for ``choices[index]``."""
+        choice = self.choices[index]
+        return replace(
+            base,
+            predictor=choice.predictor,
+            mode=ErrorBoundMode.ABS,
+            error_bound=choice.error_bound,
+            quant_radius=choice.quant_radius,
+            tile_shape=None,
+            adaptive=False,
+        )
+
+
+class AdaptivePlanner:
+    """Model-driven per-tile configuration search.
+
+    Parameters
+    ----------
+    predictors:
+        Candidate predictors ranked per tile.  Each ``plan`` call adds
+        the config's own predictor to the candidates (it is the
+        nominal starting point, never silently dropped), and
+        ``"lorenzo"`` is always fitted even when absent from the
+        candidates, because the bound allocation runs on its exact
+        replay model.
+    sample_rate:
+        Sampling coverage per tile for the model fits (tiles below the
+        global sampling floor are covered exhaustively).
+    span:
+        Half-width of the per-tile bound search, as a factor of the
+        nominal bound: allocated bounds lie in ``[eb/span, eb*span]``.
+    grid_points:
+        Log-spaced bound-grid resolution (odd keeps the nominal bound
+        exactly on the grid).  The default trades a slightly coarser
+        allocation for a small v5 TOC config palette: tiles can only
+        land on ``grid_points`` distinct bounds.
+    seed:
+        Sampling RNG seed (per-tile fits are deterministic).
+    """
+
+    def __init__(
+        self,
+        predictors: Sequence[str] = ("lorenzo", "interpolation"),
+        sample_rate: float = 0.05,
+        span: float = 16.0,
+        grid_points: int = 17,
+        seed: int | None = 0,
+    ) -> None:
+        if not predictors:
+            raise ValueError("need at least one candidate predictor")
+        if span < 1.0:
+            raise ValueError("span must be at least 1")
+        if grid_points < 3:
+            raise ValueError("grid_points must be at least 3")
+        self.predictors = tuple(dict.fromkeys(predictors))
+        self.sample_rate = sample_rate
+        self.span = float(span)
+        # odd grid => geomspace midpoint lands exactly on the nominal
+        # bound, so the uniform baseline plan is representable
+        self.grid_points = grid_points | 1
+        self.seed = seed
+
+    # -- public API --------------------------------------------------------
+
+    def plan(
+        self,
+        data: np.ndarray,
+        config: CompressionConfig,
+        tile_shape: Sequence[int],
+    ) -> AdaptivePlan | None:
+        """Plan per-tile configs for compressing *data* under *config*.
+
+        *data* may be a memmap; tiles are materialized one at a time,
+        in a single pass that both accumulates the global value range
+        and fits the per-tile models.  Raises for ``PW_REL`` configs
+        (the planner works in the value domain) and for empty arrays.
+        Returns ``None`` when there is nothing to plan — a ``REL``
+        bound on a constant field, whose zero value range demands exact
+        storage; the uniform tiled path handles that case already.
+        """
+        if config.mode is ErrorBoundMode.PW_REL:
+            raise ValueError(
+                "adaptive planning supports ABS and REL bounds only"
+            )
+        if not hasattr(data, "ndim"):
+            data = np.asarray(data)
+        if data.size == 0:
+            raise ValueError("cannot plan an empty array")
+        tile_shape = tuple(int(t) for t in tile_shape)
+        extents = list(iter_tiles(data.shape, tile_shape))
+
+        # the config's predictor is always a candidate (and the
+        # small-tile fallback): it is the nominal starting point the
+        # user asked for, not something the planner may silently drop
+        candidates = tuple(
+            dict.fromkeys((config.predictor,) + self.predictors)
+        )
+        models, fallbacks, value_range = self._fit_tile_models(
+            data, extents, candidates
+        )
+        if config.mode is ErrorBoundMode.REL:
+            abs_eb = config.error_bound * value_range
+            if abs_eb <= 0:
+                return None
+        else:
+            abs_eb = float(config.error_bound)
+        bounds, target_psnr, est_bits, est_psnr = self._allocate_bounds(
+            models, abs_eb, value_range
+        )
+
+        choices = []
+        for i, (start, stop) in enumerate(extents):
+            if models[i] is None:
+                choices.append(
+                    TileChoice(
+                        start=start,
+                        stop=stop,
+                        predictor=fallbacks[i],
+                        error_bound=abs_eb,
+                        quant_radius=config.quant_radius,
+                        est_bitrate=float("nan"),
+                        est_mse=float("nan"),
+                    )
+                )
+                continue
+            predictor, est, hist = self._select_predictor(
+                models[i], bounds[i], candidates
+            )
+            choices.append(
+                TileChoice(
+                    start=start,
+                    stop=stop,
+                    predictor=predictor,
+                    error_bound=float(bounds[i]),
+                    quant_radius=self._select_radius(
+                        hist, config.quant_radius
+                    ),
+                    est_bitrate=float(est.bitrate),
+                    est_mse=float(est.error_variance),
+                )
+            )
+        return AdaptivePlan(
+            tile_shape=tile_shape,
+            nominal_bound=float(abs_eb),
+            target_psnr=float(target_psnr),
+            value_range=float(value_range),
+            choices=tuple(choices),
+            est_bitrate=float(est_bits),
+            est_psnr=float(est_psnr),
+        )
+
+    # -- pipeline stages ---------------------------------------------------
+
+    def _fit_tile_models(
+        self,
+        data: np.ndarray,
+        extents: list[tuple[tuple[int, ...], tuple[int, ...]]],
+        candidates: tuple[str, ...],
+    ) -> tuple[
+        list[dict[str, RatioQualityModel] | None], list[str], float
+    ]:
+        """One pass over the tiles: fit models + global value range.
+
+        Each tile is materialized exactly once (the global min/max the
+        REL bound needs is accumulated here rather than in a separate
+        streaming pass, so out-of-core inputs are read once for
+        planning).  Tiles too small to model get ``None`` plus a
+        fallback predictor (the first candidate — the config's own).
+        """
+        fit_predictors = tuple(dict.fromkeys(("lorenzo",) + candidates))
+        models: list[dict[str, RatioQualityModel] | None] = []
+        fallbacks: list[str] = []
+        lo, hi = np.inf, -np.inf
+        for start, stop in extents:
+            slc = tuple(slice(a, b) for a, b in zip(start, stop))
+            tile = np.ascontiguousarray(data[slc])
+            lo = min(lo, float(np.min(tile)))
+            hi = max(hi, float(np.max(tile)))
+            fallbacks.append(candidates[0])
+            if tile.size < MIN_PLAN_POINTS:
+                models.append(None)
+                continue
+            models.append(
+                {
+                    predictor: RatioQualityModel(
+                        predictor=predictor,
+                        sample_rate=self.sample_rate,
+                        seed=self.seed,
+                    ).fit(tile)
+                    for predictor in fit_predictors
+                }
+            )
+        return models, fallbacks, hi - lo
+
+    def _allocate_bounds(
+        self,
+        models: list[dict[str, RatioQualityModel] | None],
+        abs_eb: float,
+        value_range: float,
+    ) -> tuple[list[float], float, float, float]:
+        """Lagrangian bound allocation at the uniform config's quality.
+
+        Returns per-tile bounds (nominal for unmodelled tiles), the
+        aggregate PSNR target and the plan's predicted bits + PSNR.
+        """
+        alloc_models = [m["lorenzo"] for m in models if m is not None]
+        if not alloc_models:
+            n = len(models)
+            return [abs_eb] * n, float("inf"), float("nan"), float("inf")
+        optimizer = PartitionOptimizer(
+            alloc_models,
+            grid_points=self.grid_points,
+            eb_span=(abs_eb / self.span, abs_eb * self.span),
+            value_range=value_range,
+        )
+        uniform = optimizer.uniform_plan(abs_eb)
+        plan = optimizer.minimize_bits_for_psnr(uniform.aggregate_psnr)
+        # 9 significant digits keep the TOC config palette compact while
+        # leaving the bound unchanged at any meaningful precision; the
+        # rounded value is what the tiles are actually encoded under, so
+        # TOC, tile headers and plan agree exactly.
+        allocated = iter(plan.error_bounds)
+        bounds = [
+            float(f"{next(allocated):.9g}") if m is not None else abs_eb
+            for m in models
+        ]
+        return (
+            bounds,
+            uniform.aggregate_psnr,
+            plan.total_bits,
+            plan.aggregate_psnr,
+        )
+
+    def _select_predictor(
+        self,
+        models: dict[str, RatioQualityModel],
+        error_bound: float,
+        candidates: tuple[str, ...],
+    ):
+        """Rank candidates at the tile's allocated bound.
+
+        The score is predicted Huffman-stage bits + predictor side
+        overhead + outlier cost; see the module docstring for why the
+        lossless-stage estimate is excluded from the comparison.
+        Returns ``(predictor, estimate, histogram)`` of the winner so
+        the caller never re-queries the model at the same bound.
+        """
+        best = None
+        for predictor in candidates:
+            model = models[predictor]
+            est = model.estimate(error_bound)
+            hist = model.histogram(error_bound)
+            score = (
+                est.huffman_bitrate
+                + model.side_overhead_bits
+                + hist.outlier_fraction * OUTLIER_BITS
+            )
+            if best is None or score < best[0]:
+                best = (score, predictor, est, hist)
+        assert best is not None
+        return best[1], best[2], best[3]
+
+    @staticmethod
+    def _select_radius(hist, cap: int) -> int:
+        """Smallest power-of-two radius covering the predicted alphabet."""
+        max_code = int(np.max(np.abs(hist.symbols))) if hist.n_bins else 1
+        radius = MIN_QUANT_RADIUS
+        while radius < min(cap, RADIUS_MARGIN * max(1, max_code)):
+            radius *= 2
+        return min(radius, cap) if cap >= 2 else cap

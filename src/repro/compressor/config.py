@@ -77,6 +77,15 @@ class CompressionConfig:
         the array into tiles of this shape and writes the tiled v4
         container (out-of-core streaming, region-of-interest decode).
         Ignored by the flat :class:`~repro.compressor.sz.SZCompressor`.
+    adaptive:
+        When set (tiled compression only), the model-driven planner
+        (:class:`repro.compressor.adaptive.AdaptivePlanner`) assigns
+        every tile its own predictor, error bound and quantizer radius
+        at the aggregate quality the uniform config would achieve, and
+        the v5 container records the choices per tile.  ``predictor``
+        and ``error_bound`` then act as the nominal starting point.
+        Requires an ``ABS`` or ``REL`` mode (the planner works in the
+        value domain).
     """
 
     predictor: str = "lorenzo"
@@ -89,6 +98,7 @@ class CompressionConfig:
     interp_direction: tuple[int, ...] = field(default=())
     chunk_size: int | None = None
     tile_shape: tuple[int, ...] | None = None
+    adaptive: bool = False
 
     _KNOWN_PREDICTORS = ("lorenzo", "interpolation", "regression")
     _KNOWN_LOSSLESS = ("zstd_like", "gzip_like", "rle", None)
@@ -124,6 +134,10 @@ class CompressionConfig:
                 )
             # normalize list/iterable inputs so equality and hashing work
             object.__setattr__(self, "tile_shape", tile_shape)
+        if self.adaptive and self.mode is ErrorBoundMode.PW_REL:
+            raise ValueError(
+                "adaptive tiling supports ABS and REL bounds only"
+            )
 
     def absolute_bound(self, data: np.ndarray) -> float:
         """Resolve the *absolute* bound this config implies on *data*.

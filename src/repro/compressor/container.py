@@ -18,9 +18,9 @@ predictor side payload, PW_REL sign payload.
   independently Huffman(+lossless) coded; the codes section becomes
   ``n_chunks:u32 | chunk_len:u64 ... | chunk payloads``.
 
-Tiled container (out-of-core streaming, region-of-interest decode)::
+Tiled containers (out-of-core streaming, region-of-interest decode)::
 
-    b"RQSZ" | version=4:u8 | header_len:u32 | header JSON
+    b"RQSZ" | version:u8 | header_len:u32 | header JSON
            | tile payloads ... | TOC JSON | toc_len:u64
 
 Each tile payload is itself a self-describing flat (v2/v3) container
@@ -30,6 +30,17 @@ tile's byte extent (``offset``/``size``) and index-space extent
 intersecting a requested hyperslab without touching the rest of the
 file.  The TOC trails the payloads so writers can stream tiles to disk
 with bounded memory and fix the offsets up at close time.
+
+* **v4** — every tile was encoded under the global header's config.
+* **v5** (adaptive) — the same frame, but the TOC additionally carries
+  a ``configs`` palette of the distinct model-selected codec parameter
+  sets (``[predictor, absolute error bound, quantizer radius]``
+  triples) plus a ``tile_configs`` array mapping every tile to its
+  palette entry, so heterogeneous per-tile choices survive in the
+  format and readers reconstruct without a global config.  The palette
+  + index encoding keeps the per-tile TOC cost to a couple of bytes —
+  neighbouring tiles frequently land on the same choice, and the
+  allocation grid bounds the number of distinct entries.
 """
 
 from __future__ import annotations
@@ -46,11 +57,14 @@ __all__ = [
     "VERSION_SINGLE",
     "VERSION_CHUNKED",
     "VERSION_TILED",
+    "VERSION_ADAPTIVE",
+    "TILED_VERSIONS",
     "SECTION_NAMES",
     "flat_overhead",
     "write_flat",
     "read_flat",
     "container_version",
+    "is_tiled_version",
     "write_chunked_codes",
     "read_chunked_codes",
     "TileRecord",
@@ -65,8 +79,12 @@ VERSION_SINGLE = 2
 VERSION_CHUNKED = 3
 #: tiled container with a trailing TOC
 VERSION_TILED = 4
+#: tiled container whose TOC records per-tile codec configurations
+VERSION_ADAPTIVE = 5
 
 _FLAT_VERSIONS = (VERSION_SINGLE, VERSION_CHUNKED)
+#: container versions that use the tiled payloads + trailing-TOC frame
+TILED_VERSIONS = (VERSION_TILED, VERSION_ADAPTIVE)
 
 # Writer layout constants -- every size computation below derives from
 # these, so accounting cannot drift from the format.
@@ -92,6 +110,11 @@ def container_version(blob: bytes) -> int:
     if blob[: len(MAGIC)] != MAGIC:
         raise ValueError("not an RQSZ container")
     return blob[len(MAGIC)]
+
+
+def is_tiled_version(version: int) -> bool:
+    """Whether *version* uses the tiled payloads + trailing-TOC frame."""
+    return version in TILED_VERSIONS
 
 
 # -- flat (v2/v3) containers ---------------------------------------------------
@@ -208,17 +231,39 @@ def read_chunked_codes(payload: bytes) -> list[bytes]:
     return blobs
 
 
-# -- tiled (v4) containers -----------------------------------------------------
+# -- tiled (v4/v5) containers --------------------------------------------------
+
+#: field order of the v5 TOC config-palette entries
+_CONFIG_ENTRY_KEYS = ("predictor", "error_bound", "quant_radius")
+
+
+def _config_to_entry(config: dict) -> list:
+    """Compact ``[predictor, error_bound, quant_radius]`` palette form."""
+    return [config.get(key) for key in _CONFIG_ENTRY_KEYS]
+
+
+def _entry_to_config(entry: Sequence | dict) -> dict:
+    """Inverse of :func:`_config_to_entry` (tolerates dict entries)."""
+    if isinstance(entry, dict):
+        return dict(entry)
+    return dict(zip(_CONFIG_ENTRY_KEYS, entry))
 
 
 @dataclass(frozen=True)
 class TileRecord:
-    """One tile's byte extent and index-space extent."""
+    """One tile's byte extent, index-space extent and codec parameters.
+
+    ``config`` is ``None`` in v4 containers (every tile shares the
+    global header's settings); the adaptive v5 container stores each
+    tile's chosen codec parameters here so readers and tooling can
+    reconstruct the per-tile choices without a global config.
+    """
 
     offset: int
     size: int
     start: tuple[int, ...]
     stop: tuple[int, ...]
+    config: dict | None = None
 
     @property
     def shape(self) -> tuple[int, ...]:
@@ -226,6 +271,7 @@ class TileRecord:
         return tuple(b - a for a, b in zip(self.start, self.stop))
 
     def to_json(self) -> dict:
+        """TOC form of the byte/index extents (config is palettized)."""
         return {
             "offset": self.offset,
             "size": self.size,
@@ -234,12 +280,15 @@ class TileRecord:
         }
 
     @staticmethod
-    def from_json(record: dict) -> "TileRecord":
+    def from_json(
+        record: dict, config: dict | None = None
+    ) -> "TileRecord":
         return TileRecord(
             offset=int(record["offset"]),
             size=int(record["size"]),
             start=tuple(int(x) for x in record["start"]),
             stop=tuple(int(x) for x in record["stop"]),
+            config=config,
         )
 
 
@@ -250,26 +299,34 @@ class TiledWriter:
     written at close.  Use as a context manager or call :meth:`finish`.
     """
 
-    def __init__(self, sink: BinaryIO, header: dict) -> None:
+    def __init__(
+        self,
+        sink: BinaryIO,
+        header: dict,
+        version: int = VERSION_TILED,
+    ) -> None:
+        if version not in TILED_VERSIONS:
+            raise ValueError(f"not a tiled container version: {version}")
         self._fh = sink
+        self._version = version
         self._tiles: list[TileRecord] = []
         self._finished = False
         try:
             self._start = sink.tell()
         except (OSError, AttributeError):
             self._start = 0  # non-seekable sink: container starts it
-        prelude, _ = self._prelude(header)
+        prelude, _ = self._prelude(header, version)
         self._fh.write(prelude)
         # _pos tracks the sink's absolute position so TOC offsets stay
         # valid even when the container does not begin at byte 0
         self._pos = self._start + len(prelude)
 
     @staticmethod
-    def _prelude(header: dict) -> tuple[bytes, int]:
+    def _prelude(header: dict, version: int) -> tuple[bytes, int]:
         header_bytes = json.dumps(header, sort_keys=True).encode()
         return (
             MAGIC
-            + bytes([VERSION_TILED])
+            + bytes([version])
             + len(header_bytes).to_bytes(_HEADER_LEN_BYTES, "little")
             + header_bytes,
             len(header_bytes),
@@ -280,6 +337,7 @@ class TiledWriter:
         start: Sequence[int],
         stop: Sequence[int],
         payload: bytes,
+        config: dict | None = None,
     ) -> TileRecord:
         """Append one encoded tile; returns its TOC record."""
         if self._finished:
@@ -289,6 +347,7 @@ class TiledWriter:
             size=len(payload),
             start=tuple(int(x) for x in start),
             stop=tuple(int(x) for x in stop),
+            config=config,
         )
         self._fh.write(payload)
         self._pos += len(payload)
@@ -309,9 +368,24 @@ class TiledWriter:
         """Write the trailing TOC; returns the total container size."""
         if self._finished:
             return self._pos - self._start
-        toc = json.dumps(
-            {"tiles": [t.to_json() for t in self._tiles]}
-        ).encode()
+        palette: list[list] = []
+        indices: dict[str, int] = {}
+        tile_configs: list[int | None] = []
+        for tile in self._tiles:
+            if tile.config is None:
+                tile_configs.append(None)
+                continue
+            entry = _config_to_entry(tile.config)
+            key = json.dumps(entry)
+            if key not in indices:
+                indices[key] = len(palette)
+                palette.append(entry)
+            tile_configs.append(indices[key])
+        body: dict = {"tiles": [t.to_json() for t in self._tiles]}
+        if palette:
+            body["configs"] = palette
+            body["tile_configs"] = tile_configs
+        toc = json.dumps(body).encode()
         self._fh.write(toc)
         self._fh.write(len(toc).to_bytes(_TOC_LEN_BYTES, "little"))
         self._pos += len(toc) + _TOC_LEN_BYTES
@@ -380,10 +454,11 @@ class TiledReader:
         head = self._src.read_at(0, head_len)
         if head[: len(MAGIC)] != MAGIC:
             raise ValueError("not an RQSZ container")
-        if head[len(MAGIC)] != VERSION_TILED:
+        if head[len(MAGIC)] not in TILED_VERSIONS:
             raise ValueError(
                 f"not a tiled container (version {head[len(MAGIC)]})"
             )
+        self.version = int(head[len(MAGIC)])
         header_len = int.from_bytes(head[-_HEADER_LEN_BYTES:], "little")
         try:
             self.header: dict = json.loads(
@@ -393,7 +468,7 @@ class TiledReader:
             raise ValueError("corrupt container header") from exc
         if not isinstance(self.header, dict):
             raise ValueError("corrupt container header")
-        self.header["container_version"] = VERSION_TILED
+        self.header["container_version"] = self.version
 
         toc_len = int.from_bytes(
             self._src.read_at(total - _TOC_LEN_BYTES, _TOC_LEN_BYTES),
@@ -404,10 +479,29 @@ class TiledReader:
             raise ValueError("corrupt tile TOC")
         try:
             toc = json.loads(self._src.read_at(toc_start, toc_len).decode())
+            palette = toc.get("configs", ())
+            tile_configs = toc.get("tile_configs")
+            if tile_configs is None:
+                tile_configs = [None] * len(toc["tiles"])
+            if len(tile_configs) != len(toc["tiles"]):
+                # zip() below would silently drop trailing tiles
+                raise ValueError("corrupt tile TOC")
             self.tiles: list[TileRecord] = [
-                TileRecord.from_json(t) for t in toc["tiles"]
+                TileRecord.from_json(
+                    record,
+                    _entry_to_config(palette[index])
+                    if index is not None
+                    else None,
+                )
+                for record, index in zip(toc["tiles"], tile_configs)
             ]
-        except (UnicodeDecodeError, json.JSONDecodeError, KeyError, TypeError) as exc:
+        except (
+            UnicodeDecodeError,
+            json.JSONDecodeError,
+            KeyError,
+            IndexError,
+            TypeError,
+        ) as exc:
             raise ValueError("corrupt tile TOC") from exc
 
     def read_tile(self, record: TileRecord) -> bytes:

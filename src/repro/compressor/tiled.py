@@ -15,7 +15,15 @@ hyperslab — the access pattern HDF5+H5Z-SZ deployments serve.  The
 ``tiles_decoded`` / ``last_tiles_decoded`` counters expose exactly how
 many tiles each call touched.
 
-Error-bound semantics match the flat pipeline exactly:
+When ``config.adaptive`` is set the compressor first runs the
+model-driven planner (:class:`repro.compressor.adaptive.
+AdaptivePlanner`), encodes every tile under its own selected
+(predictor, bound, radius) and writes the **v5** container whose TOC
+records each tile's parameters; see :mod:`repro.compressor.adaptive`
+for the planning pipeline and its bound semantics.
+
+Error-bound semantics of the uniform path match the flat pipeline
+exactly:
 
 * ``ABS`` and ``PW_REL`` bounds are data-independent (the latter in log
   space), so tiles compress under the user's config directly;
@@ -35,9 +43,16 @@ from typing import BinaryIO, Iterable, Iterator, Sequence
 import numpy as np
 
 from repro.compressor import container
+from repro.compressor.adaptive import AdaptivePlan, AdaptivePlanner
 from repro.compressor.config import CompressionConfig, ErrorBoundMode
 from repro.compressor.container import TiledReader, TiledWriter, TileRecord
 from repro.compressor.sz import SZCompressor
+from repro.compressor.tiled_geometry import (
+    intersect_extent,
+    iter_tiles,
+    normalize_region,
+    tile_grid,
+)
 from repro.utils.timer import StageTimes, Timer
 
 __all__ = [
@@ -48,98 +63,6 @@ __all__ = [
     "normalize_region",
     "intersect_extent",
 ]
-
-
-# -- tile / region geometry ----------------------------------------------------
-
-
-def tile_grid(
-    shape: Sequence[int], tile_shape: Sequence[int]
-) -> tuple[int, ...]:
-    """Number of tiles along each axis (ceiling division)."""
-    if len(tile_shape) != len(shape):
-        raise ValueError(
-            f"tile shape {tuple(tile_shape)} does not match array "
-            f"dimensionality {tuple(shape)}"
-        )
-    if any(t < 1 for t in tile_shape):
-        raise ValueError("tile dimensions must be positive")
-    return tuple((n + t - 1) // t for n, t in zip(shape, tile_shape))
-
-
-def iter_tiles(
-    shape: Sequence[int], tile_shape: Sequence[int]
-) -> Iterator[tuple[tuple[int, ...], tuple[int, ...]]]:
-    """Yield every tile's ``(start, stop)`` extents in C order.
-
-    Edge tiles are clipped to the array bounds, so stops never exceed
-    the shape.
-    """
-    counts = tile_grid(shape, tile_shape)
-    for flat in range(int(np.prod(counts))):
-        idx = np.unravel_index(flat, counts)
-        yield (
-            tuple(int(i * t) for i, t in zip(idx, tile_shape)),
-            tuple(
-                int(min((i + 1) * t, n))
-                for i, t, n in zip(idx, tile_shape, shape)
-            ),
-        )
-
-
-def normalize_region(
-    region: Sequence[slice | int] | slice | int,
-    shape: Sequence[int],
-) -> tuple[slice, ...]:
-    """Resolve *region* to per-axis ``slice(start, stop)`` with step 1.
-
-    Accepts slices (with ``None`` endpoints and negative indices, numpy
-    style) and integers (kept as width-1 slices, so dimensionality is
-    preserved).  Missing trailing axes default to the full extent.
-    """
-    if isinstance(region, (slice, int)):
-        region = (region,)
-    region = tuple(region)
-    if len(region) > len(shape):
-        raise ValueError(
-            f"region has {len(region)} axes but the array has {len(shape)}"
-        )
-    region = region + (slice(None),) * (len(shape) - len(region))
-    out: list[slice] = []
-    for axis, (item, n) in enumerate(zip(region, shape)):
-        if isinstance(item, int):
-            if item < -n or item >= n:
-                raise IndexError(
-                    f"index {item} out of bounds for axis {axis} "
-                    f"with size {n}"
-                )
-            start = item + n if item < 0 else item
-            out.append(slice(start, start + 1))
-            continue
-        if item.step not in (None, 1):
-            raise ValueError("region slices must have step 1")
-        start, stop, _ = item.indices(n)
-        out.append(slice(start, max(start, stop)))
-    return tuple(out)
-
-
-def intersect_extent(
-    start: Sequence[int],
-    stop: Sequence[int],
-    region: Sequence[slice],
-) -> tuple[slice, ...] | None:
-    """Overlap of a tile extent with a normalized region.
-
-    Returns global-coordinate slices of the overlap, or ``None`` when
-    the tile and the region are disjoint.
-    """
-    overlap: list[slice] = []
-    for a, b, r in zip(start, stop, region):
-        lo, hi = max(a, r.start), min(b, r.stop)
-        if lo >= hi:
-            return None
-        overlap.append(slice(lo, hi))
-    return tuple(overlap)
 
 
 # -- results -------------------------------------------------------------------
@@ -156,6 +79,8 @@ class TiledResult:
     tiles: list[TileRecord]
     blob: bytes | None = None
     times: StageTimes = field(default_factory=StageTimes)
+    #: the per-tile assignment, for adaptive (v5) runs only
+    plan: AdaptivePlan | None = None
 
     @property
     def n_tiles(self) -> int:
@@ -191,11 +116,13 @@ class TiledCompressor:
         self,
         workers: int | None = None,
         codec: SZCompressor | None = None,
+        planner: AdaptivePlanner | None = None,
     ) -> None:
         if workers is not None and workers < 1:
             raise ValueError("workers must be a positive integer or None")
         self._workers = workers or 1
         self._codec = codec or SZCompressor()
+        self._planner = planner or AdaptivePlanner()
         #: tiles decoded since construction (all decode calls)
         self.tiles_decoded = 0
         #: tiles decoded by the most recent decode call
@@ -216,6 +143,12 @@ class TiledCompressor:
         memory and returns it in ``result.blob``.  *data* may be any
         array-like, including a ``np.memmap`` over a file that does not
         fit in RAM.
+
+        With ``config.adaptive`` set (and a non-empty array) the
+        model-driven planner assigns every tile its own predictor,
+        bound and quantizer radius, and the container is written as v5
+        with the choices recorded in the TOC (``result.plan`` carries
+        the full assignment).
         """
         if not hasattr(data, "ndim"):
             data = np.asarray(data)
@@ -227,11 +160,41 @@ class TiledCompressor:
         tile_shape = self._resolve_tile_shape(data.shape, config)
         times = StageTimes()
 
-        with Timer() as t:
-            tile_config, header_extra = self._resolve_tile_config(
-                data, config, tile_shape
-            )
-        times.add("scan", t.elapsed)
+        plan: AdaptivePlan | None = None
+        per_tile: list[tuple[CompressionConfig, dict]] | None = None
+        version = container.VERSION_TILED
+        if config.adaptive and data.size > 0:
+            with Timer() as t:
+                # None = nothing to plan (REL bound on a constant
+                # field); the uniform path below stores it exactly
+                plan = self._planner.plan(data, config, tile_shape)
+            times.add("plan", t.elapsed)
+        if plan is not None:
+            base = replace(config, tile_shape=None, adaptive=False)
+            per_tile = [
+                (plan.config_for(base, i), choice.to_json())
+                for i, choice in enumerate(plan.choices)
+            ]
+            header_extra = {
+                "adaptive": True,
+                "nominal_abs_eb": plan.nominal_bound,
+                # degenerate plans (e.g. zero aggregate MSE) have an
+                # infinite PSNR target; JSON has no Infinity token, so
+                # the on-disk header stores null to stay RFC-8259 clean
+                "target_psnr": (
+                    plan.target_psnr
+                    if np.isfinite(plan.target_psnr)
+                    else None
+                ),
+            }
+            version = container.VERSION_ADAPTIVE
+            tile_config = base
+        else:
+            with Timer() as t:
+                tile_config, header_extra = self._resolve_tile_config(
+                    data, config, tile_shape
+                )
+            times.add("scan", t.elapsed)
 
         header = {
             "shape": list(data.shape),
@@ -248,10 +211,10 @@ class TiledCompressor:
 
         sink, close_sink = self._open_sink(out)
         try:
-            writer = TiledWriter(sink, header)
+            writer = TiledWriter(sink, header, version=version)
             with Timer() as t:
                 self._encode_tiles(
-                    data, tile_config, tile_shape, writer, times
+                    data, tile_config, tile_shape, writer, times, per_tile
                 )
             times.add("encode_tiles", t.elapsed)
             total = writer.finish()
@@ -268,6 +231,7 @@ class TiledCompressor:
             tiles=writer.tiles,
             blob=blob,
             times=times,
+            plan=plan,
         )
 
     def _encode_tiles(
@@ -277,14 +241,22 @@ class TiledCompressor:
         tile_shape: tuple[int, ...],
         writer: TiledWriter,
         times: StageTimes,
+        per_tile: list[tuple[CompressionConfig, dict]] | None = None,
     ) -> None:
-        """Encode tiles batch-by-batch; at most ``workers`` tiles live."""
+        """Encode tiles batch-by-batch; at most ``workers`` tiles live.
 
-        def encode(extent: tuple[tuple[int, ...], tuple[int, ...]]) -> bytes:
-            start, stop = extent
+        ``per_tile`` (adaptive runs) supplies each tile's own config
+        plus the TOC ``config`` dict, in ``iter_tiles`` order.
+        """
+
+        def encode(
+            item: tuple[int, tuple[tuple[int, ...], tuple[int, ...]]]
+        ) -> bytes:
+            index, (start, stop) = item
+            cfg = per_tile[index][0] if per_tile is not None else tile_config
             slc = tuple(slice(a, b) for a, b in zip(start, stop))
             tile = np.ascontiguousarray(data[slc])
-            return self._codec.compress(tile, tile_config).blob
+            return self._codec.compress(tile, cfg).blob
 
         pool = (
             ThreadPoolExecutor(max_workers=self._workers)
@@ -293,16 +265,28 @@ class TiledCompressor:
         )
         try:
             for batch in _batched(
-                iter_tiles(data.shape, tile_shape), max(self._workers, 1)
+                enumerate(iter_tiles(data.shape, tile_shape)),
+                max(self._workers, 1),
             ):
                 payloads = (
                     list(pool.map(encode, batch))
                     if pool is not None
-                    else [encode(extent) for extent in batch]
+                    else [encode(item) for item in batch]
                 )
                 with Timer() as t:
-                    for (start, stop), payload in zip(batch, payloads):
-                        writer.add_tile(start, stop, payload)
+                    for (index, (start, stop)), payload in zip(
+                        batch, payloads
+                    ):
+                        writer.add_tile(
+                            start,
+                            stop,
+                            payload,
+                            config=(
+                                per_tile[index][1]
+                                if per_tile is not None
+                                else None
+                            ),
+                        )
                 times.add("io", t.elapsed)
         finally:
             if pool is not None:
@@ -329,7 +313,7 @@ class TiledCompressor:
         tile_shape: tuple[int, ...],
     ) -> tuple[CompressionConfig, dict]:
         """Per-tile config with data-independent bound, plus header extras."""
-        base = replace(config, tile_shape=None)
+        base = replace(config, tile_shape=None, adaptive=False)
         if config.mode is not ErrorBoundMode.REL or data.size == 0:
             return base, {}
         # REL: one streaming pass over the tiles resolves the global
@@ -461,7 +445,9 @@ class TiledCompressor:
         """Return the full blob when *source* is a flat v2/v3 container."""
         if isinstance(source, (bytes, bytearray, memoryview)):
             blob = bytes(source)
-            if container.container_version(blob) != container.VERSION_TILED:
+            if not container.is_tiled_version(
+                container.container_version(blob)
+            ):
                 return blob
             return None
         if isinstance(source, (str, os.PathLike)):
@@ -470,8 +456,9 @@ class TiledCompressor:
                 if (
                     len(head) > len(container.MAGIC)
                     and head[: len(container.MAGIC)] == container.MAGIC
-                    and head[len(container.MAGIC)]
-                    != container.VERSION_TILED
+                    and not container.is_tiled_version(
+                        head[len(container.MAGIC)]
+                    )
                 ):
                     return head + fh.read()
             return None
@@ -481,7 +468,7 @@ class TiledCompressor:
         if (
             len(head) > len(container.MAGIC)
             and head[: len(container.MAGIC)] == container.MAGIC
-            and head[len(container.MAGIC)] != container.VERSION_TILED
+            and not container.is_tiled_version(head[len(container.MAGIC)])
         ):
             return source.read()
         return None

@@ -1,0 +1,139 @@
+"""Tile-grid and hyperslab geometry shared by the tiled subsystem.
+
+Pure index-space helpers — no I/O, no codec state — used by
+:class:`repro.compressor.tiled.TiledCompressor`, the adaptive planner
+(:mod:`repro.compressor.adaptive`) and the chunked storage layer
+(:mod:`repro.storage.hdf5sim`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+__all__ = [
+    "tile_grid",
+    "iter_tiles",
+    "normalize_region",
+    "intersect_extent",
+]
+
+
+def tile_grid(
+    shape: Sequence[int], tile_shape: Sequence[int]
+) -> tuple[int, ...]:
+    """Number of tiles along each axis (ceiling division)."""
+    if len(tile_shape) != len(shape):
+        raise ValueError(
+            f"tile shape {tuple(tile_shape)} does not match array "
+            f"dimensionality {tuple(shape)}"
+        )
+    if any(t < 1 for t in tile_shape):
+        raise ValueError("tile dimensions must be positive")
+    return tuple((n + t - 1) // t for n, t in zip(shape, tile_shape))
+
+
+def iter_tiles(
+    shape: Sequence[int], tile_shape: Sequence[int]
+) -> Iterator[tuple[tuple[int, ...], tuple[int, ...]]]:
+    """Yield every tile's ``(start, stop)`` extents in C order.
+
+    Edge tiles are clipped to the array bounds, so stops never exceed
+    the shape.
+    """
+    counts = tile_grid(shape, tile_shape)
+    for flat in range(int(np.prod(counts))):
+        idx = np.unravel_index(flat, counts)
+        yield (
+            tuple(int(i * t) for i, t in zip(idx, tile_shape)),
+            tuple(
+                int(min((i + 1) * t, n))
+                for i, t, n in zip(idx, tile_shape, shape)
+            ),
+        )
+
+
+def normalize_region(
+    region: Sequence[slice | int] | slice | int,
+    shape: Sequence[int],
+) -> tuple[slice, ...]:
+    """Resolve *region* to per-axis ``slice(start, stop)`` with step 1.
+
+    Accepts slices with non-negative (or ``None``) endpoints and
+    integers (kept as width-1 slices, so dimensionality is preserved;
+    negative integers index from the end, numpy style).  Missing
+    trailing axes default to the full extent.
+
+    Slices with a step other than 1 or with negative endpoints raise
+    ``ValueError``: a region describes a contiguous hyperslab of a
+    (possibly huge, remote) container, where a reversed, strided or
+    end-relative slice is far more likely a caller bug than an intent
+    the tile reader could serve.
+    """
+    if isinstance(region, (slice, int)):
+        region = (region,)
+    region = tuple(region)
+    if len(region) > len(shape):
+        raise ValueError(
+            f"region has {len(region)} axes but the array has {len(shape)}"
+        )
+    region = region + (slice(None),) * (len(shape) - len(region))
+    out: list[slice] = []
+    for axis, (item, n) in enumerate(zip(region, shape)):
+        if isinstance(item, (int, np.integer)):
+            item = int(item)
+            if item < -n or item >= n:
+                raise IndexError(
+                    f"index {item} out of bounds for axis {axis} "
+                    f"with size {n}"
+                )
+            start = item + n if item < 0 else item
+            out.append(slice(start, start + 1))
+            continue
+        if not isinstance(item, slice):
+            raise ValueError(
+                f"region axis {axis} must be a slice or an integer, "
+                f"got {type(item).__name__}"
+            )
+        if item.step not in (None, 1):
+            raise ValueError(
+                f"region slices must have step 1; axis {axis} has "
+                f"step {item.step!r}"
+            )
+        for name, endpoint in (("start", item.start), ("stop", item.stop)):
+            if endpoint is None:
+                continue
+            if not isinstance(endpoint, (int, np.integer)):
+                raise ValueError(
+                    f"region slice {name} on axis {axis} must be an "
+                    f"integer or None, got {type(endpoint).__name__}"
+                )
+            if endpoint < 0:
+                raise ValueError(
+                    f"region slices must have non-negative endpoints; "
+                    f"axis {axis} has {name} {int(endpoint)}"
+                )
+        start = 0 if item.start is None else min(int(item.start), n)
+        stop = n if item.stop is None else min(int(item.stop), n)
+        out.append(slice(start, max(start, stop)))
+    return tuple(out)
+
+
+def intersect_extent(
+    start: Sequence[int],
+    stop: Sequence[int],
+    region: Sequence[slice],
+) -> tuple[slice, ...] | None:
+    """Overlap of a tile extent with a normalized region.
+
+    Returns global-coordinate slices of the overlap, or ``None`` when
+    the tile and the region are disjoint.
+    """
+    overlap: list[slice] = []
+    for a, b, r in zip(start, stop, region):
+        lo, hi = max(a, r.start), min(b, r.stop)
+        if lo >= hi:
+            return None
+        overlap.append(slice(lo, hi))
+    return tuple(overlap)

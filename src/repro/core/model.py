@@ -219,6 +219,16 @@ class RatioQualityModel:
             raise RuntimeError("call fit(data) before querying the model")
         return self.sample
 
+    @property
+    def side_overhead_bits(self) -> float:
+        """Predictor side-payload bits per point of the fitted array.
+
+        Bound-independent (anchors/coefficients ship verbatim); used by
+        the adaptive planner's cross-predictor comparison.
+        """
+        self._require_fit()
+        return self._overhead_bits
+
     # -- error-bound mode conversions ------------------------------------------
 
     def _to_abs(self, error_bound: float) -> float:

@@ -51,6 +51,7 @@ class PartitionOptimizer:
         models: list[RatioQualityModel],
         grid_points: int = 40,
         eb_span: tuple[float, float] | None = None,
+        value_range: float | None = None,
     ) -> None:
         if not models:
             raise ValueError("need at least one partition model")
@@ -61,7 +62,18 @@ class PartitionOptimizer:
         self.sizes = np.array(
             [m.sample.n_total for m in models], dtype=np.float64
         )
-        self.value_range = max(m.sample.value_range for m in models)
+        # Aggregate PSNR is defined against the *global* value range.  The
+        # per-partition maximum is only a lower bound on it (partitions of
+        # a gradient each see a fraction of the full span), so callers
+        # that know the true range pass it explicitly — the per-tile
+        # adaptive planner does.
+        if value_range is not None and value_range < 0:
+            raise ValueError("value_range must be non-negative")
+        self.value_range = (
+            float(value_range)
+            if value_range is not None
+            else max(m.sample.value_range for m in models)
+        )
         self._build_grid(grid_points, eb_span)
 
     def _build_grid(
@@ -106,7 +118,9 @@ class PartitionOptimizer:
         rows = np.arange(len(self.models))
         mean_bits = float(np.sum(weights * self.bitrates[rows, choice]))
         mean_mse = float(np.sum(weights * self.mses[rows, choice]))
-        if mean_mse <= 0:
+        if mean_mse <= 0 or self.value_range <= 0:
+            # zero MSE, or a constant field whose PSNR is ill-defined:
+            # treat as perfect, matching RatioQualityModel.estimate
             psnr = float("inf")
         else:
             psnr = float(

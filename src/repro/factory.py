@@ -46,6 +46,7 @@ class CodecFactory:
     lossless: str | None = "zstd_like"
     chunk_size: int | None = None
     tile_shape: tuple[int, ...] | None = None
+    adaptive: bool = False
     workers: int | None = None
     sample_rate: float = DEFAULT_SAMPLE_RATE
     seed: int | None = 0
@@ -65,6 +66,7 @@ class CodecFactory:
             lossless=self.lossless,
             chunk_size=self.chunk_size,
             tile_shape=self.tile_shape,
+            adaptive=self.adaptive,
         )
         return replace(base, **overrides) if overrides else base
 
@@ -73,8 +75,20 @@ class CodecFactory:
         return SZCompressor(workers=self.workers)
 
     def tiled_compressor(self) -> TiledCompressor:
-        """The tiled out-of-core compressor."""
-        return TiledCompressor(workers=self.workers)
+        """The tiled out-of-core compressor.
+
+        The factory's sampling settings parameterize the adaptive
+        planner, so ``adaptive`` runs sample at the rate/seed every
+        other model in the study uses.
+        """
+        from repro.compressor.adaptive import AdaptivePlanner
+
+        return TiledCompressor(
+            workers=self.workers,
+            planner=AdaptivePlanner(
+                sample_rate=self.sample_rate, seed=self.seed
+            ),
+        )
 
     # -- model construction ----------------------------------------------------
 

@@ -27,12 +27,13 @@ from __future__ import annotations
 
 import json
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Sequence
 
 import numpy as np
 
 from repro.compressor import CompressionConfig, SZCompressor
+from repro.compressor.adaptive import AdaptivePlan, AdaptivePlanner
 from repro.compressor.tiled import (
     intersect_extent,
     iter_tiles,
@@ -77,12 +78,20 @@ class H5LikeFile:
             back = f.read_dataset("pressure")
     """
 
-    def __init__(self, path: str, mode: str = "r") -> None:
+    def __init__(
+        self,
+        path: str,
+        mode: str = "r",
+        planner: AdaptivePlanner | None = None,
+    ) -> None:
         if mode not in ("r", "w"):
             raise ValueError("mode must be 'r' or 'w'")
         self.path = path
         self.mode = mode
         self._sz = SZCompressor()
+        # drives adaptive filter configs; injectable so callers can
+        # align sampling settings with the rest of their pipeline
+        self._planner = planner or AdaptivePlanner()
         self._toc: dict = {"datasets": {}}
         if mode == "w":
             self._fh = open(path, "wb")
@@ -127,6 +136,12 @@ class H5LikeFile:
         ``chunk_shape`` defaults to the filter config's ``tile_shape``
         when set, else the full array (one chunk); pass a smaller grid
         for partial-read patterns (:meth:`read_region`).
+
+        A filter config with ``adaptive`` set runs the model-driven
+        planner over the chunk grid, so every chunk is stored under its
+        own (predictor, bound, radius) — the chunk records carry the
+        choices, and reads are transparent since each payload is
+        self-describing.
         """
         if self.mode != "w":
             raise IOError("file is open read-only")
@@ -145,13 +160,27 @@ class H5LikeFile:
         ):
             raise ValueError("invalid chunk shape")
 
+        plan: AdaptivePlan | None = None
+        base = config
+        if config is not None and config.adaptive and data.size > 0:
+            # None = nothing to plan (constant field under REL): fall
+            # back to the uniform filter, which stores it exactly
+            plan = self._planner.plan(data, config, chunk_shape)
+            if plan is not None:
+                base = replace(config, tile_shape=None, adaptive=False)
+
         chunk_records: list[dict] = []
         total = 0
-        for start, stop in iter_tiles(data.shape, chunk_shape):
+        for index, (start, stop) in enumerate(
+            iter_tiles(data.shape, chunk_shape)
+        ):
             slc = tuple(slice(a, b) for a, b in zip(start, stop))
             chunk = np.ascontiguousarray(data[slc])
             if config is not None:
-                payload = self._sz.compress(chunk, config).blob
+                chunk_config = (
+                    plan.config_for(base, index) if plan is not None else config
+                )
+                payload = self._sz.compress(chunk, chunk_config).blob
                 kind = "sz"
             else:
                 payload = chunk.tobytes()
@@ -159,15 +188,16 @@ class H5LikeFile:
             offset = self._fh.tell()
             self._fh.write(payload)
             total += len(payload)
-            chunk_records.append(
-                {
-                    "offset": int(offset),
-                    "size": len(payload),
-                    "kind": kind,
-                    "start": [int(s.start) for s in slc],
-                    "stop": [int(s.stop) for s in slc],
-                }
-            )
+            record = {
+                "offset": int(offset),
+                "size": len(payload),
+                "kind": kind,
+                "start": [int(s.start) for s in slc],
+                "stop": [int(s.stop) for s in slc],
+            }
+            if plan is not None:
+                record["config"] = plan.choices[index].to_json()
+            chunk_records.append(record)
         entry = {
             "shape": list(data.shape),
             "dtype": data.dtype.str,
@@ -195,6 +225,7 @@ class H5LikeFile:
                 if config.tile_shape is not None
                 else None
             ),
+            "adaptive": config.adaptive,
         }
 
     # -- reading ------------------------------------------------------------
@@ -259,7 +290,8 @@ class H5LikeFile:
         Seeks to, reads and decompresses exclusively the chunks
         intersecting the region — a partial read in the H5Z-SZ sense.
         *region* follows :func:`repro.compressor.tiled.normalize_region`
-        semantics (slices and width-1 ints, numpy-style endpoints).
+        semantics: step-1 slices with non-negative endpoints, plus
+        width-1 integer indices (negative ints count from the end).
         """
         entry = self._entry(name)
         dtype = np.dtype(entry["dtype"])

@@ -170,3 +170,59 @@ class TestTiledFormat:
             container.container_version(sink.getvalue())
             == container.VERSION_TILED
         )
+
+    def _write_adaptive(self, sink):
+        header = {"shape": [4, 4], "dtype": "<f4", "adaptive": True}
+        cfg_a = {"predictor": "lorenzo", "error_bound": 0.5,
+                 "quant_radius": 256}
+        cfg_b = {"predictor": "interpolation", "error_bound": 2.0,
+                 "quant_radius": 1024}
+        with TiledWriter(
+            sink, header, version=container.VERSION_ADAPTIVE
+        ) as writer:
+            writer.add_tile((0, 0), (2, 4), b"payload-a", config=cfg_a)
+            writer.add_tile((2, 0), (4, 4), b"payload-bb", config=cfg_b)
+            writer.add_tile((4, 0), (6, 4), b"payload-c", config=cfg_a)
+        return cfg_a, cfg_b
+
+    def test_v5_palette_roundtrip(self):
+        sink = io.BytesIO()
+        cfg_a, cfg_b = self._write_adaptive(sink)
+        blob = sink.getvalue()
+        assert container.container_version(blob) == 5
+        reader = TiledReader(blob)
+        assert reader.version == container.VERSION_ADAPTIVE
+        assert [t.config for t in reader.tiles] == [cfg_a, cfg_b, cfg_a]
+        # two distinct configs palettized once despite three tiles
+        import json as _json
+
+        toc_len = int.from_bytes(blob[-8:], "little")
+        toc = _json.loads(blob[-8 - toc_len : -8])
+        assert len(toc["configs"]) == 2
+        assert toc["tile_configs"] == [0, 1, 0]
+
+    @pytest.mark.parametrize("keep", [1, 0])
+    def test_v5_mismatched_tile_configs_rejected(self, keep):
+        # a tile_configs array shorter than tiles (including empty,
+        # which must not fall back to the no-configs path) must not
+        # silently drop trailing tiles
+        import json as _json
+
+        sink = io.BytesIO()
+        self._write_adaptive(sink)
+        blob = sink.getvalue()
+        toc_len = int.from_bytes(blob[-8:], "little")
+        toc = _json.loads(blob[-8 - toc_len : -8])
+        toc["tile_configs"] = toc["tile_configs"][:keep]
+        bad_toc = _json.dumps(toc).encode()
+        bad = (
+            blob[: -8 - toc_len]
+            + bad_toc
+            + len(bad_toc).to_bytes(8, "little")
+        )
+        with pytest.raises(ValueError, match="corrupt tile TOC"):
+            TiledReader(bad)
+
+    def test_invalid_writer_version_rejected(self):
+        with pytest.raises(ValueError):
+            TiledWriter(io.BytesIO(), {"shape": [1]}, version=3)

@@ -1,0 +1,27 @@
+"""Randomized round-trip properties over the full config space.
+
+Each seed expands deterministically (``tests/proptest.py``) into one
+compression scenario — dtype, prime-dimension shape of rank 0..4, bound
+mode, predictor, lossless backend, chunking, tiling, adaptivity — and
+asserts the round-trip bound, dtype/shape preservation, flat-vs-tiled
+decode equivalence and region-decode consistency.
+
+Reproduce a reported failure with ``PROPTEST_SEED=<seed>``; widen the
+sweep with ``PROPTEST_COUNT=<n>`` (tier-1 runs the first 48 seeds).
+"""
+
+import os
+
+import pytest
+
+from tests.proptest import run_seed
+
+if os.environ.get("PROPTEST_SEED"):
+    SEEDS = [int(os.environ["PROPTEST_SEED"])]
+else:
+    SEEDS = list(range(int(os.environ.get("PROPTEST_COUNT", "48"))))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_roundtrip_properties(seed):
+    run_seed(seed)

@@ -35,13 +35,14 @@ class TestGeometry:
             counts[tuple(slice(a, b) for a, b in zip(start, stop))] += 1
         assert np.all(counts == 1)
 
-    def test_normalize_region_defaults_and_negatives(self):
+    def test_normalize_region_defaults_and_negative_ints(self):
         shape = (10, 8)
         assert normalize_region((slice(None),), shape) == (
             slice(0, 10),
             slice(0, 8),
         )
-        assert normalize_region((slice(-3, None), -1), shape) == (
+        # negative *integers* index from the end, numpy style
+        assert normalize_region((slice(7, None), -1), shape) == (
             slice(7, 10),
             slice(7, 8),
         )
@@ -53,6 +54,43 @@ class TestGeometry:
             normalize_region((slice(None),) * 3, (10,))
         with pytest.raises(IndexError):
             normalize_region((99,), (10,))
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            slice(-3, None),
+            slice(None, -1),
+            slice(-5, -2),
+            slice(None, None, 2),
+            slice(None, None, -1),
+            slice(8, 0, -1),
+            slice(0.5, 3),
+            "0:3",
+        ],
+    )
+    def test_normalize_region_rejects_invalid_slices(self, bad):
+        """Negative endpoints, steps and non-int slices raise cleanly."""
+        with pytest.raises(ValueError):
+            normalize_region((bad,), (10,))
+
+    def test_decompress_region_rejects_invalid_slices(self):
+        # regression: the decode entry points themselves must raise a
+        # clean ValueError instead of mis-decoding odd regions
+        data = smooth_field((16, 16))
+        cfg = CompressionConfig(error_bound=1e-3, tile_shape=(8, 8))
+        tc = TiledCompressor()
+        result = tc.compress(data, cfg)
+        for region in (
+            (slice(-4, None), slice(None)),
+            (slice(None), slice(0, 16, 2)),
+            (slice(None, None, -1),),
+        ):
+            with pytest.raises(ValueError):
+                tc.decompress_region(result.blob, region)
+        # flat blobs go through the same validation
+        flat = SZCompressor().compress(data, CompressionConfig(error_bound=1e-3))
+        with pytest.raises(ValueError):
+            tc.decompress_region(flat.blob, (slice(-4, None),))
 
     def test_intersect_extent(self):
         region = (slice(2, 6),)

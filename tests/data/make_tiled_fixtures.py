@@ -1,0 +1,84 @@
+"""Regenerate the tiled (v4) and adaptive (v5) golden fixtures.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/data/make_tiled_fixtures.py
+
+Policy: the fixtures pin the *byte format*, so regeneration is only
+legitimate alongside an intentional, version-bumped format change — an
+innocent code change that alters these bytes is exactly the drift the
+golden tests exist to catch.  The paired ``*_expected.npy`` arrays pin
+the decoded values; they must never change for an already-released
+container version.
+
+The inputs are fully deterministic (fixed seeds, serial encoding), so a
+regeneration without a format change is a byte-identical no-op.
+"""
+
+import os
+import sys
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", ".."))
+
+from repro.compressor import CompressionConfig, TiledCompressor  # noqa: E402
+from repro.datasets.generators import (  # noqa: E402
+    gaussian_random_field,
+    lognormal_field,
+)
+
+DATA_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def smooth_field(shape, seed=1234, noise=0.05):
+    """Mirror of tests/conftest.smooth_field (kept standalone)."""
+    rng = np.random.default_rng(seed)
+    axes = [np.linspace(0, 3 * np.pi, n) for n in shape]
+    grids = np.meshgrid(*axes, indexing="ij")
+    field = np.ones(shape)
+    for g in grids:
+        field = field * np.sin(g + 0.3)
+    field = field + noise * rng.standard_normal(shape)
+    return field.astype(np.float32)
+
+
+def hetero_field(shape=(96, 96), seed=7):
+    bg = gaussian_random_field(shape, slope=4.0, seed=seed).astype(np.float64)
+    hs = tuple(n // 2 for n in shape)
+    halos = lognormal_field(hs, slope=2.0, seed=seed + 1, contrast=2.5)
+    pad = tuple((n // 8, n - h - n // 8) for n, h in zip(shape, hs))
+    return (bg + np.pad(0.5 * halos.astype(np.float64), pad)).astype(
+        np.float32
+    )
+
+
+def write(name: str, blob: bytes, expected: np.ndarray) -> None:
+    with open(os.path.join(DATA_DIR, f"{name}.rqsz"), "wb") as fh:
+        fh.write(blob)
+    np.save(os.path.join(DATA_DIR, f"{name}_expected.npy"), expected)
+    print(f"{name}: {len(blob)} bytes, expected {expected.shape}")
+
+
+def main() -> None:
+    tc = TiledCompressor()
+
+    # v4: edge tiles (prime-ish shape), chunked tile payloads, zstd
+    data = smooth_field((21, 19)).astype(np.float64)
+    config = CompressionConfig(
+        error_bound=1e-3, tile_shape=(8, 8), chunk_size=128
+    )
+    result = tc.compress(data, config)
+    write("pr2_v4_tiled_zstd", result.blob, tc.decompress(result.blob))
+
+    # v5: adaptive per-tile configs on a heterogeneous field
+    field = hetero_field()
+    config = CompressionConfig(
+        error_bound=1.0, tile_shape=(32, 32), adaptive=True
+    )
+    result = tc.compress(field, config)
+    write("pr3_v5_adaptive", result.blob, tc.decompress(result.blob))
+
+
+if __name__ == "__main__":
+    main()

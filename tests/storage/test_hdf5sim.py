@@ -59,6 +59,43 @@ class TestBasicIO:
         with H5LikeFile(path, "r") as f:
             assert f.attrs("x") == {"step": 5, "tag": "rtm"}
 
+    def test_adaptive_filter_per_chunk_configs(self, path):
+        # heterogeneous data: the adaptive filter assigns per-chunk
+        # configs, records them in the TOC, and reads stay transparent
+        rng = np.random.default_rng(0)
+        data = smooth_field((64, 64)).astype(np.float64)
+        data[:32, :32] += 40.0 * rng.standard_normal((32, 32))
+        cfg = CompressionConfig(
+            error_bound=0.05, tile_shape=(32, 32), adaptive=True
+        )
+        with H5LikeFile(path, "w") as f:
+            info = f.create_dataset("x", data, cfg)
+        assert info.filter_config["adaptive"] is True
+        with H5LikeFile(path, "r") as f:
+            back = f.read_dataset("x")
+            chunks = f._entry("x")["chunks"]
+            assert len(chunks) == 4
+            bounds = {c["config"]["error_bound"] for c in chunks}
+            assert all(
+                set(c["config"])
+                == {"predictor", "error_bound", "quant_radius"}
+                for c in chunks
+            )
+            assert len(bounds) > 1  # heterogeneous chunks, distinct bounds
+            # reconstruction honours each chunk's own recorded bound
+            for c in chunks:
+                slc = tuple(
+                    slice(a, b) for a, b in zip(c["start"], c["stop"])
+                )
+                assert_error_bounded(
+                    data[slc], back[slc], c["config"]["error_bound"]
+                )
+            # partial reads work identically on adaptive datasets
+            np.testing.assert_array_equal(
+                f.read_region("x", (slice(10, 50), slice(20, 40))),
+                back[10:50, 20:40],
+            )
+
 
 class TestMetadata:
     def test_info_fields(self, path):

@@ -215,6 +215,43 @@ class TestTiledCli:
             main(["decompress", blob, str(tmp_path / "r.npy"),
                   "--region", "1:2:3"])
 
+    def test_adaptive_compress_decompress_inspect(self, tmp_path, capsys):
+        src = str(tmp_path / "f.npy")
+        data = smooth_field((48, 48)) + 3.0 * smooth_field((48, 48), seed=9)
+        np.save(src, data)
+        blob = str(tmp_path / "f.rqsz")
+        back = str(tmp_path / "b.npy")
+        assert (
+            main(["compress", src, blob, "--eb", "0.02",
+                  "--tile", "16,16", "--adaptive"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "adaptive plan" in out
+        with open(blob, "rb") as fh:
+            assert fh.read()[4] == 5  # adaptive v5 container
+        assert main(["decompress", blob, back]) == 0
+        assert np.load(back).shape == data.shape
+        capsys.readouterr()
+        assert main(["inspect", blob]) == 0
+        header = json.loads(capsys.readouterr().out)
+        assert header["container_version"] == 5
+        assert header["adaptive"] is True
+        adaptive = header["tile_map"]["adaptive"]
+        assert sum(adaptive["predictor_counts"].values()) == 9
+        assert adaptive["error_bound_max"] >= adaptive["error_bound_min"]
+        for tile in header["tile_map"]["tiles"]:
+            assert "config" in tile
+
+    def test_adaptive_requires_tile_and_value_modes(self, field_file, tmp_path):
+        blob = str(tmp_path / "x.rqsz")
+        with pytest.raises(SystemExit):
+            main(["compress", field_file, blob, "--eb", "0.01",
+                  "--adaptive"])
+        with pytest.raises(SystemExit):
+            main(["compress", field_file, blob, "--eb", "0.01",
+                  "--tile", "8,8", "--adaptive", "--mode", "pw_rel"])
+
 
 class TestInspect:
     def test_header_json(self, field_file, tmp_path, capsys):

@@ -39,6 +39,12 @@ class TestConfigs:
         assert config.predictor == "regression"
         assert config.error_bound == 1e-2
 
+    def test_adaptive_carried_and_overridable(self):
+        factory = CodecFactory(tile_shape=(8, 8), adaptive=True)
+        assert factory.config(1e-3).adaptive is True
+        assert factory.config(1e-3, adaptive=False).adaptive is False
+        assert CodecFactory().config(1e-3).adaptive is False
+
     def test_with_predictor_variant(self):
         factory = CodecFactory(sample_rate=0.05, seed=7)
         variant = factory.with_predictor("regression")

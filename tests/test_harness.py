@@ -26,6 +26,38 @@ def cells(study):
     return study.run()
 
 
+class TestTiledStudies:
+    def test_tiled_factory_routes_through_tiled_compressor(self):
+        from repro.factory import CodecFactory
+
+        study = RateDistortionStudy(
+            fields={"f": smooth_field((24, 24), seed=3)},
+            predictors=("lorenzo",),
+            relative_bounds=(1e-2,),
+            factory=CodecFactory(tile_shape=(12, 12)),
+        )
+        cells = study.run()
+        assert len(cells) == 1
+        assert np.isfinite(cells[0].meas_psnr)
+        assert cells[0].meas_bitrate > 0
+
+    def test_adaptive_factory_study(self):
+        from repro.factory import CodecFactory
+
+        rng = np.random.default_rng(0)
+        field = smooth_field((32, 32), seed=4).astype(np.float64)
+        field[:16, :16] += 10.0 * rng.standard_normal((16, 16))
+        study = RateDistortionStudy(
+            fields={"hetero": field},
+            predictors=("lorenzo",),
+            relative_bounds=(1e-2,),
+            factory=CodecFactory(tile_shape=(16, 16), adaptive=True),
+        )
+        cells = study.run()
+        assert len(cells) == 1
+        assert np.isfinite(cells[0].meas_psnr)
+
+
 class TestConstruction:
     def test_empty_fields_raise(self):
         with pytest.raises(ValueError):
