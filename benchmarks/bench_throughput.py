@@ -14,6 +14,12 @@ whole-array (plus intermediates) footprint of the flat pipeline.  It
 also records a 1%-hyperslab region decode with the tile-decode counter,
 demonstrating that partial reads touch only the intersecting tiles.
 
+The **serve_latency** mode measures the serving subsystem
+(:mod:`repro.service`): a threaded HTTP server over a 16-tile halo
+dataset answers hyperslab reads while the benchmark records QPS and
+p50/p99 latency with a cold versus warm decoded-tile cache.  The
+acceptance criterion is a >= 3x median speedup from the cache.
+
 The **v5_adaptive** mode runs the model-driven per-tile planner on a
 heterogeneous field (smooth background + an injected halo-dense
 lognormal region) and compares the adaptive v5 container against the
@@ -241,6 +247,141 @@ def _measure_adaptive() -> dict:
     }
 
 
+# -- serving (region-read latency) workload ------------------------------------
+
+#: 16-tile halo field served over HTTP (512x512 f4, 128x128 tiles)
+SERVE_SHAPE = (512, 512)
+SERVE_TILE = (128, 128)
+SERVE_EB = 0.25
+SERVE_WINDOW = 160  # probe hyperslab edge (touches 2-4 tiles)
+#: acceptance: warm-cache p50 must be >= 3x faster than cold-cache p50
+SERVE_MIN_WARM_SPEEDUP = 3.0
+SERVE_THREADS = 8
+
+
+def _serve_field() -> np.ndarray:
+    """16-tile variant of the heterogeneous halo field."""
+    from repro.datasets.generators import (
+        gaussian_random_field,
+        lognormal_field,
+    )
+
+    shape = SERVE_SHAPE
+    bg = gaussian_random_field(shape, slope=4.0, seed=17).astype(
+        np.float64
+    )
+    hs = tuple(n // 4 for n in shape)
+    halos = lognormal_field(hs, slope=2.0, seed=18, contrast=3.0)
+    pad = tuple((n // 8, n - h - n // 8) for n, h in zip(shape, hs))
+    return (bg + np.pad(0.5 * halos.astype(np.float64), pad)).astype(
+        np.float32
+    )
+
+
+def _serve_slabs() -> list:
+    """Deterministic probe windows over the halo field."""
+    slabs = []
+    for i in range(16):
+        x0 = (i * 96) % (SERVE_SHAPE[0] - SERVE_WINDOW)
+        y0 = (i * 53) % (SERVE_SHAPE[1] - SERVE_WINDOW)
+        slabs.append(
+            f"{x0}:{x0 + SERVE_WINDOW},{y0}:{y0 + SERVE_WINDOW}"
+        )
+    return slabs
+
+
+def _measure_serving(tmp_path) -> dict:
+    """QPS + p50/p99 region-read latency, cold vs warm tile cache."""
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.service import (
+        ArrayClient,
+        ArrayServer,
+        ArrayStore,
+        TileLRUCache,
+    )
+
+    field = _serve_field()
+    store = ArrayStore(
+        str(tmp_path / "serve_store"),
+        cache=TileLRUCache(byte_budget=64 << 20),
+    )
+    server = ArrayServer(store)
+    server.serve_in_background()
+    try:
+        client = ArrayClient(server.url)
+        client.put("halo", field, eb=SERVE_EB, tile=SERVE_TILE)
+        slabs = _serve_slabs()
+
+        def timed_read(c: ArrayClient, slab: str) -> float:
+            start = time.perf_counter()
+            c.read_region("halo", slab)
+            return (time.perf_counter() - start) * 1e3
+
+        # cold: every request decodes its tiles (cache cleared first)
+        cold_ms = []
+        for _ in range(3):
+            for slab in slabs:
+                store.cache.clear()
+                cold_ms.append(timed_read(client, slab))
+
+        # warm: the working set is fully cached
+        for slab in slabs:
+            client.read_region("halo", slab)
+        warm_ms = [
+            timed_read(client, slab)
+            for _ in range(6)
+            for slab in slabs
+        ]
+
+        # sustained concurrent throughput on the warm cache
+        per_thread = 32
+
+        def worker(seed: int) -> int:
+            local = ArrayClient(server.url)
+            order = np.random.default_rng(seed).permutation(len(slabs))
+            done = 0
+            for i in range(per_thread):
+                local.read_region("halo", slabs[order[i % len(order)]])
+                done += 1
+            return done
+
+        start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=SERVE_THREADS) as pool:
+            total = sum(pool.map(worker, range(SERVE_THREADS)))
+        qps = total / (time.perf_counter() - start)
+        stats = store.cache.stats()
+    finally:
+        server.shutdown()
+        server.server_close()
+        store.close()
+
+    cold_p50 = float(np.percentile(cold_ms, 50))
+    warm_p50 = float(np.percentile(warm_ms, 50))
+    return {
+        "field": {
+            "shape": list(SERVE_SHAPE),
+            "tile_shape": list(SERVE_TILE),
+            "error_bound": SERVE_EB,
+            "window": SERVE_WINDOW,
+            "n_tiles": 16,
+        },
+        "requests": {
+            "cold": len(cold_ms),
+            "warm": len(warm_ms),
+            "concurrent": int(total),
+            "threads": SERVE_THREADS,
+        },
+        "cold_p50_ms": round(cold_p50, 3),
+        "cold_p99_ms": round(float(np.percentile(cold_ms, 99)), 3),
+        "warm_p50_ms": round(warm_p50, 3),
+        "warm_p99_ms": round(float(np.percentile(warm_ms, 99)), 3),
+        "warm_speedup_p50": round(cold_p50 / warm_p50, 3),
+        "qps": round(qps, 1),
+        "cache": stats.to_json(),
+    }
+
+
 def _measure(data: np.ndarray, chunk_size, workers) -> dict:
     config = CompressionConfig(
         predictor="lorenzo",
@@ -347,6 +488,7 @@ def test_throughput(report, tmp_path):
         )
         for label, m in measurements.items()
     ]
+    measurements["serve_latency"] = serving = _measure_serving(tmp_path)
     report(
         format_table(
             [
@@ -402,3 +544,20 @@ def test_throughput(report, tmp_path):
         f"(predictors {adaptive['predictor_counts']})"
     )
     assert adaptive["equal_psnr_gain"] >= ADAPTIVE_MIN_GAIN
+
+    # serving (acceptance criterion): on the 16-tile halo workload the
+    # decoded-tile cache must make warm region reads >= 3x faster at
+    # the median than cold ones, with real cache traffic behind it
+    report(
+        "serve_latency (16-tile halo field over HTTP): "
+        f"cold p50 {serving['cold_p50_ms']} ms / "
+        f"p99 {serving['cold_p99_ms']} ms, "
+        f"warm p50 {serving['warm_p50_ms']} ms / "
+        f"p99 {serving['warm_p99_ms']} ms "
+        f"(speedup {serving['warm_speedup_p50']}x), "
+        f"{serving['qps']} QPS with {SERVE_THREADS} threads, "
+        f"cache hit rate {serving['cache']['hit_rate']}"
+    )
+    assert serving["warm_speedup_p50"] >= SERVE_MIN_WARM_SPEEDUP
+    assert serving["cache"]["hits"] > 0
+    assert serving["qps"] > 0

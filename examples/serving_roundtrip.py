@@ -1,0 +1,103 @@
+"""Serving round-trip: start `repro serve`, then compress -> read -> stat.
+
+Launches the HTTP server as a subprocess over a temporary store (the
+way a deployment would run it), uploads a synthetic field for
+server-side tiled compression, reads a hyperslab back twice (cold,
+then warm from the decoded-tile cache), checks the error bound and the
+cache counters, and prints the dataset's container stat.  Exits
+non-zero on any failure — CI runs this as the serving smoke job.
+
+Usage::
+
+    python examples/serving_roundtrip.py [port]
+"""
+
+import subprocess
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+from repro.service import ArrayClient, ServiceError
+
+EB = 1e-3
+PORT = int(sys.argv[1]) if len(sys.argv) > 1 else 18742
+
+
+def wait_for_server(client: ArrayClient, timeout_s: float = 15.0) -> None:
+    deadline = time.time() + timeout_s
+    while time.time() < deadline:
+        try:
+            if client.health()["status"] == "ok":
+                return
+        except (OSError, ServiceError):
+            time.sleep(0.2)
+    raise SystemExit("server did not come up in time")
+
+
+def main() -> int:
+    store_dir = tempfile.mkdtemp(prefix="repro-store-")
+    server = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            store_dir,
+            "--port",
+            str(PORT),
+            "--cache-mb",
+            "64",
+        ]
+    )
+    try:
+        client = ArrayClient(f"http://127.0.0.1:{PORT}")
+        wait_for_server(client)
+
+        rng = np.random.default_rng(0)
+        field = np.cumsum(
+            rng.standard_normal((128, 128)), axis=0
+        ).astype(np.float32)
+
+        entry = client.put("demo", field, eb=EB, tile=(32, 32))
+        print(
+            f"put: {entry['raw_bytes']} -> {entry['compressed_bytes']} "
+            f"bytes ({entry['ratio']:.2f}x, {entry['n_tiles']} tiles)"
+        )
+        assert entry["n_tiles"] == 16
+
+        roi = client.read_region("demo", "32:96,32:96")
+        cold = dict(client.last_read_stats)
+        assert roi.shape == (64, 64)
+        assert np.max(np.abs(roi - field[32:96, 32:96])) <= EB * (
+            1 + 1e-5
+        )
+        roi_warm = client.read_region("demo", "32:96,32:96")
+        warm = dict(client.last_read_stats)
+        assert np.array_equal(roi, roi_warm)
+        assert cold["cache_misses"] > 0, cold
+        assert warm["cache_hits"] == warm["tiles_touched"], warm
+        print(f"read: cold {cold} -> warm {warm}")
+
+        stat = client.stat("demo")
+        assert stat["container"]["container_version"] == 4
+        assert stat["container"]["tile_map"]["n_tiles"] == 16
+        print(
+            "stat: v4 container, "
+            f"{stat['container']['tile_map']['payload_bytes']} payload "
+            "bytes"
+        )
+
+        cache = client.cache_stats()
+        assert cache["hits"] > 0
+        print(f"cache: {cache}")
+        print("serving round-trip OK")
+        return 0
+    finally:
+        server.terminate()
+        server.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

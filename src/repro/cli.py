@@ -9,9 +9,15 @@ Entry point for the library's day-to-day workflow on ``.npy`` arrays::
         --adaptive
     python -m repro decompress out.rqsz back.npy
     python -m repro decompress out.rqsz roi.npy --region 0:32,16:48,:
-    python -m repro inspect out.rqsz
+    python -m repro inspect out.rqsz [--json]
     python -m repro datasets
     python -m repro generate Nyx temperature field.npy --scale 0.5
+    python -m repro serve ./store --port 8765 --cache-mb 256
+    python -m repro remote-put http://host:8765 pressure field.npy \
+        --eb 1e-3 --tile 64,64
+    python -m repro remote-read http://host:8765 pressure roi.npy \
+        --region 0:32,16:48
+    python -m repro remote-stat http://host:8765 pressure --json
 
 ``compress`` accepts exactly one targeting flag: ``--eb`` (direct
 bound), ``--ratio`` (model-derived bound for a target ratio) or
@@ -36,12 +42,9 @@ import sys
 
 import numpy as np
 
-from repro.compressor import (
-    SZCompressor,
-    TiledCompressor,
-)
-from repro.compressor import container
-from repro.compressor.container import TiledReader
+from repro.compressor import TiledCompressor
+from repro.compressor.inspect import describe_container
+from repro.compressor.tiled_geometry import parse_region_text
 from repro.datasets import DATASETS, load_field
 from repro.factory import CodecFactory
 from repro.utils.tables import format_table
@@ -160,6 +163,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     ins = sub.add_parser("inspect", help="print a blob's header")
     ins.add_argument("input", help=".rqsz blob")
+    ins.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable output: one compact JSON document "
+        "(container version, tile map, per-tile adaptive choices)",
+    )
 
     sub.add_parser("datasets", help="list the synthetic dataset suite")
 
@@ -168,6 +177,78 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("field")
     gen.add_argument("output", help="destination .npy")
     gen.add_argument("--scale", type=float, default=1.0)
+
+    srv = sub.add_parser(
+        "serve",
+        help="serve a store of compressed datasets over HTTP",
+    )
+    srv.add_argument("store", help="store directory (created if missing)")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8765)
+    srv.add_argument(
+        "--cache-mb",
+        type=float,
+        default=256.0,
+        help="decoded-tile LRU cache budget in MiB (0 disables caching)",
+    )
+    srv.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="threads for tile encoding on dataset puts",
+    )
+
+    rput = sub.add_parser(
+        "remote-put",
+        parents=[codec],
+        help="compress a .npy array into a remote store",
+    )
+    rput.add_argument("url", help="server base URL, e.g. http://host:8765")
+    rput.add_argument("name", help="dataset name")
+    rput.add_argument("input", help=".npy array to upload")
+    rput.add_argument("--eb", type=float, required=True, help="error bound")
+    rput.add_argument(
+        "--tile",
+        default=None,
+        metavar="T1,T2,...",
+        help="tile shape for the stored container, e.g. 64,64,64",
+    )
+    rput.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="model-driven per-tile configuration (v5 container)",
+    )
+    rput.add_argument(
+        "--overwrite",
+        action="store_true",
+        help="replace the dataset if it already exists",
+    )
+
+    rread = sub.add_parser(
+        "remote-read",
+        help="read a region of a remote dataset into a .npy file",
+    )
+    rread.add_argument("url", help="server base URL")
+    rread.add_argument("name", help="dataset name")
+    rread.add_argument("output", help="destination .npy")
+    rread.add_argument(
+        "--region",
+        default=None,
+        metavar="A:B,C:D,...",
+        help="hyperslab to read (default: the full array)",
+    )
+
+    rstat = sub.add_parser(
+        "remote-stat",
+        help="print a remote dataset's metadata + container map",
+    )
+    rstat.add_argument("url", help="server base URL")
+    rstat.add_argument("name", help="dataset name")
+    rstat.add_argument(
+        "--json",
+        action="store_true",
+        help="compact machine-readable output",
+    )
 
     return parser
 
@@ -188,22 +269,10 @@ def parse_tile_shape(text: str) -> tuple[int, ...]:
 
 def parse_region(text: str) -> tuple[slice | int, ...]:
     """Parse ``"0:32,16:48,:"`` into per-axis slices (ints stay ints)."""
-    items: list[slice | int] = []
-    for part in text.split(","):
-        part = part.strip()
-        try:
-            if ":" in part:
-                bounds = part.split(":")
-                if len(bounds) != 2:
-                    raise ValueError(part)
-                start = int(bounds[0]) if bounds[0] else None
-                stop = int(bounds[1]) if bounds[1] else None
-                items.append(slice(start, stop))
-            else:
-                items.append(int(part))
-        except ValueError:
-            raise SystemExit(f"invalid region {text!r}") from None
-    return tuple(items)
+    try:
+        return parse_region_text(text)
+    except ValueError:
+        raise SystemExit(f"invalid region {text!r}") from None
 
 
 def _factory_from_args(args: argparse.Namespace) -> CodecFactory:
@@ -328,9 +397,18 @@ def _cmd_decompress(args: argparse.Namespace) -> int:
     if args.region is not None:
         region = parse_region(args.region)
         try:
-            data = tiled.decompress_region(args.input, region)
-        except (ValueError, IndexError) as exc:
-            raise SystemExit(f"invalid region {args.region!r}: {exc}") from exc
+            data = tiled.decompress_region(
+                args.input, region, workers=args.workers
+            )
+        except (IndexError, ValueError) as exc:
+            # container-level failures (not RQSZ, truncated, corrupt
+            # TOC) must not be misreported as a bad --region
+            raise SystemExit(
+                f"cannot decode region {args.region!r} from "
+                f"{args.input}: {exc}"
+            ) from exc
+        except OSError as exc:
+            raise SystemExit(f"cannot read {args.input}: {exc}") from exc
         np.save(args.output, data)
         print(
             f"{args.input} -> {args.output}: region {args.region} -> "
@@ -339,61 +417,28 @@ def _cmd_decompress(args: argparse.Namespace) -> int:
         )
         return 0
     # TiledCompressor dispatches flat v2/v3 and tiled v4 uniformly
-    data = tiled.decompress(args.input, workers=args.workers)
+    try:
+        data = tiled.decompress(args.input, workers=args.workers)
+    except ValueError as exc:
+        raise SystemExit(f"cannot decompress {args.input}: {exc}") from exc
+    except OSError as exc:
+        raise SystemExit(f"cannot read {args.input}: {exc}") from exc
     np.save(args.output, data)
     print(f"{args.input} -> {args.output}: {data.shape} {data.dtype}")
     return 0
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
-    with open(args.input, "rb") as fh:
-        blob = fh.read()
-    if container.is_tiled_version(container.container_version(blob)):
-        with TiledReader(blob) as reader:
-            header = dict(reader.header)
-            sizes = [t.size for t in reader.tiles]
-            tiles = []
-            for t in reader.tiles:
-                entry = {
-                    "start": list(t.start),
-                    "stop": list(t.stop),
-                    "offset": t.offset,
-                    "size": t.size,
-                }
-                if t.config is not None:
-                    entry["config"] = t.config
-                tiles.append(entry)
-            header["tile_map"] = {
-                "n_tiles": len(reader.tiles),
-                "payload_bytes": sum(sizes),
-                "tile_bytes_min": min(sizes, default=0),
-                "tile_bytes_max": max(sizes, default=0),
-                "tiles": tiles,
-            }
-            configs = [t.config for t in reader.tiles if t.config]
-            if configs:
-                counts: dict[str, int] = {}
-                for cfg in configs:
-                    predictor = cfg.get("predictor", "?")
-                    counts[predictor] = counts.get(predictor, 0) + 1
-                bounds = [
-                    cfg["error_bound"]
-                    for cfg in configs
-                    if "error_bound" in cfg
-                ]
-                header["tile_map"]["adaptive"] = {
-                    "predictor_counts": counts,
-                    "error_bound_min": min(bounds, default=None),
-                    "error_bound_max": max(bounds, default=None),
-                }
+    try:
+        header = describe_container(args.input)
+    except ValueError as exc:
+        raise SystemExit(f"cannot inspect {args.input}: {exc}") from exc
+    except OSError as exc:
+        raise SystemExit(f"cannot read {args.input}: {exc}") from exc
+    if args.json:
+        print(json.dumps(header, sort_keys=True))
+    else:
         print(json.dumps(header, indent=2, sort_keys=True))
-        return 0
-    header, sections = SZCompressor._disassemble(blob)
-    header["section_bytes"] = {
-        name: len(section)
-        for name, section in zip(container.SECTION_NAMES, sections)
-    }
-    print(json.dumps(header, indent=2, sort_keys=True))
     return 0
 
 
@@ -416,6 +461,94 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import serve
+
+    if args.cache_mb < 0:
+        raise SystemExit("--cache-mb must be >= 0 (0 disables caching)")
+    serve(
+        args.store,
+        host=args.host,
+        port=args.port,
+        cache_bytes=int(args.cache_mb * (1 << 20)),
+        workers=args.workers,
+    )
+    return 0
+
+
+def _client(url: str):
+    from repro.service.client import ArrayClient
+
+    return ArrayClient(url)
+
+
+def _remote_call(fn):
+    """Run a client call, mapping service failures to clean exits."""
+    from urllib.error import URLError
+
+    from repro.service.client import ServiceError
+
+    try:
+        return fn()
+    except ServiceError as exc:
+        raise SystemExit(f"server error: {exc}") from exc
+    except (OSError, URLError) as exc:
+        raise SystemExit(f"cannot reach server: {exc}") from exc
+
+
+def _cmd_remote_put(args: argparse.Namespace) -> int:
+    data = _load_array(args.input)
+    tile = parse_tile_shape(args.tile) if args.tile else None
+    client = _client(args.url)
+    entry = _remote_call(
+        lambda: client.put(
+            args.name,
+            data,
+            eb=args.eb,
+            predictor=args.predictor,
+            mode=args.mode,
+            lossless=args.lossless,
+            tile=tile,
+            adaptive=args.adaptive,
+            overwrite=args.overwrite,
+        )
+    )
+    print(
+        f"{args.input} -> {args.url}/v1/datasets/{args.name}: "
+        f"{entry['raw_bytes']} -> {entry['compressed_bytes']} bytes "
+        f"({entry['ratio']:.2f}x, {entry['n_tiles']} tiles)"
+    )
+    return 0
+
+
+def _cmd_remote_read(args: argparse.Namespace) -> int:
+    client = _client(args.url)
+    region = args.region if args.region is not None else ":"
+    if args.region is not None:
+        parse_region(args.region)  # fail fast with the CLI's message
+    data = _remote_call(lambda: client.read_region(args.name, region))
+    np.save(args.output, data)
+    stats = client.last_read_stats
+    print(
+        f"{args.url}/v1/datasets/{args.name} region "
+        f"{args.region or 'full'} -> {args.output}: "
+        f"{data.shape} {data.dtype} "
+        f"({stats.get('tiles_touched', 0)} tiles, "
+        f"{stats.get('cache_hits', 0)} cache hits)"
+    )
+    return 0
+
+
+def _cmd_remote_stat(args: argparse.Namespace) -> int:
+    client = _client(args.url)
+    entry = _remote_call(lambda: client.stat(args.name))
+    if args.json:
+        print(json.dumps(entry, sort_keys=True))
+    else:
+        print(json.dumps(entry, indent=2, sort_keys=True))
+    return 0
+
+
 _COMMANDS = {
     "estimate": _cmd_estimate,
     "compress": _cmd_compress,
@@ -423,6 +556,10 @@ _COMMANDS = {
     "inspect": _cmd_inspect,
     "datasets": _cmd_datasets,
     "generate": _cmd_generate,
+    "serve": _cmd_serve,
+    "remote-put": _cmd_remote_put,
+    "remote-read": _cmd_remote_read,
+    "remote-stat": _cmd_remote_stat,
 }
 
 

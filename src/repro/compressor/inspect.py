@@ -1,0 +1,105 @@
+"""Machine-readable description of any RQSZ container.
+
+:func:`describe_container` turns a blob/path into the JSON-friendly
+dict behind ``repro inspect`` — container version, header fields, and
+for tiled (v4/v5) containers the tile map with per-tile byte extents
+and the adaptive per-tile codec choices.  The serving subsystem's
+``stat`` endpoint returns exactly this structure, so the CLI and the
+HTTP API cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import BinaryIO
+
+from repro.compressor import container
+from repro.compressor.container import TiledReader
+
+__all__ = ["describe_container"]
+
+
+def describe_container(
+    source: bytes | str | os.PathLike | BinaryIO,
+) -> dict:
+    """Describe a flat (v2/v3) or tiled (v4/v5) RQSZ container.
+
+    Returns the parsed header plus ``section_bytes`` (flat) or
+    ``tile_map`` (tiled; tile extents, payload sizes, and — for v5 —
+    per-tile configs with an ``adaptive`` roll-up).  Raises
+    ``ValueError`` for anything that is not a well-formed container.
+    """
+    if isinstance(source, (str, os.PathLike)):
+        # tiled containers are described from header + TOC alone, so
+        # hand the path to TiledReader's random-access reads instead
+        # of slurping a potentially huge file
+        with open(source, "rb") as fh:
+            head = fh.read(len(container.MAGIC) + 1)
+        if container.is_tiled_version(_version_of(head)):
+            return _describe_tiled(source)
+        with open(source, "rb") as fh:
+            return _describe_flat(fh.read())
+    blob = (
+        bytes(source)
+        if isinstance(source, (bytes, bytearray, memoryview))
+        else source.read()
+    )
+    if container.is_tiled_version(_version_of(blob)):
+        return _describe_tiled(blob)
+    return _describe_flat(blob)
+
+
+def _version_of(head: bytes) -> int:
+    if len(head) <= len(container.MAGIC):
+        raise ValueError("not an RQSZ container")
+    return container.container_version(head)
+
+
+def _describe_flat(blob: bytes) -> dict:
+    header, sections = container.read_flat(blob)
+    header["section_bytes"] = {
+        name: len(section)
+        for name, section in zip(container.SECTION_NAMES, sections)
+    }
+    return header
+
+
+def _describe_tiled(source: bytes | str | os.PathLike) -> dict:
+    with TiledReader(source) as reader:
+        header = dict(reader.header)
+        sizes = [t.size for t in reader.tiles]
+        tiles = []
+        for t in reader.tiles:
+            entry = {
+                "start": list(t.start),
+                "stop": list(t.stop),
+                "offset": t.offset,
+                "size": t.size,
+            }
+            if t.config is not None:
+                entry["config"] = t.config
+            tiles.append(entry)
+        header["tile_map"] = {
+            "n_tiles": len(reader.tiles),
+            "payload_bytes": sum(sizes),
+            "tile_bytes_min": min(sizes, default=0),
+            "tile_bytes_max": max(sizes, default=0),
+            "tiles": tiles,
+        }
+        configs = [t.config for t in reader.tiles if t.config]
+        if configs:
+            counts: dict = {}
+            for cfg in configs:
+                predictor = cfg.get("predictor", "?")
+                counts[predictor] = counts.get(predictor, 0) + 1
+            bounds = [
+                cfg["error_bound"]
+                for cfg in configs
+                if "error_bound" in cfg
+            ]
+            header["tile_map"]["adaptive"] = {
+                "predictor_counts": counts,
+                "error_bound_min": min(bounds, default=None),
+                "error_bound_max": max(bounds, default=None),
+            }
+    return header

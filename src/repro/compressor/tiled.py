@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import io
 import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import BinaryIO, Iterable, Iterator, Sequence
@@ -48,6 +49,7 @@ from repro.compressor.config import CompressionConfig, ErrorBoundMode
 from repro.compressor.container import TiledReader, TiledWriter, TileRecord
 from repro.compressor.sz import SZCompressor
 from repro.compressor.tiled_geometry import (
+    copy_overlap,
     intersect_extent,
     iter_tiles,
     normalize_region,
@@ -110,6 +112,14 @@ class TiledCompressor:
     tiles materialized at once, so peak memory stays at a few tiles.
     ``codec`` swaps the per-tile compressor (any :class:`SZCompressor`-
     compatible facade).
+
+    Decoding is **thread-safe**: every decode call works on local state
+    only (the stage objects are stateless and :class:`TiledReader`
+    serializes its seek+read pairs), so one compressor — or one shared
+    reader — may serve concurrent region decodes.  The
+    ``tiles_decoded`` / ``last_tiles_decoded`` counters are updated
+    under a lock; under concurrency ``last_tiles_decoded`` reflects
+    whichever call finished most recently.
     """
 
     def __init__(
@@ -123,10 +133,16 @@ class TiledCompressor:
         self._workers = workers or 1
         self._codec = codec or SZCompressor()
         self._planner = planner or AdaptivePlanner()
+        self._counter_lock = threading.Lock()
         #: tiles decoded since construction (all decode calls)
         self.tiles_decoded = 0
         #: tiles decoded by the most recent decode call
         self.last_tiles_decoded = 0
+
+    def _count_decoded(self, n_tiles: int) -> None:
+        with self._counter_lock:
+            self.last_tiles_decoded = n_tiles
+            self.tiles_decoded += n_tiles
 
     # -- compression -----------------------------------------------------------
 
@@ -375,8 +391,7 @@ class TiledCompressor:
         flat = self._as_flat_blob(source)
         if flat is not None:
             data = self._codec.decompress(flat, workers=workers)
-            self.last_tiles_decoded = 1
-            self.tiles_decoded += 1
+            self._count_decoded(1)
             return np.ascontiguousarray(
                 data[normalize_region(region, data.shape)]
             )
@@ -422,20 +437,9 @@ class TiledCompressor:
             decoded = [decode(h) for h in hits]
 
         for record, overlap, tile in decoded:
-            # overlap is in global coordinates; shift into the tile's
-            # local frame and the output region's frame
-            tile_slc = tuple(
-                slice(o.start - a, o.stop - a)
-                for o, a in zip(overlap, record.start)
-            )
-            out_slc = tuple(
-                slice(o.start - r.start, o.stop - r.start)
-                for o, r in zip(overlap, region)
-            )
-            out[out_slc] = tile[tile_slc]
+            copy_overlap(out, region, tile, record.start, overlap)
 
-        self.last_tiles_decoded = len(hits)
-        self.tiles_decoded += len(hits)
+        self._count_decoded(len(hits))
         return out
 
     @staticmethod

@@ -17,6 +17,9 @@ __all__ = [
     "iter_tiles",
     "normalize_region",
     "intersect_extent",
+    "copy_overlap",
+    "parse_region_text",
+    "format_region",
 ]
 
 
@@ -118,6 +121,85 @@ def normalize_region(
         stop = n if item.stop is None else min(int(item.stop), n)
         out.append(slice(start, max(start, stop)))
     return tuple(out)
+
+
+def parse_region_text(text: str) -> tuple:
+    """Parse ``"0:32,16:48,:"`` into per-axis slices (ints stay ints).
+
+    The textual hyperslab form shared by the CLI (``--region``) and the
+    serving subsystem's ``slab`` query parameter.  Raises ``ValueError``
+    on malformed input; bounds are validated later by
+    :func:`normalize_region` against a concrete shape.
+    """
+    items: list = []
+    for part in text.split(","):
+        part = part.strip()
+        if ":" in part:
+            bounds = part.split(":")
+            if len(bounds) != 2:
+                raise ValueError(f"invalid region {text!r}")
+            try:
+                start = int(bounds[0]) if bounds[0] else None
+                stop = int(bounds[1]) if bounds[1] else None
+            except ValueError:
+                raise ValueError(f"invalid region {text!r}") from None
+            items.append(slice(start, stop))
+        else:
+            try:
+                items.append(int(part))
+            except ValueError:
+                raise ValueError(f"invalid region {text!r}") from None
+    return tuple(items)
+
+
+def format_region(region: Sequence[slice | int] | slice | int) -> str:
+    """Inverse of :func:`parse_region_text` (accepts ints and slices)."""
+    if isinstance(region, (slice, int, np.integer)):
+        region = (region,)
+    parts: list[str] = []
+    for item in region:
+        if isinstance(item, (int, np.integer)):
+            parts.append(str(int(item)))
+            continue
+        if not isinstance(item, slice):
+            raise ValueError(
+                f"region items must be slices or ints, "
+                f"got {type(item).__name__}"
+            )
+        if item.step not in (None, 1):
+            raise ValueError("region slices must have step 1")
+        start = "" if item.start is None else str(int(item.start))
+        stop = "" if item.stop is None else str(int(item.stop))
+        parts.append(f"{start}:{stop}")
+    if not parts:
+        raise ValueError("region must have at least one axis")
+    return ",".join(parts)
+
+
+def copy_overlap(
+    out: np.ndarray,
+    region: Sequence[slice],
+    tile: np.ndarray,
+    tile_start: Sequence[int],
+    overlap: Sequence[slice],
+) -> None:
+    """Paste a decoded tile's overlap into the output hyperslab.
+
+    ``overlap`` is in global coordinates (as returned by
+    :func:`intersect_extent`); this shifts it into the tile's local
+    frame on the read side and the region's frame on the write side.
+    Shared by every region-assembling reader (tiled containers, the
+    chunked storage layer and the serving subsystem).
+    """
+    tile_slc = tuple(
+        slice(o.start - a, o.stop - a)
+        for o, a in zip(overlap, tile_start)
+    )
+    out_slc = tuple(
+        slice(o.start - r.start, o.stop - r.start)
+        for o, r in zip(overlap, region)
+    )
+    out[out_slc] = tile[tile_slc]
 
 
 def intersect_extent(

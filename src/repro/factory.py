@@ -90,6 +90,19 @@ class CodecFactory:
             ),
         )
 
+    def array_store(self, root, cache=None) -> "ArrayStore":
+        """An :class:`repro.service.store.ArrayStore` rooted at *root*.
+
+        Datasets put into the store compress through this factory's
+        tiled compressor, so adaptive planning samples at the factory's
+        rate/seed and encoding uses its worker count.
+        """
+        from repro.service.store import ArrayStore
+
+        return ArrayStore(
+            root, cache=cache, workers=self.workers, factory=self
+        )
+
     # -- model construction ----------------------------------------------------
 
     def model(self, **overrides) -> RatioQualityModel:

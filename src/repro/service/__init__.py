@@ -1,0 +1,32 @@
+"""Compressed-array serving subsystem.
+
+The paper's downstream consumers — post-hoc analyses reading small
+regions of huge compressed snapshots — get a serving layer here:
+
+* :class:`~repro.service.store.ArrayStore` — a directory of named
+  datasets persisted as tiled (v4) / adaptive (v5) RQSZ containers;
+* :class:`~repro.service.cache.TileLRUCache` — a sharded,
+  byte-budgeted decoded-tile LRU with request coalescing, so hot
+  region reads skip entropy decode;
+* :class:`~repro.service.server.ArrayServer` — a threaded HTTP server
+  (``repro serve``) with JSON metadata and binary ``.npy`` region
+  reads;
+* :class:`~repro.service.client.ArrayClient` — the matching stdlib
+  client (``repro remote-read`` / ``remote-put`` / ``remote-stat``).
+"""
+
+from repro.service.cache import CacheStats, TileLRUCache
+from repro.service.client import ArrayClient, ServiceError
+from repro.service.server import ArrayServer, serve
+from repro.service.store import ArrayStore, RegionResult
+
+__all__ = [
+    "ArrayStore",
+    "RegionResult",
+    "TileLRUCache",
+    "CacheStats",
+    "ArrayServer",
+    "serve",
+    "ArrayClient",
+    "ServiceError",
+]

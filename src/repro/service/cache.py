@@ -1,0 +1,275 @@
+"""Sharded, byte-budgeted LRU cache for decoded tiles.
+
+Region reads repeatedly touch the same hot tiles (halo neighbourhoods,
+time-series probes), and entropy-decoding a tile costs orders of
+magnitude more than slicing an already-decoded array.
+:class:`TileLRUCache` keeps decoded tiles (numpy arrays) under a global
+byte budget so warm reads skip the codec entirely.
+
+Design points:
+
+* **Sharding** — keys are hashed across independent shards, each with
+  its own lock and LRU list, so concurrent readers rarely contend on
+  one mutex.  The byte budget is split evenly across shards.
+* **Request coalescing** — when several threads miss on the *same*
+  tile simultaneously, exactly one (the leader) runs the loader; the
+  rest block on an event and receive the leader's result, so a hot
+  cold tile is decoded once rather than once per request
+  (``stats().coalesced`` counts the waits).
+* **Counters** — per-shard hits / misses / evictions / coalesced waits
+  aggregate into :meth:`stats`, which the server exposes at
+  ``/v1/cache/stats`` and the latency benchmark records.
+
+Cached arrays are marked read-only before insertion: every consumer
+receives the same object, and a caller mutating it would silently
+corrupt later reads.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable
+
+import numpy as np
+
+__all__ = ["CacheStats", "TileLRUCache"]
+
+DEFAULT_BYTE_BUDGET = 256 << 20  # 256 MiB
+DEFAULT_SHARDS = 8
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Aggregated cache counters (see :meth:`TileLRUCache.stats`)."""
+
+    hits: int
+    misses: int
+    evictions: int
+    coalesced: int
+    entries: int
+    bytes_cached: int
+    byte_budget: int
+    shards: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0 when idle)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def to_json(self) -> dict:
+        """JSON-friendly dict (counters plus derived hit rate)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "coalesced": self.coalesced,
+            "entries": self.entries,
+            "bytes_cached": self.bytes_cached,
+            "byte_budget": self.byte_budget,
+            "shards": self.shards,
+            "hit_rate": round(self.hit_rate, 6),
+        }
+
+
+class _InFlight:
+    """A tile decode in progress; waiters block on the event."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: np.ndarray | None = None
+        self.error: BaseException | None = None
+
+
+class _Shard:
+    """One lock + LRU list + counters; values are numpy arrays."""
+
+    def __init__(self, byte_budget: int) -> None:
+        self.lock = threading.Lock()
+        self.entries: OrderedDict[Hashable, np.ndarray] = OrderedDict()
+        self.inflight: dict[Hashable, _InFlight] = {}
+        self.byte_budget = byte_budget
+        self.bytes_cached = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.coalesced = 0
+
+    def insert(self, key: Hashable, value: np.ndarray) -> None:
+        """Insert under the budget; caller holds the lock."""
+        if value.nbytes > self.byte_budget:
+            # would evict the whole shard and still not fit: serve
+            # uncached rather than thrash
+            return
+        old = self.entries.pop(key, None)
+        if old is not None:
+            self.bytes_cached -= old.nbytes
+        self.entries[key] = value
+        self.bytes_cached += value.nbytes
+        while self.bytes_cached > self.byte_budget and self.entries:
+            _, evicted = self.entries.popitem(last=False)
+            self.bytes_cached -= evicted.nbytes
+            self.evictions += 1
+
+
+class TileLRUCache:
+    """Sharded LRU over decoded tiles, bounded by a byte budget."""
+
+    def __init__(
+        self,
+        byte_budget: int = DEFAULT_BYTE_BUDGET,
+        shards: int = DEFAULT_SHARDS,
+    ) -> None:
+        if byte_budget < 0:
+            raise ValueError(
+                "byte_budget must be non-negative (0 disables caching)"
+            )
+        if shards < 1:
+            raise ValueError("shards must be positive")
+        # degenerate tiny budgets: never let a shard round down to a
+        # zero budget unless the whole cache is disabled (budget 0,
+        # where every insert is skipped and every lookup misses)
+        shards = max(1, min(shards, byte_budget))
+        per_shard = byte_budget // shards
+        self._shards = [_Shard(per_shard) for _ in range(shards)]
+
+    # -- shard routing ---------------------------------------------------------
+
+    def _shard_for(self, key: Hashable) -> _Shard:
+        return self._shards[hash(key) % len(self._shards)]
+
+    # -- lookups ---------------------------------------------------------------
+
+    def get(self, key: Hashable) -> np.ndarray | None:
+        """Return the cached array (LRU-refreshed) or ``None``."""
+        shard = self._shard_for(key)
+        with shard.lock:
+            value = shard.entries.get(key)
+            if value is None:
+                shard.misses += 1
+                return None
+            shard.entries.move_to_end(key)
+            shard.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: np.ndarray) -> None:
+        """Insert *value* (marked read-only), evicting LRU entries."""
+        value = self._freeze(value)
+        shard = self._shard_for(key)
+        with shard.lock:
+            shard.insert(key, value)
+
+    def get_or_load(
+        self, key: Hashable, loader: Callable[[], np.ndarray]
+    ) -> tuple[np.ndarray, bool]:
+        """Return ``(value, was_hit)``; concurrent misses load once.
+
+        The first thread to miss on *key* becomes the leader and runs
+        *loader* outside any lock; threads missing meanwhile block on
+        the leader's event and share its result (counted as
+        ``coalesced``, not as extra misses).  A loader exception is
+        re-raised in the leader and every waiter, and nothing is
+        cached.
+        """
+        shard = self._shard_for(key)
+        with shard.lock:
+            value = shard.entries.get(key)
+            if value is not None:
+                shard.entries.move_to_end(key)
+                shard.hits += 1
+                return value, True
+            flight = shard.inflight.get(key)
+            if flight is None:
+                flight = _InFlight()
+                shard.inflight[key] = flight
+                shard.misses += 1
+                leader = True
+            else:
+                shard.coalesced += 1
+                leader = False
+
+        if not leader:
+            flight.event.wait()
+            if flight.error is not None:
+                raise flight.error
+            assert flight.value is not None
+            return flight.value, False
+
+        try:
+            value = self._freeze(loader())
+        except BaseException as exc:
+            flight.error = exc
+            with shard.lock:
+                shard.inflight.pop(key, None)
+            flight.event.set()
+            raise
+        with shard.lock:
+            shard.inflight.pop(key, None)
+            shard.insert(key, value)
+        flight.value = value
+        flight.event.set()
+        return value, False
+
+    @staticmethod
+    def _freeze(value: np.ndarray) -> np.ndarray:
+        value = np.asarray(value)
+        if value.flags.writeable:
+            value = value.view()
+            value.flags.writeable = False
+        return value
+
+    # -- maintenance -----------------------------------------------------------
+
+    def invalidate_where(
+        self, predicate: Callable[[Hashable], bool]
+    ) -> int:
+        """Drop every entry whose key satisfies *predicate*."""
+        dropped = 0
+        for shard in self._shards:
+            with shard.lock:
+                doomed = [k for k in shard.entries if predicate(k)]
+                for key in doomed:
+                    value = shard.entries.pop(key)
+                    shard.bytes_cached -= value.nbytes
+                dropped += len(doomed)
+        return dropped
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        self.invalidate_where(lambda _key: True)
+
+    def keys(self) -> Iterable[Hashable]:
+        """Snapshot of the cached keys (diagnostics only)."""
+        out: list[Hashable] = []
+        for shard in self._shards:
+            with shard.lock:
+                out.extend(shard.entries.keys())
+        return out
+
+    def stats(self) -> CacheStats:
+        """Aggregate counters across shards."""
+        hits = misses = evictions = coalesced = entries = cached = 0
+        budget = 0
+        for shard in self._shards:
+            with shard.lock:
+                hits += shard.hits
+                misses += shard.misses
+                evictions += shard.evictions
+                coalesced += shard.coalesced
+                entries += len(shard.entries)
+                cached += shard.bytes_cached
+                budget += shard.byte_budget
+        return CacheStats(
+            hits=hits,
+            misses=misses,
+            evictions=evictions,
+            coalesced=coalesced,
+            entries=entries,
+            bytes_cached=cached,
+            byte_budget=budget,
+            shards=len(self._shards),
+        )

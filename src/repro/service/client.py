@@ -1,0 +1,175 @@
+"""Python client for the compressed-array server.
+
+Stdlib-only (``urllib``) counterpart of :mod:`repro.service.server`:
+arrays travel as ``.npy`` bodies, metadata as JSON.  Regions may be
+given as slice tuples (``(slice(0, 32), slice(16, 48))``) or the CLI's
+textual form (``"0:32,16:48"``).
+
+Usage::
+
+    client = ArrayClient("http://127.0.0.1:8765")
+    client.put("pressure", field, eb=1e-3, tile=(64, 64))
+    roi = client.read_region("pressure", "0:32,16:48")
+    print(client.stat("pressure")["container"]["tile_map"]["n_tiles"])
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import urllib.error
+import urllib.parse
+import urllib.request
+from typing import Sequence
+
+import numpy as np
+
+from repro.compressor.tiled_geometry import format_region
+
+__all__ = ["ArrayClient", "ServiceError"]
+
+NPY_CONTENT_TYPE = "application/x-npy"
+
+
+class ServiceError(Exception):
+    """Server-reported failure (HTTP status + server message)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"[{status}] {message}")
+        self.status = status
+        self.message = message
+
+
+class ArrayClient:
+    """Thin HTTP client; one instance per server base URL.
+
+    Stateless between calls apart from ``last_read_stats``, which holds
+    the accounting headers (tiles touched, cache hits/misses) of the
+    most recent :meth:`read_region`.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.last_read_stats: dict = {}
+
+    # -- transport -------------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        params: dict | None = None,
+        body: bytes | None = None,
+        content_type: str | None = None,
+    ):
+        url = f"{self.base_url}{path}"
+        if params:
+            url += "?" + urllib.parse.urlencode(params)
+        request = urllib.request.Request(url, data=body, method=method)
+        if content_type:
+            request.add_header("Content-Type", content_type)
+        try:
+            return urllib.request.urlopen(request, timeout=self.timeout)
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode()).get(
+                    "error", exc.reason
+                )
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                message = str(exc.reason)
+            raise ServiceError(exc.code, message) from None
+
+    def _json(self, method: str, path: str, **kwargs) -> dict:
+        with self._request(method, path, **kwargs) as response:
+            return json.loads(response.read().decode())
+
+    # -- API -------------------------------------------------------------------
+
+    def health(self) -> dict:
+        """Server liveness probe."""
+        return self._json("GET", "/v1/health")
+
+    def list_datasets(self) -> list[dict]:
+        """Metadata of every stored dataset."""
+        return self._json("GET", "/v1/datasets")["datasets"]
+
+    def put(
+        self,
+        name: str,
+        data: np.ndarray,
+        eb: float,
+        predictor: str = "lorenzo",
+        mode: str = "abs",
+        lossless: str = "zstd_like",
+        tile: Sequence[int] | None = None,
+        adaptive: bool = False,
+        overwrite: bool = False,
+    ) -> dict:
+        """Upload *data* for server-side compression into the store."""
+        buf = io.BytesIO()
+        np.save(buf, np.ascontiguousarray(data), allow_pickle=False)
+        params = {
+            "eb": repr(float(eb)),
+            "predictor": predictor,
+            "mode": mode,
+            "lossless": lossless,
+            "adaptive": int(bool(adaptive)),
+            "overwrite": int(bool(overwrite)),
+        }
+        if tile is not None:
+            params["tile"] = ",".join(str(int(t)) for t in tile)
+        return self._json(
+            "PUT",
+            f"/v1/datasets/{urllib.parse.quote(name)}",
+            params=params,
+            body=buf.getvalue(),
+            content_type=NPY_CONTENT_TYPE,
+        )
+
+    def stat(self, name: str) -> dict:
+        """Dataset metadata + full container description."""
+        return self._json(
+            "GET", f"/v1/datasets/{urllib.parse.quote(name)}"
+        )
+
+    def read_region(
+        self,
+        name: str,
+        region: str | Sequence[slice | int] | slice | int,
+    ) -> np.ndarray:
+        """Fetch a decoded hyperslab of dataset *name*.
+
+        Read accounting (tiles touched, cache hits/misses) lands in
+        ``self.last_read_stats``.
+        """
+        slab = (
+            region if isinstance(region, str) else format_region(region)
+        )
+        path = f"/v1/datasets/{urllib.parse.quote(name)}/region"
+        with self._request(
+            "GET", path, params={"slab": slab}
+        ) as response:
+            payload = response.read()
+            self.last_read_stats = {
+                "tiles_touched": int(
+                    response.headers.get("X-Tiles-Touched", 0)
+                ),
+                "cache_hits": int(
+                    response.headers.get("X-Cache-Hits", 0)
+                ),
+                "cache_misses": int(
+                    response.headers.get("X-Cache-Misses", 0)
+                ),
+            }
+        return np.load(io.BytesIO(payload), allow_pickle=False)
+
+    def delete(self, name: str) -> dict:
+        """Remove dataset *name* from the store."""
+        return self._json(
+            "DELETE", f"/v1/datasets/{urllib.parse.quote(name)}"
+        )
+
+    def cache_stats(self) -> dict:
+        """Decoded-tile cache counters of the server."""
+        return self._json("GET", "/v1/cache/stats")

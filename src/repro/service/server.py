@@ -1,0 +1,353 @@
+"""Concurrent HTTP server over an :class:`ArrayStore`.
+
+A stdlib-only (``http.server.ThreadingHTTPServer``) serving layer: one
+thread per request, all requests sharing one store, one decoded-tile
+cache and one long-lived container reader per dataset.  JSON for
+metadata, raw ``.npy`` bodies for array payloads.
+
+Endpoints (all under ``/v1``)::
+
+    GET    /v1/health                        liveness + dataset count
+    GET    /v1/datasets                      list datasets (manifest)
+    PUT    /v1/datasets/{name}?eb=...        compress .npy body into store
+    GET    /v1/datasets/{name}               stat (manifest + container)
+    GET    /v1/datasets/{name}/region?slab=  decode hyperslab -> .npy
+    DELETE /v1/datasets/{name}               remove dataset
+    GET    /v1/cache/stats                   decoded-tile cache counters
+
+``PUT`` query parameters mirror the CLI compress flags: ``eb``
+(required), ``predictor``, ``mode``, ``lossless``, ``tile`` (e.g.
+``64,64``), ``adaptive`` (0/1) and ``overwrite`` (0/1).  The ``region``
+response carries the read's accounting in ``X-Tiles-Touched``,
+``X-Cache-Hits`` and ``X-Cache-Misses`` headers.
+
+Errors map to JSON bodies ``{"error": ...}``: 404 for unknown datasets
+or routes, 400 for malformed input, 409 for conflicts (dataset exists).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, unquote, urlparse
+
+import numpy as np
+
+from repro.compressor import CompressionConfig, ErrorBoundMode
+from repro.compressor.tiled_geometry import parse_region_text
+from repro.service.store import ArrayStore, DatasetCorruptError
+
+__all__ = ["ArrayServer", "serve"]
+
+logger = logging.getLogger("repro.service")
+
+#: request bodies larger than this are rejected up front (512 MiB)
+MAX_BODY_BYTES = 512 << 20
+
+NPY_CONTENT_TYPE = "application/x-npy"
+
+
+class _ServiceError(Exception):
+    """An error with a definite HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def _parse_bool(values: dict, key: str) -> bool:
+    raw = values.get(key, ["0"])[-1].strip().lower()
+    if raw in ("1", "true", "yes", "on"):
+        return True
+    if raw in ("0", "false", "no", "off", ""):
+        return False
+    raise _ServiceError(400, f"invalid boolean for {key!r}: {raw!r}")
+
+
+def _config_from_query(query: dict) -> tuple[CompressionConfig, bool]:
+    """Build the compression config a PUT's query string describes."""
+    if "eb" not in query:
+        raise _ServiceError(400, "missing required parameter 'eb'")
+    try:
+        eb = float(query["eb"][-1])
+    except ValueError:
+        raise _ServiceError(
+            400, f"invalid error bound {query['eb'][-1]!r}"
+        ) from None
+    tile_shape = None
+    if "tile" in query:
+        try:
+            tile_shape = tuple(
+                int(part) for part in query["tile"][-1].split(",")
+            )
+        except ValueError:
+            raise _ServiceError(
+                400, f"invalid tile shape {query['tile'][-1]!r}"
+            ) from None
+    mode = query.get("mode", ["abs"])[-1]
+    try:
+        mode = ErrorBoundMode(mode)
+    except ValueError:
+        raise _ServiceError(400, f"unknown mode {mode!r}") from None
+    lossless = query.get("lossless", ["zstd_like"])[-1]
+    try:
+        config = CompressionConfig(
+            predictor=query.get("predictor", ["lorenzo"])[-1],
+            mode=mode,
+            error_bound=eb,
+            lossless=None if lossless == "none" else lossless,
+            tile_shape=tile_shape,
+            adaptive=_parse_bool(query, "adaptive"),
+        )
+    except (TypeError, ValueError) as exc:
+        raise _ServiceError(400, str(exc)) from None
+    return config, _parse_bool(query, "overwrite")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes ``/v1`` requests onto the shared store."""
+
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing --------------------------------------------------------------
+
+    @property
+    def store(self) -> ArrayStore:
+        return self.server.store  # type: ignore[attr-defined]
+
+    def log_message(self, fmt: str, *args: object) -> None:
+        logger.debug("%s %s", self.address_string(), fmt % args)
+
+    def _send_json(
+        self, payload: dict, status: int = 200, close: bool = False
+    ) -> None:
+        body = json.dumps(payload, sort_keys=True).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if close:
+            # send_header("Connection", "close") also flips
+            # self.close_connection, so the socket really drops
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        # an error may be sent before a request body was consumed
+        # (e.g. a PUT rejected on its query string); under HTTP/1.1
+        # keep-alive the unread body would then be parsed as the next
+        # request, so drop the connection after the response
+        self._send_json({"error": message}, status=status, close=True)
+
+    def _send_npy(
+        self, data: np.ndarray, extra_headers: dict | None = None
+    ) -> None:
+        buf = io.BytesIO()
+        np.save(buf, np.ascontiguousarray(data), allow_pickle=False)
+        body = buf.getvalue()
+        self.send_response(200)
+        self.send_header("Content-Type", NPY_CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        for key, value in (extra_headers or {}).items():
+            self.send_header(key, str(value))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body_array(self) -> np.ndarray:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise _ServiceError(400, "missing request body")
+        if length > MAX_BODY_BYTES:
+            raise _ServiceError(
+                413, f"request body exceeds {MAX_BODY_BYTES} bytes"
+            )
+        body = self.rfile.read(length)
+        if len(body) != length:
+            raise _ServiceError(400, "truncated request body")
+        try:
+            return np.load(io.BytesIO(body), allow_pickle=False)
+        except ValueError as exc:
+            raise _ServiceError(
+                400, f"body is not a valid .npy payload: {exc}"
+            ) from None
+
+    # -- routing ---------------------------------------------------------------
+
+    def _route(self, method: str) -> None:
+        parsed = urlparse(self.path)
+        query = parse_qs(parsed.query)
+        parts = [unquote(p) for p in parsed.path.strip("/").split("/")]
+        try:
+            self._dispatch(method, parts, query)
+        except _ServiceError as exc:
+            self._send_error_json(exc.status, str(exc))
+        except KeyError as exc:
+            # the store raises KeyError("no dataset named ...");
+            # str(KeyError) is the repr of its argument, so unwrap it
+            message = exc.args[0] if exc.args else str(exc)
+            self._send_error_json(404, str(message))
+        except DatasetCorruptError as exc:
+            # damaged stored data is a server fault, not a bad request
+            logger.error("corrupt dataset serving %s: %s", self.path, exc)
+            self._send_error_json(500, str(exc))
+        except (ValueError, IndexError) as exc:
+            self._send_error_json(400, str(exc))
+        except BrokenPipeError:
+            pass  # client went away mid-response
+        except Exception as exc:  # pragma: no cover - defensive
+            logger.exception("unhandled error serving %s", self.path)
+            self._send_error_json(500, f"internal error: {exc}")
+
+    def _dispatch(
+        self, method: str, parts: list[str], query: dict
+    ) -> None:
+        if parts and parts[0] == "v1":
+            parts = parts[1:]
+        if parts == ["health"] and method == "GET":
+            self._send_json(
+                {
+                    "status": "ok",
+                    "datasets": len(self.store.names()),
+                }
+            )
+            return
+        if parts == ["cache", "stats"] and method == "GET":
+            self._send_json(self.store.cache.stats().to_json())
+            return
+        if parts == ["datasets"] and method == "GET":
+            self._send_json({"datasets": self.store.list_datasets()})
+            return
+        if len(parts) == 2 and parts[0] == "datasets":
+            name = parts[1]
+            if method == "GET":
+                self._send_json(self.store.stat(name))
+                return
+            if method == "PUT":
+                self._handle_put(name, query)
+                return
+            if method == "DELETE":
+                self.store.delete(name)
+                self._send_json({"deleted": name})
+                return
+        if (
+            len(parts) == 3
+            and parts[0] == "datasets"
+            and parts[2] == "region"
+            and method == "GET"
+        ):
+            self._handle_region(parts[1], query)
+            return
+        raise _ServiceError(
+            404, f"no route for {method} /{'/'.join(parts)}"
+        )
+
+    # -- handlers --------------------------------------------------------------
+
+    def _handle_put(self, name: str, query: dict) -> None:
+        config, overwrite = _config_from_query(query)
+        data = self._read_body_array()
+        try:
+            entry = self.store.create(
+                name, data, config, overwrite=overwrite
+            )
+        except ValueError as exc:
+            status = 409 if "already exists" in str(exc) else 400
+            raise _ServiceError(status, str(exc)) from None
+        self._send_json(entry, status=201)
+
+    def _handle_region(self, name: str, query: dict) -> None:
+        if "slab" not in query:
+            raise _ServiceError(
+                400, "missing required parameter 'slab'"
+            )
+        region = parse_region_text(query["slab"][-1])
+        result = self.store.read_region(name, region)
+        self._send_npy(
+            result.data,
+            extra_headers={
+                "X-Tiles-Touched": result.tiles_touched,
+                "X-Cache-Hits": result.cache_hits,
+                "X-Cache-Misses": result.cache_misses,
+            },
+        )
+
+    # -- HTTP verbs ------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        self._route("GET")
+
+    def do_PUT(self) -> None:  # noqa: N802
+        self._route("PUT")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._route("DELETE")
+
+
+class ArrayServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one :class:`ArrayStore`.
+
+    Usage (tests and embedders)::
+
+        server = ArrayServer(store, ("127.0.0.1", 0))
+        thread = server.serve_in_background()
+        ... requests against server.url ...
+        server.shutdown()
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        store: ArrayStore,
+        address: tuple[str, int] = ("127.0.0.1", 0),
+    ) -> None:
+        super().__init__(address, _Handler)
+        self.store = store
+
+    @property
+    def url(self) -> str:
+        """Base URL of the bound socket."""
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def serve_in_background(self) -> threading.Thread:
+        """Run ``serve_forever`` on a daemon thread; returns it."""
+        thread = threading.Thread(
+            target=self.serve_forever, name="repro-serve", daemon=True
+        )
+        thread.start()
+        return thread
+
+
+def serve(
+    root: str,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    cache_bytes: int | None = None,
+    workers: int | None = None,
+) -> None:
+    """Blocking entry point behind ``repro serve``."""
+    from repro.service.cache import TileLRUCache
+
+    cache = (
+        TileLRUCache(byte_budget=cache_bytes)
+        if cache_bytes is not None
+        else None
+    )
+    store = ArrayStore(root, cache=cache, workers=workers)
+    server = ArrayServer(store, (host, port))
+    print(
+        f"serving store {root!r} ({len(store.names())} datasets) "
+        f"on {server.url}"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.server_close()
+        store.close()

@@ -1,0 +1,386 @@
+"""Multi-dataset store of tiled compressed arrays, with cached reads.
+
+:class:`ArrayStore` manages a directory of named datasets, each
+persisted as one tiled (v4) or adaptive (v5) RQSZ container produced by
+:class:`repro.compressor.tiled.TiledCompressor`.  A JSON manifest
+(``store.json``) records every dataset's shape, dtype, tile grid,
+compression settings and byte accounting, so a fresh process can serve
+an existing directory without touching the containers.
+
+Reads go through :meth:`read_region`, which decodes **only** the tiles
+intersecting the requested hyperslab — and, for tiles already decoded
+by an earlier request, skips the codec entirely via the shared
+:class:`repro.service.cache.TileLRUCache` (one cache across all
+datasets; keys are ``(dataset, generation, tile offset)``, where the
+generation is bumped on every create/delete so a decode racing a
+delete or overwrite can never surface stale tiles under the new
+dataset).  Concurrent misses on the same tile are coalesced: one
+decode, many consumers.
+
+Everything is thread-safe: the manifest and reader table are guarded
+by an RLock, long-lived :class:`TiledReader` instances serialize their
+seek+read pairs internally, and the per-tile codec is stateless — so
+one store instance backs the whole multi-threaded server.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.compressor import CompressionConfig, SZCompressor, TiledCompressor
+from repro.compressor.container import TiledReader
+from repro.compressor.inspect import describe_container
+from repro.compressor.tiled_geometry import (
+    copy_overlap,
+    intersect_extent,
+    normalize_region,
+)
+from repro.service.cache import TileLRUCache
+
+__all__ = ["ArrayStore", "RegionResult", "DatasetCorruptError"]
+
+
+class DatasetCorruptError(RuntimeError):
+    """A stored container failed to parse or decode.
+
+    Distinguishes server-side data damage from caller mistakes (bad
+    names, bad regions), so the HTTP layer can answer 500 rather than
+    blaming the client with a 400.
+    """
+
+MANIFEST_NAME = "store.json"
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$")
+
+
+@dataclass(frozen=True)
+class RegionResult:
+    """A decoded hyperslab plus the read's cache/decode accounting."""
+
+    data: np.ndarray
+    tiles_touched: int
+    cache_hits: int
+    cache_misses: int
+
+
+class ArrayStore:
+    """A directory of named tiled-compressed datasets.
+
+    Parameters
+    ----------
+    root:
+        Store directory; created if missing.  An existing manifest is
+        loaded, so stores persist across processes.
+    cache:
+        Decoded-tile cache shared across datasets; ``None`` builds a
+        default :class:`TileLRUCache`.
+    workers:
+        Thread count for tile *encoding* on :meth:`create` (decode
+        parallelism comes from the caller's own threads).
+    factory:
+        Optional :class:`repro.factory.CodecFactory` supplying the
+        tiled compressor, so adaptive puts sample at the same
+        rate/seed as the rest of the caller's pipeline.
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        cache: TileLRUCache | None = None,
+        workers: int | None = None,
+        factory=None,
+    ) -> None:
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+        self.cache = cache or TileLRUCache()
+        self._workers = workers
+        self._factory = factory
+        self._codec = SZCompressor()
+        self._lock = threading.RLock()
+        self._readers: dict[str, TiledReader] = {}
+        self._manifest: dict = {"datasets": {}}
+        path = self._manifest_path()
+        if os.path.exists(path):
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    manifest = json.load(fh)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"corrupt store manifest: {path}: {exc}"
+                ) from exc
+            if (
+                not isinstance(manifest, dict)
+                or "datasets" not in manifest
+            ):
+                raise ValueError(f"corrupt store manifest: {path}")
+            self._manifest = manifest
+
+    # -- paths / manifest ------------------------------------------------------
+
+    def _manifest_path(self) -> str:
+        return os.path.join(self.root, MANIFEST_NAME)
+
+    def _container_path(self, name: str) -> str:
+        return os.path.join(self.root, f"{name}.rqsz")
+
+    def _persist(self) -> None:
+        """Atomically rewrite the manifest (caller holds the lock)."""
+        tmp = self._manifest_path() + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(self._manifest, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, self._manifest_path())
+
+    @staticmethod
+    def _check_name(name: str) -> str:
+        if not _NAME_RE.match(name or ""):
+            raise ValueError(
+                f"invalid dataset name {name!r}: use letters, digits, "
+                "'.', '_' or '-' (max 128 chars, no leading punctuation)"
+            )
+        return name
+
+    # -- writing ---------------------------------------------------------------
+
+    def create(
+        self,
+        name: str,
+        data: np.ndarray,
+        config: CompressionConfig,
+        overwrite: bool = False,
+    ) -> dict:
+        """Compress *data* into the store as dataset *name*.
+
+        The container is tiled (``config.tile_shape``; a ``None`` tile
+        shape stores one whole-array tile) and adaptive when
+        ``config.adaptive`` is set.  Returns the recorded metadata.
+        """
+        self._check_name(name)
+        data = np.asarray(data)
+        with self._lock:
+            if name in self._manifest["datasets"] and not overwrite:
+                raise ValueError(
+                    f"dataset {name!r} already exists "
+                    "(pass overwrite to replace)"
+                )
+        # compress outside the lock so concurrent region reads of other
+        # datasets are never stalled behind a long encode
+        path = self._container_path(name)
+        tmp = f"{path}.tmp-{threading.get_ident()}"
+        compressor = (
+            self._factory.tiled_compressor()
+            if self._factory is not None
+            else TiledCompressor(workers=self._workers)
+        )
+        try:
+            result = compressor.compress(data, config, out=tmp)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.remove(tmp)
+            raise
+        with self._lock:
+            if name in self._manifest["datasets"]:
+                if not overwrite:
+                    os.remove(tmp)
+                    raise ValueError(
+                        f"dataset {name!r} already exists "
+                        "(pass overwrite to replace)"
+                    )
+                self.delete(name)
+            os.replace(tmp, path)
+            generation = self._bump_generation(name)
+            entry = {
+                "generation": generation,
+                "file": os.path.basename(path),
+                "shape": [int(n) for n in data.shape],
+                "dtype": data.dtype.str,
+                "tile_shape": [int(t) for t in result.tile_shape],
+                "n_tiles": result.n_tiles,
+                "raw_bytes": int(result.original_bytes),
+                "compressed_bytes": int(result.compressed_bytes),
+                "ratio": round(result.ratio, 6),
+                "created": time.strftime(
+                    "%Y-%m-%dT%H:%M:%S", time.gmtime()
+                ),
+                "config": {
+                    "predictor": config.predictor,
+                    "mode": config.mode.value,
+                    "error_bound": config.error_bound,
+                    "lossless": config.lossless,
+                    "adaptive": bool(config.adaptive),
+                },
+            }
+            self._manifest["datasets"][name] = entry
+            self._persist()
+            return dict(entry, name=name)
+
+    def _bump_generation(self, name: str) -> int:
+        """Next generation for *name*; survives deletes (caller locks).
+
+        Generations are part of every cache key, so a tile decode
+        racing a delete/overwrite re-inserts under the *old*
+        generation — unreachable by any future read — instead of
+        poisoning the replacement dataset.
+        """
+        generations = self._manifest.setdefault("generations", {})
+        generations[name] = int(generations.get(name, 0)) + 1
+        return generations[name]
+
+    def delete(self, name: str) -> None:
+        """Remove a dataset: container file, manifest entry, cache."""
+        with self._lock:
+            entry = self._entry(name)
+            # pop but do NOT close: an in-flight read_region may still
+            # hold this reader; it finishes against the old (unlinked
+            # or replaced) file and the handle closes when the last
+            # reference drops.  Closing here would turn a benign
+            # read-vs-delete race into a spurious corruption error.
+            self._readers.pop(name, None)
+            del self._manifest["datasets"][name]
+            self._bump_generation(name)
+            self._persist()
+            path = os.path.join(self.root, entry["file"])
+            if os.path.exists(path):
+                os.remove(path)
+        self.cache.invalidate_where(lambda key: key[0] == name)
+
+    # -- metadata --------------------------------------------------------------
+
+    def _entry(self, name: str) -> dict:
+        try:
+            return self._manifest["datasets"][name]
+        except KeyError:
+            raise KeyError(f"no dataset named {name!r}") from None
+
+    def names(self) -> list[str]:
+        """Sorted names of the stored datasets."""
+        with self._lock:
+            return sorted(self._manifest["datasets"])
+
+    def info(self, name: str) -> dict:
+        """Manifest metadata of one dataset."""
+        with self._lock:
+            return dict(self._entry(name), name=name)
+
+    def list_datasets(self) -> list[dict]:
+        """Metadata of every dataset (manifest order-independent)."""
+        with self._lock:
+            return [self.info(name) for name in self.names()]
+
+    def stat(self, name: str) -> dict:
+        """Manifest metadata plus the container's full description.
+
+        The container part is exactly ``repro inspect --json`` output
+        (:func:`repro.compressor.inspect.describe_container`), so CLI
+        and HTTP tooling see one schema.
+        """
+        with self._lock:
+            entry = self.info(name)
+            path = os.path.join(self.root, entry["file"])
+        try:
+            entry["container"] = describe_container(path)
+        except (ValueError, OSError) as exc:
+            raise DatasetCorruptError(
+                f"stored container for dataset {name!r} is "
+                f"unreadable: {exc}"
+            ) from exc
+        return entry
+
+    # -- reading ---------------------------------------------------------------
+
+    def _reader(self, name: str) -> tuple[TiledReader, int]:
+        """The long-lived reader and cache generation for *name*."""
+        with self._lock:
+            entry = self._entry(name)
+            generation = int(entry.get("generation", 0))
+            reader = self._readers.get(name)
+            if reader is None:
+                try:
+                    reader = TiledReader(
+                        os.path.join(self.root, entry["file"])
+                    )
+                except (ValueError, OSError) as exc:
+                    raise DatasetCorruptError(
+                        f"stored container for dataset {name!r} is "
+                        f"unreadable: {exc}"
+                    ) from exc
+                self._readers[name] = reader
+            return reader, generation
+
+    def read_region(
+        self,
+        name: str,
+        region: Sequence[slice | int] | slice | int,
+    ) -> RegionResult:
+        """Decode the hyperslab *region* of dataset *name*.
+
+        Only intersecting tiles are touched; each comes from the
+        decoded-tile cache when possible (concurrent cold misses on one
+        tile are coalesced into a single decode).
+        """
+        reader, generation = self._reader(name)
+        shape = tuple(reader.header["shape"])
+        dtype = np.dtype(reader.header["dtype"])
+        slices = normalize_region(region, shape)
+        out = np.zeros(
+            tuple(r.stop - r.start for r in slices), dtype=dtype
+        )
+
+        def load_tile(rec) -> np.ndarray:
+            try:
+                return self._codec.decompress(reader.read_tile(rec))
+            except (ValueError, OSError) as exc:
+                raise DatasetCorruptError(
+                    f"tile at offset {rec.offset} of dataset "
+                    f"{name!r} failed to decode: {exc}"
+                ) from exc
+
+        hits = misses = touched = 0
+        for record in reader.tiles:
+            overlap = intersect_extent(record.start, record.stop, slices)
+            if overlap is None:
+                continue
+            touched += 1
+            tile, was_hit = self.cache.get_or_load(
+                (name, generation, record.offset),
+                lambda rec=record: load_tile(rec),
+            )
+            if was_hit:
+                hits += 1
+            else:
+                misses += 1
+            copy_overlap(out, slices, tile, record.start, overlap)
+        return RegionResult(
+            data=out,
+            tiles_touched=touched,
+            cache_hits=hits,
+            cache_misses=misses,
+        )
+
+    def read_full(self, name: str) -> np.ndarray:
+        """Decode a whole dataset (through the tile cache)."""
+        reader, _ = self._reader(name)
+        shape = tuple(reader.header["shape"])
+        return self.read_region(
+            name, tuple(slice(0, n) for n in shape)
+        ).data
+
+    def close(self) -> None:
+        """Close every open container reader."""
+        with self._lock:
+            for reader in self._readers.values():
+                reader.close()
+            self._readers.clear()
+
+    def __enter__(self) -> "ArrayStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

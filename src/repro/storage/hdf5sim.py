@@ -39,6 +39,7 @@ from repro.compressor.tiled import (
     iter_tiles,
     normalize_region,
 )
+from repro.compressor.tiled_geometry import copy_overlap
 
 __all__ = ["H5LikeFile", "DatasetInfo"]
 
@@ -317,15 +318,7 @@ class H5LikeFile:
                 chunk = np.frombuffer(payload, dtype=dtype).reshape(
                     chunk_shape
                 )
-            chunk_slc = tuple(
-                slice(o.start - a, o.stop - a)
-                for o, a in zip(overlap, record["start"])
-            )
-            out_slc = tuple(
-                slice(o.start - r.start, o.stop - r.start)
-                for o, r in zip(overlap, slices)
-            )
-            out[out_slc] = chunk[chunk_slc]
+            copy_overlap(out, slices, chunk, record["start"], overlap)
         return out
 
     def _entry(self, name: str) -> dict:

@@ -1,0 +1,210 @@
+"""Unit tests for the sharded decoded-tile LRU cache."""
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.service.cache import TileLRUCache
+
+
+def _arr(n_bytes: int, fill: float = 1.0) -> np.ndarray:
+    return np.full(n_bytes // 8, fill, dtype=np.float64)
+
+
+class TestBasics:
+    def test_get_miss_then_hit(self):
+        cache = TileLRUCache(byte_budget=1 << 20, shards=2)
+        assert cache.get("k") is None
+        cache.put("k", _arr(64))
+        value = cache.get("k")
+        assert value is not None and value.size == 8
+        stats = cache.stats()
+        assert stats.hits == 1 and stats.misses == 1
+        assert stats.entries == 1
+        assert stats.bytes_cached == 64
+
+    def test_cached_arrays_are_read_only(self):
+        cache = TileLRUCache(byte_budget=1 << 20)
+        cache.put("k", _arr(64))
+        with pytest.raises(ValueError):
+            cache.get("k")[0] = 7.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            TileLRUCache(byte_budget=-1)
+        with pytest.raises(ValueError):
+            TileLRUCache(shards=0)
+
+    def test_zero_budget_disables_caching(self):
+        cache = TileLRUCache(byte_budget=0)
+        cache.put("k", _arr(64))
+        assert cache.get("k") is None
+        value, hit = cache.get_or_load("k", lambda: _arr(64))
+        assert not hit and value.size == 8
+        assert cache.stats().entries == 0
+        assert cache.stats().bytes_cached == 0
+
+    def test_hit_rate_idle_is_zero(self):
+        assert TileLRUCache().stats().hit_rate == 0.0
+
+
+class TestEviction:
+    def test_lru_eviction_under_budget(self):
+        # one shard so the LRU order is global and deterministic
+        cache = TileLRUCache(byte_budget=256, shards=1)
+        cache.put("a", _arr(128))
+        cache.put("b", _arr(128))
+        assert cache.get("a") is not None  # refresh: b is now LRU
+        cache.put("c", _arr(128))  # evicts b
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.get("c") is not None
+        assert cache.stats().evictions == 1
+        assert cache.stats().bytes_cached <= 256
+
+    def test_oversize_value_not_cached(self):
+        cache = TileLRUCache(byte_budget=64, shards=1)
+        cache.put("big", _arr(1024))
+        assert cache.get("big") is None
+        assert cache.stats().entries == 0
+
+    def test_replacement_updates_byte_accounting(self):
+        cache = TileLRUCache(byte_budget=1024, shards=1)
+        cache.put("k", _arr(512))
+        cache.put("k", _arr(256))
+        stats = cache.stats()
+        assert stats.entries == 1
+        assert stats.bytes_cached == 256
+
+    def test_invalidate_where(self):
+        cache = TileLRUCache(byte_budget=1 << 20, shards=4)
+        for i in range(8):
+            cache.put(("ds1", i), _arr(64))
+            cache.put(("ds2", i), _arr(64))
+        dropped = cache.invalidate_where(lambda key: key[0] == "ds1")
+        assert dropped == 8
+        assert all(cache.get(("ds1", i)) is None for i in range(8))
+        # the surviving dataset is intact (these count as hits)
+        assert all(
+            cache.get(("ds2", i)) is not None for i in range(8)
+        )
+
+    def test_clear(self):
+        cache = TileLRUCache(byte_budget=1 << 20)
+        for i in range(10):
+            cache.put(i, _arr(64))
+        cache.clear()
+        assert cache.stats().entries == 0
+        assert cache.stats().bytes_cached == 0
+        assert not list(cache.keys())
+
+
+class TestCoalescing:
+    def test_get_or_load_loads_once(self):
+        cache = TileLRUCache(byte_budget=1 << 20)
+        calls = []
+        value, hit = cache.get_or_load(
+            "k", lambda: calls.append(1) or _arr(64)
+        )
+        assert not hit and len(calls) == 1
+        value2, hit2 = cache.get_or_load(
+            "k", lambda: calls.append(1) or _arr(64)
+        )
+        assert hit2 and len(calls) == 1
+        assert value2.tobytes() == value.tobytes()
+
+    def test_concurrent_misses_coalesce_to_one_decode(self):
+        cache = TileLRUCache(byte_budget=1 << 20)
+        n_threads = 8
+        barrier = threading.Barrier(n_threads)
+        calls = []
+        lock = threading.Lock()
+
+        def loader():
+            with lock:
+                calls.append(threading.get_ident())
+            time.sleep(0.05)  # hold the flight open so others pile up
+            return _arr(64, fill=3.0)
+
+        def worker(_):
+            barrier.wait()
+            value, hit = cache.get_or_load("tile", loader)
+            return value
+
+        with ThreadPoolExecutor(max_workers=n_threads) as pool:
+            results = list(pool.map(worker, range(n_threads)))
+        assert len(calls) == 1, "concurrent misses must decode once"
+        for value in results:
+            assert value.tobytes() == _arr(64, fill=3.0).tobytes()
+        stats = cache.stats()
+        assert stats.misses == 1
+        assert stats.coalesced == n_threads - 1
+
+    def test_loader_error_propagates_and_caches_nothing(self):
+        cache = TileLRUCache(byte_budget=1 << 20)
+
+        def boom():
+            raise RuntimeError("decode failed")
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_load("k", boom)
+        assert cache.get("k") is None
+        # a later good load works (no stuck in-flight entry)
+        value, hit = cache.get_or_load("k", lambda: _arr(64))
+        assert not hit and value is not None
+
+    def test_loader_error_reaches_waiters(self):
+        cache = TileLRUCache(byte_budget=1 << 20)
+        n_threads = 4
+        barrier = threading.Barrier(n_threads)
+
+        def loader():
+            time.sleep(0.05)
+            raise RuntimeError("decode failed")
+
+        def worker(_):
+            barrier.wait()
+            try:
+                cache.get_or_load("k", loader)
+                return None
+            except RuntimeError as exc:
+                return str(exc)
+
+        with ThreadPoolExecutor(max_workers=n_threads) as pool:
+            results = list(pool.map(worker, range(n_threads)))
+        assert results == ["decode failed"] * n_threads
+
+
+class TestSharding:
+    def test_budget_split_across_shards(self):
+        cache = TileLRUCache(byte_budget=1024, shards=4)
+        assert cache.stats().byte_budget == 1024
+        assert cache.stats().shards == 4
+
+    def test_tiny_budget_clamps_shard_count(self):
+        cache = TileLRUCache(byte_budget=2, shards=8)
+        assert cache.stats().shards == 2
+
+    def test_concurrent_mixed_workload_consistent(self):
+        cache = TileLRUCache(byte_budget=1 << 16, shards=4)
+        n_threads = 8
+
+        def worker(seed):
+            rng = np.random.default_rng(seed)
+            for _ in range(200):
+                key = int(rng.integers(32))
+                value, _ = cache.get_or_load(
+                    key, lambda k=key: _arr(256, fill=float(k))
+                )
+                assert float(value[0]) == float(key)
+
+        with ThreadPoolExecutor(max_workers=n_threads) as pool:
+            list(pool.map(worker, range(n_threads)))
+        stats = cache.stats()
+        assert stats.hits + stats.misses + stats.coalesced >= (
+            n_threads * 200
+        )
+        assert stats.bytes_cached <= 1 << 16

@@ -1,0 +1,287 @@
+"""HTTP server + client tests, including the concurrency acceptance."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.service import (
+    ArrayClient,
+    ArrayServer,
+    ArrayStore,
+    ServiceError,
+    TileLRUCache,
+)
+from tests.conftest import assert_error_bounded, smooth_field
+
+EB = 1e-3
+N_CLIENTS = 8
+
+
+@pytest.fixture
+def served(tmp_path):
+    """A live server over a fresh store; yields (client, store)."""
+    store = ArrayStore(
+        tmp_path / "store", cache=TileLRUCache(byte_budget=32 << 20)
+    )
+    server = ArrayServer(store)
+    server.serve_in_background()
+    try:
+        yield ArrayClient(server.url), store
+    finally:
+        server.shutdown()
+        server.server_close()
+        store.close()
+
+
+@pytest.fixture
+def field():
+    return smooth_field((48, 48), seed=5)
+
+
+class TestEndpoints:
+    def test_health(self, served):
+        client, _ = served
+        payload = client.health()
+        assert payload["status"] == "ok"
+        assert payload["datasets"] == 0
+
+    def test_put_read_stat_roundtrip(self, served, field):
+        client, _ = served
+        entry = client.put("press", field, eb=EB, tile=(16, 16))
+        assert entry["n_tiles"] == 9
+        assert entry["shape"] == [48, 48]
+
+        roi = client.read_region("press", (slice(8, 40), slice(8, 40)))
+        assert roi.shape == (32, 32)
+        assert roi.dtype == field.dtype
+        assert_error_bounded(field[8:40, 8:40], roi, EB)
+        assert client.last_read_stats["tiles_touched"] == 9
+
+        stat = client.stat("press")
+        assert stat["container"]["container_version"] == 4
+        assert stat["container"]["tile_map"]["n_tiles"] == 9
+
+        listed = client.list_datasets()
+        assert [d["name"] for d in listed] == ["press"]
+
+    def test_string_region_and_full_read(self, served, field):
+        client, _ = served
+        client.put("press", field, eb=EB, tile=(16, 16))
+        roi = client.read_region("press", "8:40,8:40")
+        assert roi.shape == (32, 32)
+        full = client.read_region("press", ":")
+        assert full.shape == field.shape
+
+    def test_warm_read_hits_cache(self, served, field):
+        client, _ = served
+        client.put("press", field, eb=EB, tile=(16, 16))
+        client.read_region("press", "0:16,0:16")
+        assert client.last_read_stats["cache_misses"] == 1
+        client.read_region("press", "0:16,0:16")
+        assert client.last_read_stats["cache_hits"] == 1
+        assert client.last_read_stats["cache_misses"] == 0
+        stats = client.cache_stats()
+        assert stats["hits"] >= 1
+        assert stats["entries"] >= 1
+
+    def test_delete(self, served, field):
+        client, _ = served
+        client.put("press", field, eb=EB, tile=(16, 16))
+        assert client.delete("press") == {"deleted": "press"}
+        assert client.list_datasets() == []
+        with pytest.raises(ServiceError) as err:
+            client.stat("press")
+        assert err.value.status == 404
+
+    def test_adaptive_put(self, served, field):
+        client, _ = served
+        entry = client.put(
+            "ada", field, eb=0.05, tile=(12, 12), adaptive=True
+        )
+        assert entry["config"]["adaptive"] is True
+        stat = client.stat("ada")
+        assert stat["container"]["container_version"] == 5
+        assert "adaptive" in stat["container"]["tile_map"]
+
+
+class TestErrors:
+    def test_unknown_dataset_404(self, served):
+        client, _ = served
+        with pytest.raises(ServiceError) as err:
+            client.read_region("ghost", "0:4")
+        assert err.value.status == 404
+        assert "no dataset named" in err.value.message
+
+    def test_duplicate_put_conflict(self, served, field):
+        client, _ = served
+        client.put("press", field, eb=EB)
+        with pytest.raises(ServiceError) as err:
+            client.put("press", field, eb=EB)
+        assert err.value.status == 409
+        client.put("press", field, eb=EB, overwrite=True)
+
+    def test_bad_region_400(self, served, field):
+        client, _ = served
+        client.put("press", field, eb=EB, tile=(16, 16))
+        for slab in ("0:a", "0:4,0:4,0:4", "-3:4"):
+            with pytest.raises(ServiceError) as err:
+                client.read_region("press", slab)
+            assert err.value.status == 400
+
+    def test_missing_eb_400(self, served, field):
+        client, _ = served
+        with pytest.raises(ServiceError) as err:
+            client._json(
+                "PUT", "/v1/datasets/x", body=b"zz", content_type="a/b"
+            )
+        assert err.value.status == 400
+        assert "eb" in err.value.message
+
+    def test_bad_body_400(self, served):
+        client, _ = served
+        with pytest.raises(ServiceError) as err:
+            client._json(
+                "PUT",
+                "/v1/datasets/x",
+                params={"eb": "0.01"},
+                body=b"not an npy payload",
+                content_type="application/x-npy",
+            )
+        assert err.value.status == 400
+
+    def test_unknown_route_404(self, served):
+        client, _ = served
+        with pytest.raises(ServiceError) as err:
+            client._json("GET", "/v1/nope")
+        assert err.value.status == 404
+
+    def test_invalid_name_400(self, served, field):
+        client, _ = served
+        with pytest.raises(ServiceError) as err:
+            client.put("..evil", field, eb=EB)
+        assert err.value.status == 400
+
+    def test_error_before_body_read_closes_connection(
+        self, served, field
+    ):
+        """A PUT rejected on its query string leaves its body unread;
+        the server must drop the keep-alive connection so the body is
+        not parsed as the next request."""
+        import io as _io
+        import socket
+        from urllib.parse import urlparse
+
+        client, _ = served
+        parsed = urlparse(client.base_url)
+        buf = _io.BytesIO()
+        np.save(buf, field, allow_pickle=False)
+        body = buf.getvalue()
+        request = (
+            b"PUT /v1/datasets/x HTTP/1.1\r\n"  # no eb -> 400
+            + f"Host: {parsed.hostname}\r\n".encode()
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        with socket.create_connection(
+            (parsed.hostname, parsed.port), timeout=10
+        ) as sock:
+            sock.sendall(request)
+            response = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break  # server closed: body was not re-parsed
+                response = response + chunk
+        head = response.split(b"\r\n\r\n", 1)[0].lower()
+        assert b"400" in head.split(b"\r\n", 1)[0]
+        assert b"connection: close" in head
+        # exactly one response: the unread body must not have been
+        # parsed as a second request ("Bad request version ..." HTML)
+        assert response.count(b"HTTP/1.1") == 1
+        assert response.rstrip().endswith(b"}")
+
+    def test_corrupt_stored_container_500_not_400(
+        self, served, field, tmp_path
+    ):
+        import os
+
+        client, store = served
+        client.put("press", field, eb=EB, tile=(16, 16))
+        store.close()  # drop the open reader so the damage is seen
+        with open(os.path.join(store.root, "press.rqsz"), "wb") as fh:
+            fh.write(b"garbage")
+        with pytest.raises(ServiceError) as err:
+            client.read_region("press", "0:4,0:4")
+        assert err.value.status == 500
+        assert "unreadable" in err.value.message
+
+
+class TestConcurrentClients:
+    def test_eight_threads_byte_identical_with_cache_hits(
+        self, served, field
+    ):
+        """Acceptance: >= 8 concurrent clients, byte-identical regions,
+        cache hit counters > 0."""
+        client, store = served
+        client.put("press", field, eb=EB, tile=(16, 16))
+
+        regions = [
+            "0:16,0:16",
+            "8:40,8:40",
+            "0:48,16:32",
+            "30:48,30:48",
+            "5:6,0:48",
+            "0:48,0:48",
+            "17:31,2:44",
+            "40:48,0:8",
+        ]
+        reference = {
+            slab: client.read_region("press", slab).tobytes()
+            for slab in regions
+        }
+
+        def worker(seed: int) -> list:
+            local = ArrayClient(client.base_url)
+            order = np.random.default_rng(seed).permutation(
+                len(regions)
+            )
+            out = []
+            for _ in range(3):
+                for index in order:
+                    slab = regions[int(index)]
+                    data = local.read_region("press", slab)
+                    out.append((slab, data.tobytes()))
+            return out
+
+        with ThreadPoolExecutor(max_workers=N_CLIENTS) as pool:
+            batches = list(pool.map(worker, range(N_CLIENTS)))
+
+        for batch in batches:
+            assert len(batch) == 3 * len(regions)
+            for slab, payload in batch:
+                assert payload == reference[slab], (
+                    f"region {slab} differed across threads"
+                )
+        stats = store.cache.stats()
+        assert stats.hits > 0, "hot tiles must be served from cache"
+        assert stats.misses > 0
+
+    def test_concurrent_cold_misses_coalesce(self, served, field):
+        client, store = served
+        client.put("press", field, eb=EB, tile=(48, 48))  # one tile
+
+        def worker(_):
+            return ArrayClient(client.base_url).read_region(
+                "press", "0:48,0:48"
+            )
+
+        with ThreadPoolExecutor(max_workers=N_CLIENTS) as pool:
+            results = list(pool.map(worker, range(N_CLIENTS)))
+        first = results[0].tobytes()
+        assert all(r.tobytes() == first for r in results)
+        stats = store.cache.stats()
+        # the tile decodes exactly once; every other request either
+        # waited on the in-flight decode or hit the cache afterwards
+        assert stats.misses == 1
+        assert stats.hits + stats.coalesced == N_CLIENTS - 1

@@ -1,0 +1,282 @@
+"""Tests for the multi-dataset compressed-array store."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.compressor import CompressionConfig, ErrorBoundMode
+from repro.service.cache import TileLRUCache
+from repro.service.store import ArrayStore
+from tests.conftest import assert_error_bounded, smooth_field
+
+EB = 1e-3
+
+
+@pytest.fixture
+def field():
+    return smooth_field((40, 48), seed=11)
+
+
+@pytest.fixture
+def store(tmp_path):
+    with ArrayStore(tmp_path / "store") as s:
+        yield s
+
+
+def _config(**overrides):
+    base = dict(error_bound=EB, tile_shape=(16, 16))
+    base.update(overrides)
+    return CompressionConfig(**base)
+
+
+class TestCreate:
+    def test_create_and_read_full(self, store, field):
+        entry = store.create("press", field, _config())
+        assert entry["name"] == "press"
+        assert entry["shape"] == [40, 48]
+        assert entry["n_tiles"] == 9
+        back = store.read_full("press")
+        assert back.dtype == field.dtype
+        assert_error_bounded(field, back, EB)
+
+    def test_container_on_disk_is_plain_rqsz(self, store, field):
+        store.create("press", field, _config())
+        path = os.path.join(store.root, "press.rqsz")
+        assert os.path.exists(path)
+        from repro.compressor import TiledCompressor
+
+        back = TiledCompressor().decompress(path)
+        assert_error_bounded(field, back, EB)
+
+    def test_duplicate_create_rejected(self, store, field):
+        store.create("press", field, _config())
+        with pytest.raises(ValueError, match="already exists"):
+            store.create("press", field, _config())
+
+    def test_overwrite_replaces(self, store, field):
+        store.create("press", field, _config())
+        store.create("press", field * 2.0, _config(), overwrite=True)
+        back = store.read_full("press")
+        assert_error_bounded(field * 2.0, back, EB)
+
+    def test_invalid_names_rejected(self, store, field):
+        for bad in ("", "../evil", "a/b", ".hidden", "a" * 200):
+            with pytest.raises(ValueError, match="invalid dataset name"):
+                store.create(bad, field, _config())
+
+    def test_adaptive_dataset_round_trips(self, store, field):
+        entry = store.create(
+            "ada", field, _config(adaptive=True, tile_shape=(10, 12))
+        )
+        assert entry["config"]["adaptive"] is True
+        stat = store.stat("ada")
+        assert stat["container"]["container_version"] == 5
+        back = store.read_full("ada")
+        assert back.shape == field.shape
+
+
+class TestMetadata:
+    def test_names_and_list(self, store, field):
+        store.create("b", field, _config())
+        store.create("a", field, _config())
+        assert store.names() == ["a", "b"]
+        listed = store.list_datasets()
+        assert [d["name"] for d in listed] == ["a", "b"]
+        assert all("ratio" in d for d in listed)
+
+    def test_info_missing_dataset(self, store):
+        with pytest.raises(KeyError, match="no dataset named"):
+            store.info("ghost")
+
+    def test_stat_includes_container_description(self, store, field):
+        store.create("press", field, _config())
+        stat = store.stat("press")
+        assert stat["container"]["container_version"] == 4
+        assert stat["container"]["tile_map"]["n_tiles"] == 9
+
+    def test_persistence_across_instances(self, tmp_path, field):
+        root = tmp_path / "store"
+        with ArrayStore(root) as first:
+            first.create("press", field, _config())
+        with ArrayStore(root) as second:
+            assert second.names() == ["press"]
+            back = second.read_full("press")
+            assert_error_bounded(field, back, EB)
+
+    def test_corrupt_manifest_rejected(self, tmp_path):
+        root = tmp_path / "store"
+        os.makedirs(root)
+        (root / "store.json").write_text("[]")
+        with pytest.raises(ValueError, match="corrupt store manifest"):
+            ArrayStore(root)
+
+
+class TestRegionReads:
+    def test_region_decodes_only_intersecting_tiles(self, store, field):
+        store.create("press", field, _config())
+        result = store.read_region(
+            "press", (slice(0, 16), slice(0, 16))
+        )
+        assert result.tiles_touched == 1
+        assert result.cache_misses == 1
+        np.testing.assert_array_equal(
+            result.data, store.read_full("press")[0:16, 0:16]
+        )
+
+    def test_second_read_hits_cache(self, store, field):
+        store.create("press", field, _config())
+        region = (slice(4, 30), slice(10, 44))
+        cold = store.read_region("press", region)
+        warm = store.read_region("press", region)
+        assert cold.cache_misses == cold.tiles_touched
+        assert warm.cache_hits == warm.tiles_touched
+        assert warm.cache_misses == 0
+        assert warm.data.tobytes() == cold.data.tobytes()
+
+    def test_region_text_forms_match(self, store, field):
+        store.create("press", field, _config())
+        a = store.read_region("press", (slice(0, 8), slice(0, 8)))
+        b = store.read_region("press", (slice(0, 8), slice(0, 8)))
+        assert a.data.tobytes() == b.data.tobytes()
+
+    def test_read_missing_dataset(self, store):
+        with pytest.raises(KeyError, match="no dataset named"):
+            store.read_region("ghost", (slice(0, 4),))
+
+    def test_cache_not_polluted_across_datasets(self, store, field):
+        store.create("a", field, _config())
+        store.create("b", field * -1.0, _config())
+        full_a = store.read_full("a")
+        full_b = store.read_full("b")
+        assert not np.array_equal(full_a, full_b)
+        assert_error_bounded(field, full_a, EB)
+        assert_error_bounded(field * -1.0, full_b, EB)
+
+
+class TestDelete:
+    def test_delete_removes_file_entry_and_cache(self, store, field):
+        store.create("press", field, _config())
+        store.read_full("press")  # populate the cache
+        assert any(
+            key[0] == "press" for key in store.cache.keys()
+        )
+        store.delete("press")
+        assert store.names() == []
+        assert not os.path.exists(
+            os.path.join(store.root, "press.rqsz")
+        )
+        assert not any(
+            key[0] == "press" for key in store.cache.keys()
+        )
+
+    def test_delete_missing_dataset(self, store):
+        with pytest.raises(KeyError, match="no dataset named"):
+            store.delete("ghost")
+
+    def test_recreate_after_delete_serves_new_data(self, store, field):
+        store.create("press", field, _config())
+        store.read_full("press")
+        store.delete("press")
+        store.create("press", field + 5.0, _config())
+        back = store.read_full("press")
+        assert_error_bounded(field + 5.0, back, EB)
+
+
+class TestOverwriteRaces:
+    def test_inflight_decode_cannot_poison_overwritten_dataset(
+        self, store, field
+    ):
+        """A tile decoded against generation N must never be served
+        for the generation-N+1 dataset at the same byte offset."""
+        store.create("press", field, _config())
+        reader, gen_before = store._reader("press")
+        record = reader.tiles[0]
+        stale_tile = np.full(record.shape, 1234.5, dtype=field.dtype)
+
+        # simulate the race: a leader thread finishes its decode
+        # *after* the overwrite and inserts under the old generation
+        store.create("press", field + 9.0, _config(), overwrite=True)
+        store.cache.put(
+            ("press", gen_before, record.offset), stale_tile
+        )
+
+        result = store.read_region(
+            "press", tuple(slice(a, b) for a, b in
+                           zip(record.start, record.stop))
+        )
+        assert not np.array_equal(result.data, stale_tile)
+        assert_error_bounded(
+            (field + 9.0)[tuple(
+                slice(a, b) for a, b in zip(record.start, record.stop)
+            )],
+            result.data,
+            EB,
+        )
+
+    def test_generation_bumps_across_create_delete_create(
+        self, store, field
+    ):
+        store.create("press", field, _config())
+        _, g1 = store._reader("press")
+        store.delete("press")
+        store.create("press", field, _config())
+        _, g2 = store._reader("press")
+        assert g2 > g1
+
+
+class TestCorruptContainers:
+    def test_unreadable_container_raises_dataset_corrupt(
+        self, store, field
+    ):
+        from repro.service.store import DatasetCorruptError
+
+        store.create("press", field, _config())
+        store.close()  # drop the open reader so the damage is seen
+        path = os.path.join(store.root, "press.rqsz")
+        with open(path, "wb") as fh:
+            fh.write(b"garbage")
+        with pytest.raises(DatasetCorruptError, match="unreadable"):
+            store.read_region("press", (slice(0, 4), slice(0, 4)))
+        with pytest.raises(DatasetCorruptError, match="unreadable"):
+            store.stat("press")
+
+    def test_corrupt_manifest_json_clean_error(self, tmp_path):
+        root = tmp_path / "store"
+        os.makedirs(root)
+        (root / "store.json").write_text('{"datasets": ')  # truncated
+        with pytest.raises(ValueError, match="corrupt store manifest"):
+            ArrayStore(root)
+
+    def test_inflight_reader_survives_delete(self, store, field):
+        """A read that started before delete() finishes against the
+        old file instead of crashing on a closed handle."""
+        from repro.compressor import SZCompressor
+
+        store.create("press", field, _config())
+        reader, _ = store._reader("press")
+        record = reader.tiles[0]
+        expected = SZCompressor().decompress(reader.read_tile(record))
+        store.delete("press")
+        # the popped reader is still open; the unlinked file serves it
+        again = SZCompressor().decompress(reader.read_tile(record))
+        np.testing.assert_array_equal(again, expected)
+
+
+class TestSharedCache:
+    def test_injected_cache_is_used(self, tmp_path, field):
+        cache = TileLRUCache(byte_budget=8 << 20)
+        with ArrayStore(tmp_path / "store", cache=cache) as store:
+            store.create("press", field, _config())
+            store.read_full("press")
+            assert cache.stats().entries > 0
+
+    def test_rel_mode_dataset(self, store, field):
+        store.create(
+            "rel",
+            field,
+            _config(mode=ErrorBoundMode.REL, error_bound=1e-3),
+        )
+        back = store.read_full("rel")
+        rng = float(field.max() - field.min())
+        assert_error_bounded(field, back, 1e-3 * rng)

@@ -38,9 +38,20 @@ class TestClusterSpec:
         with pytest.raises(ValueError):
             ClusterSpec(n_nodes=0)
 
+    def test_invalid_ranks_per_node(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(ranks_per_node=0)
+
     def test_invalid_bandwidth(self):
         with pytest.raises(ValueError):
             ClusterSpec(aggregate_write_bandwidth=0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(write_latency=-0.1)
+
+    def test_zero_latency_allowed(self):
+        assert ClusterSpec(write_latency=0.0).write_latency == 0.0
 
 
 class TestProfile:
@@ -99,3 +110,65 @@ class TestStrategies:
         assert report.total_time == pytest.approx(
             sum(report.times.seconds.values())
         )
+
+
+class TestReportMetadata:
+    def test_traditional_report_fields(self, sim, snapshot):
+        report = sim.dump_traditional(snapshot, 3, 1e-4)
+        assert report.snapshot_index == 3
+        assert report.error_bound == 1e-4
+        assert 0 < report.compressed_bytes < snapshot.nbytes
+
+    def test_tae_chooses_a_candidate(self, sim, snapshot):
+        candidates = [1e-3, 1e-4, 1e-5]
+        report = sim.dump_tae(snapshot, 1, candidates, target_psnr=60.0)
+        assert report.strategy == "tae"
+        assert report.error_bound in candidates
+
+    def test_model_report_fields(self, sim, snapshot):
+        report = sim.dump_model(snapshot, 2, target_psnr=60.0)
+        assert report.strategy == "model"
+        assert report.snapshot_index == 2
+        assert report.error_bound > 0
+        assert report.compressed_bytes > 0
+
+
+class TestIOModel:
+    def test_raw_dump_time_is_bandwidth_plus_latency(self, snapshot):
+        from repro.storage.cluster import ClusterSimulator
+
+        spec = ClusterSpec(
+            n_nodes=2,
+            ranks_per_node=4,
+            aggregate_write_bandwidth=1e6,
+            write_latency=0.25,
+        )
+        profile = ThroughputProfile(
+            compress=1e9, model_optimize=1e9, tae_trial=1e9
+        )
+        sim = ClusterSimulator(
+            spec, profile, CompressionConfig(error_bound=1e-4)
+        )
+        expected = snapshot.nbytes / 1e6 + 0.25
+        assert sim.baseline_raw_dump_time(snapshot) == pytest.approx(
+            expected
+        )
+
+    def test_compress_time_uses_slowest_rank(self, snapshot):
+        from repro.storage.cluster import ClusterSimulator
+
+        spec = ClusterSpec(
+            n_nodes=1,
+            ranks_per_node=8,
+            aggregate_write_bandwidth=1e9,
+            write_latency=0.0,
+        )
+        profile = ThroughputProfile(
+            compress=2e6, model_optimize=1e9, tae_trial=1e9
+        )
+        sim = ClusterSimulator(
+            spec, profile, CompressionConfig(error_bound=1e-4)
+        )
+        report = sim.dump_traditional(snapshot, 0, 1e-4)
+        expected = (snapshot.nbytes / 8) / 2e6
+        assert report.times.get("compress") == pytest.approx(expected)

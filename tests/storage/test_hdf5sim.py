@@ -201,6 +201,14 @@ class TestErrors:
             with pytest.raises(KeyError):
                 f.read_dataset("nope")
 
+    def test_read_region_missing_dataset_clean_error(self, path):
+        # a clean named-dataset error, not a raw dict KeyError
+        with H5LikeFile(path, "w") as f:
+            f.create_dataset("x", smooth_field((4, 4)))
+        with H5LikeFile(path, "r") as f:
+            with pytest.raises(KeyError, match="no dataset named 'nope'"):
+                f.read_region("nope", (slice(0, 2), slice(0, 2)))
+
     def test_bad_mode(self, path):
         with pytest.raises(ValueError):
             H5LikeFile(path, "a")

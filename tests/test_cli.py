@@ -263,6 +263,120 @@ class TestInspect:
         assert header["predictor"] == "lorenzo"
         assert header["section_bytes"]["codes"] > 0
 
+    def test_json_flag_is_single_line_machine_output(
+        self, tmp_path, capsys
+    ):
+        src = str(tmp_path / "f.npy")
+        np.save(src, smooth_field((20, 20)))
+        blob = str(tmp_path / "f.rqsz")
+        main(["compress", src, blob, "--eb", "0.01", "--tile", "10,10"])
+        capsys.readouterr()
+        assert main(["inspect", blob, "--json"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") == 1  # one compact document
+        header = json.loads(out)
+        assert header["container_version"] == 4
+        assert header["tile_map"]["n_tiles"] == 4
+
+    def test_inspect_non_container_clean_error(self, tmp_path):
+        bogus = tmp_path / "not.rqsz"
+        bogus.write_bytes(b"garbage bytes")
+        with pytest.raises(SystemExit, match="cannot inspect"):
+            main(["inspect", str(bogus)])
+
+    def test_inspect_missing_file_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(["inspect", str(tmp_path / "missing.rqsz")])
+
+
+class TestCleanDecompressErrors:
+    def test_region_on_non_container_clean_error(self, tmp_path):
+        bogus = tmp_path / "not.rqsz"
+        bogus.write_bytes(b"garbage bytes")
+        with pytest.raises(SystemExit) as err:
+            main(["decompress", str(bogus), str(tmp_path / "o.npy"),
+                  "--region", "0:4"])
+        assert "cannot decode region" in str(err.value)
+
+    def test_region_rank_mismatch_clean_error(
+        self, field_file, tmp_path
+    ):
+        blob = str(tmp_path / "x.rqsz")
+        main(["compress", field_file, blob, "--eb", "0.01"])
+        with pytest.raises(SystemExit) as err:
+            main(["decompress", blob, str(tmp_path / "o.npy"),
+                  "--region", "0:4,0:4,0:4"])
+        assert "cannot decode region" in str(err.value)
+
+    def test_decompress_missing_file_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(["decompress", str(tmp_path / "missing.rqsz"),
+                  str(tmp_path / "o.npy")])
+
+    def test_decompress_corrupt_clean_error(self, tmp_path):
+        bogus = tmp_path / "not.rqsz"
+        bogus.write_bytes(b"garbage bytes")
+        with pytest.raises(SystemExit, match="cannot decompress"):
+            main(["decompress", str(bogus), str(tmp_path / "o.npy")])
+
+
+class TestRemoteCommands:
+    @pytest.fixture
+    def served(self, tmp_path):
+        from repro.service import ArrayServer, ArrayStore
+
+        store = ArrayStore(tmp_path / "store")
+        server = ArrayServer(store)
+        server.serve_in_background()
+        try:
+            yield server.url
+        finally:
+            server.shutdown()
+            server.server_close()
+            store.close()
+
+    def test_remote_put_read_stat_roundtrip(
+        self, served, field_file, tmp_path, capsys
+    ):
+        out_path = str(tmp_path / "roi.npy")
+        assert (
+            main(["remote-put", served, "press", field_file,
+                  "--eb", "0.01", "--tile", "10,12"])
+            == 0
+        )
+        assert "tiles" in capsys.readouterr().out
+        assert (
+            main(["remote-read", served, "press", out_path,
+                  "--region", "0:10,0:12"])
+            == 0
+        )
+        assert "1 tiles" in capsys.readouterr().out
+        roi = np.load(out_path)
+        original = np.load(field_file)
+        assert roi.shape == (10, 12)
+        assert np.max(np.abs(roi - original[0:10, 0:12])) <= 0.01 * (
+            1 + 1e-5
+        )
+        assert main(["remote-stat", served, "press", "--json"]) == 0
+        stat = json.loads(capsys.readouterr().out)
+        assert stat["container"]["container_version"] == 4
+
+    def test_remote_read_full_default(
+        self, served, field_file, tmp_path, capsys
+    ):
+        out_path = str(tmp_path / "full.npy")
+        main(["remote-put", served, "press", field_file, "--eb", "0.01"])
+        capsys.readouterr()
+        assert main(["remote-read", served, "press", out_path]) == 0
+        assert np.load(out_path).shape == np.load(field_file).shape
+
+    def test_remote_errors_are_clean(self, served, tmp_path):
+        with pytest.raises(SystemExit, match="server error"):
+            main(["remote-read", served, "ghost",
+                  str(tmp_path / "o.npy")])
+        with pytest.raises(SystemExit, match="cannot reach server"):
+            main(["remote-stat", "http://127.0.0.1:1", "x"])
+
 
 class TestDatasetsAndGenerate:
     def test_datasets_listing(self, capsys):

@@ -130,3 +130,20 @@ class TestEndToEnd:
         cells = study.run()
         assert len(cells) == 1
         assert np.isfinite(cells[0].meas_bitrate)
+
+
+class TestArrayStore:
+    def test_factory_builds_store_with_its_settings(self, tmp_path):
+        from repro.service.store import ArrayStore
+
+        factory = CodecFactory(
+            predictor="interpolation", sample_rate=0.5, seed=3, workers=2
+        )
+        store = factory.array_store(tmp_path / "store")
+        assert isinstance(store, ArrayStore)
+        config = factory.config(1e-2, tile_shape=(8, 8))
+        entry = store.create("f", smooth_field((16, 16)), config)
+        assert entry["config"]["predictor"] == "interpolation"
+        back = store.read_full("f")
+        assert back.shape == (16, 16)
+        store.close()
