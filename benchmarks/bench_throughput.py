@@ -20,6 +20,13 @@ dataset answers hyperslab reads while the benchmark records QPS and
 p50/p99 latency with a cold versus warm decoded-tile cache.  The
 acceptance criterion is a >= 3x median speedup from the cache.
 
+The **parallel_scaling** mode sweeps the execution backends (serial /
+thread / shared-memory process pool) over workers={1,2,4} on a
+1M-point tiled field, asserting that every combination produces
+byte-identical containers and — on machines with >= 4 cores — that the
+process backend compresses at least 1.5x faster than serial at 4
+workers.  The CI ``perf-smoke`` job runs exactly this mode.
+
 The **v5_adaptive** mode runs the model-driven per-tile planner on a
 heterogeneous field (smooth background + an injected halo-dense
 lognormal region) and compares the adaptive v5 container against the
@@ -380,6 +387,150 @@ def _measure_serving(tmp_path) -> dict:
         "qps": round(qps, 1),
         "cache": stats.to_json(),
     }
+
+
+# -- parallel-scaling workload -------------------------------------------------
+
+#: 1M-point field for the backend-scaling sweep (small enough for CI,
+#: large enough that per-batch transport overhead is amortized)
+PAR_SHAPE = (64, 128, 128)
+PAR_TILE = (8, 128, 128)  # 8 tiles of ~1 MB: clean 4-way fan-out
+PAR_WORKERS = (1, 2, 4)
+#: acceptance: process-backend compress at 4 workers vs serial
+PAR_MIN_SPEEDUP = 1.5
+#: cores needed for the speedup assertion to be physically meaningful
+PAR_MIN_CORES = 4
+
+
+def _par_field() -> np.ndarray:
+    rng = np.random.default_rng(2)
+    return np.cumsum(rng.standard_normal(PAR_SHAPE), axis=-1)
+
+
+def _measure_parallel_scaling() -> dict:
+    """Compress/decompress MB/s per backend at workers={1,2,4}.
+
+    Every (backend, workers) run must produce the *same bytes* as the
+    serial baseline — the backends are an execution detail, not a
+    format knob — and the process backend's pool is warmed up before
+    timing so the persistent-pool steady state is what gets recorded.
+    """
+    from repro.compressor import TiledCompressor
+    from repro.compressor.executor import usable_cores
+
+    data = _par_field()
+    mb = data.nbytes / 1e6
+    config = CompressionConfig(
+        predictor="lorenzo",
+        error_bound=ERROR_BOUND,
+        lossless="zstd_like",
+        tile_shape=PAR_TILE,
+    )
+    # warm-up slab spanning 4 tiles: a (backend, workers) warm-up pass
+    # must put a task on *every* pool worker, or the cold-start (numpy
+    # + repro imports in each worker process) lands inside the timing
+    warmup = data[: 4 * PAR_TILE[0]]
+    # one full-size serial pass first: page in the field and JIT-warm
+    # the NumPy kernels so the first timed combination is not penalized
+    TiledCompressor().compress(data, config)
+
+    serial_blob = None
+    backends: dict = {}
+    for backend in ("serial", "thread", "process"):
+        backends[backend] = {}
+        for workers in PAR_WORKERS:
+            tc = TiledCompressor(workers=workers, backend=backend)
+            tc.compress(warmup, config)  # spin up pools outside timing
+            start = time.perf_counter()
+            result = tc.compress(data, config)
+            compress_s = time.perf_counter() - start
+            if serial_blob is None:
+                serial_blob = result.blob
+            assert result.blob == serial_blob, (
+                f"{backend} w{workers} produced different bytes"
+            )
+            start = time.perf_counter()
+            recon = tc.decompress(result.blob)
+            decompress_s = time.perf_counter() - start
+            assert np.max(np.abs(recon - data)) <= ERROR_BOUND * (1 + 1e-9)
+            backends[backend][f"w{workers}"] = {
+                "compress_s": round(compress_s, 4),
+                "compress_mb_s": round(mb / compress_s, 2),
+                "decompress_s": round(decompress_s, 4),
+                "decompress_mb_s": round(mb / decompress_s, 2),
+            }
+
+    serial_rate = backends["serial"]["w1"]["compress_mb_s"]
+    process_rate = backends["process"]["w4"]["compress_mb_s"]
+    return {
+        "field": {
+            "shape": list(PAR_SHAPE),
+            "tile_shape": list(PAR_TILE),
+            "error_bound": ERROR_BOUND,
+        },
+        "cores": usable_cores(),
+        "byte_identical": True,
+        "backends": backends,
+        "process_w4_speedup_vs_serial": round(
+            process_rate / serial_rate, 3
+        ),
+    }
+
+
+def test_parallel_scaling(report):
+    """Backend-scaling sweep; asserts process speedup on >= 4 cores."""
+    scaling = _measure_parallel_scaling()
+    rows = [
+        (
+            f"{backend} w{workers}",
+            m["compress_s"],
+            m["compress_mb_s"],
+            m["decompress_s"],
+            m["decompress_mb_s"],
+        )
+        for backend, per_w in scaling["backends"].items()
+        for workers in PAR_WORKERS
+        for m in [per_w[f"w{workers}"]]
+    ]
+    report(
+        format_table(
+            ["backend", "comp s", "comp MB/s", "decomp s", "decomp MB/s"],
+            rows,
+            float_spec=".2f",
+            title=(
+                "Parallel scaling (1M-point field, 8 tiles, "
+                f"{scaling['cores']} core(s) available): process w4 "
+                f"speedup {scaling['process_w4_speedup_vs_serial']}x "
+                "vs serial"
+            ),
+        )
+    )
+    _append_trajectory(
+        {
+            "date": time.strftime("%Y-%m-%d %H:%M:%S"),
+            "modes": {"parallel_scaling": scaling},
+        }
+    )
+    if scaling["cores"] >= PAR_MIN_CORES:
+        assert (
+            scaling["process_w4_speedup_vs_serial"] >= PAR_MIN_SPEEDUP
+        ), (
+            "process backend at 4 workers must compress at least "
+            f"{PAR_MIN_SPEEDUP}x faster than serial "
+            f"(got {scaling['process_w4_speedup_vs_serial']}x on "
+            f"{scaling['cores']} cores)"
+        )
+    else:
+        # fewer cores than workers: 4 process workers oversubscribed
+        # onto 1-3 cores pay IPC overhead the acceptance criterion
+        # never targeted, so only record (CI perf-smoke asserts on a
+        # >= 4-core runner)
+        report(
+            f"parallel_scaling: {scaling['cores']} core(s) available "
+            "- recorded throughput without asserting the "
+            f"{PAR_MIN_CORES}-worker speedup (CI perf-smoke runs the "
+            f"assertion on >= {PAR_MIN_CORES} cores)"
+        )
 
 
 def _measure(data: np.ndarray, chunk_size, workers) -> dict:

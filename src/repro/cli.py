@@ -140,8 +140,18 @@ def build_parser() -> argparse.ArgumentParser:
     comp.add_argument(
         "--workers",
         type=int,
-        default=1,
-        help="threads for chunked block / tile encoding",
+        default=None,
+        help="parallel width for chunked block / tile encoding "
+        "(default: 1, or the machine's core count when --backend "
+        "is given)",
+    )
+    comp.add_argument(
+        "--backend",
+        default=None,
+        choices=["serial", "thread", "process"],
+        help="execution backend for --workers > 1 ('process' scales "
+        "across cores via a shared-memory worker pool; default "
+        "'thread')",
     )
 
     dec = sub.add_parser("decompress", help="decompress a .rqsz blob")
@@ -157,8 +167,16 @@ def build_parser() -> argparse.ArgumentParser:
     dec.add_argument(
         "--workers",
         type=int,
-        default=1,
-        help="threads for chunked block / tile decoding",
+        default=None,
+        help="parallel width for chunked block / tile decoding "
+        "(default: 1, or the machine's core count when --backend "
+        "is given)",
+    )
+    dec.add_argument(
+        "--backend",
+        default=None,
+        choices=["serial", "thread", "process"],
+        help="execution backend for --workers > 1",
     )
 
     ins = sub.add_parser("inspect", help="print a blob's header")
@@ -195,7 +213,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=None,
-        help="threads for tile encoding on dataset puts",
+        help="parallel width for dataset puts and cache-miss decodes",
+    )
+    srv.add_argument(
+        "--backend",
+        default=None,
+        choices=["serial", "thread", "process"],
+        help="codec execution backend ('process' keeps cache-miss "
+        "decodes off the serving threads)",
     )
 
     rput = sub.add_parser(
@@ -286,6 +311,7 @@ def _factory_from_args(args: argparse.Namespace) -> CodecFactory:
         chunk_size=getattr(args, "chunk_size", None),
         workers=getattr(args, "workers", None),
         adaptive=getattr(args, "adaptive", False),
+        parallel_backend=getattr(args, "backend", None),
     )
 
 
@@ -393,7 +419,7 @@ def _cmd_compress(args: argparse.Namespace) -> int:
 
 
 def _cmd_decompress(args: argparse.Namespace) -> int:
-    tiled = TiledCompressor(workers=args.workers)
+    tiled = TiledCompressor(workers=args.workers, backend=args.backend)
     if args.region is not None:
         region = parse_region(args.region)
         try:
@@ -472,6 +498,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         cache_bytes=int(args.cache_mb * (1 << 20)),
         workers=args.workers,
+        parallel_backend=args.backend,
     )
     return 0
 

@@ -24,6 +24,16 @@ from repro.compressor.config import (
     CompressionConfig,
     ErrorBoundMode,
 )
+from repro.compressor.executor import (
+    BACKENDS,
+    CodecExecutor,
+    ExecutorError,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    get_executor,
+    make_executor,
+)
 from repro.compressor.quantizer import LinearQuantizer, QuantizedBlock
 from repro.compressor.sz import CompressionResult, SZCompressor, StageSizes
 from repro.compressor.tiled import TiledCompressor, TiledResult
@@ -42,4 +52,12 @@ __all__ = [
     "AdaptivePlanner",
     "AdaptivePlan",
     "TileChoice",
+    "BACKENDS",
+    "CodecExecutor",
+    "ExecutorError",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "make_executor",
+    "get_executor",
 ]

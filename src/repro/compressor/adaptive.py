@@ -56,6 +56,11 @@ from repro.compressor.config import (
     CompressionConfig,
     ErrorBoundMode,
 )
+from repro.compressor.executor import (
+    CodecExecutor,
+    carve_buffer,
+    resolve_executor,
+)
 from repro.compressor.tiled_geometry import iter_tiles
 from repro.core.model import OUTLIER_BITS, RatioQualityModel
 from repro.core.optimizer import PartitionOptimizer
@@ -135,6 +140,9 @@ class AdaptivePlan:
             quant_radius=choice.quant_radius,
             tile_shape=None,
             adaptive=False,
+            # per-tile configs run inside executor tasks, which must
+            # never recursively resolve another executor
+            parallel_backend=None,
         )
 
 
@@ -194,16 +202,23 @@ class AdaptivePlanner:
         data: np.ndarray,
         config: CompressionConfig,
         tile_shape: Sequence[int],
+        executor: CodecExecutor | None = None,
     ) -> AdaptivePlan | None:
         """Plan per-tile configs for compressing *data* under *config*.
 
-        *data* may be a memmap; tiles are materialized one at a time,
-        in a single pass that both accumulates the global value range
-        and fits the per-tile models.  Raises for ``PW_REL`` configs
-        (the planner works in the value domain) and for empty arrays.
-        Returns ``None`` when there is nothing to plan — a ``REL``
-        bound on a constant field, whose zero value range demands exact
-        storage; the uniform tiled path handles that case already.
+        *data* may be a memmap; tiles are materialized one batch at a
+        time, in a single pass that both accumulates the global value
+        range and fits the per-tile models.  *executor* fans the
+        per-tile candidate evaluation (the sampling + model fits that
+        dominate adaptive planning time) out across a
+        :mod:`repro.compressor.executor` backend — under the process
+        backend, tiles travel to workers through shared memory and
+        only the small fitted models are pickled back.  Raises for
+        ``PW_REL`` configs (the planner works in the value domain) and
+        for empty arrays.  Returns ``None`` when there is nothing to
+        plan — a ``REL`` bound on a constant field, whose zero value
+        range demands exact storage; the uniform tiled path handles
+        that case already.
         """
         if config.mode is ErrorBoundMode.PW_REL:
             raise ValueError(
@@ -223,7 +238,7 @@ class AdaptivePlanner:
             dict.fromkeys((config.predictor,) + self.predictors)
         )
         models, fallbacks, value_range = self._fit_tile_models(
-            data, extents, candidates
+            data, extents, candidates, executor
         )
         if config.mode is ErrorBoundMode.REL:
             abs_eb = config.error_bound * value_range
@@ -283,6 +298,7 @@ class AdaptivePlanner:
         data: np.ndarray,
         extents: list[tuple[tuple[int, ...], tuple[int, ...]]],
         candidates: tuple[str, ...],
+        executor: CodecExecutor | None = None,
     ) -> tuple[
         list[dict[str, RatioQualityModel] | None], list[str], float
     ]:
@@ -293,30 +309,78 @@ class AdaptivePlanner:
         streaming pass, so out-of-core inputs are read once for
         planning).  Tiles too small to model get ``None`` plus a
         fallback predictor (the first candidate — the config's own).
+
+        With a parallel *executor* the per-tile fits — one sampling
+        pass per candidate predictor per tile, the dominant cost of
+        adaptive planning — run as executor tasks over batches of
+        tiles staged in a shared input buffer; fits are deterministic
+        given ``(tile, seed)``, so the resulting plan is identical to
+        the serial one.
         """
         fit_predictors = tuple(dict.fromkeys(("lorenzo",) + candidates))
-        models: list[dict[str, RatioQualityModel] | None] = []
-        fallbacks: list[str] = []
+        fallbacks = [candidates[0]] * len(extents)
+        executor = executor or resolve_executor("serial", 1)
+        if executor.workers <= 1 or len(extents) <= 1:
+            models: list[dict[str, RatioQualityModel] | None] = []
+            lo, hi = np.inf, -np.inf
+            for start, stop in extents:
+                slc = tuple(slice(a, b) for a, b in zip(start, stop))
+                tile = np.ascontiguousarray(data[slc])
+                tile_models, tile_lo, tile_hi = _fit_models(
+                    tile, fit_predictors, self.sample_rate, self.seed
+                )
+                models.append(tile_models)
+                lo = min(lo, tile_lo)
+                hi = max(hi, tile_hi)
+            return models, fallbacks, hi - lo
+
+        models = []
         lo, hi = np.inf, -np.inf
-        for start, stop in extents:
-            slc = tuple(slice(a, b) for a, b in zip(start, stop))
-            tile = np.ascontiguousarray(data[slc])
-            lo = min(lo, float(np.min(tile)))
-            hi = max(hi, float(np.max(tile)))
-            fallbacks.append(candidates[0])
-            if tile.size < MIN_PLAN_POINTS:
-                models.append(None)
-                continue
-            models.append(
-                {
-                    predictor: RatioQualityModel(
-                        predictor=predictor,
-                        sample_rate=self.sample_rate,
-                        seed=self.seed,
-                    ).fit(tile)
-                    for predictor in fit_predictors
-                }
+        itemsize = data.dtype.itemsize
+        # bounded staging, like tile encoding: a few batches of raw
+        # tiles in flight, never the whole (possibly memmapped) array
+        batch_tiles = max(1, executor.workers) * 2
+        for pos in range(0, len(extents), batch_tiles):
+            batch = extents[pos : pos + batch_tiles]
+            arena, offsets = carve_buffer(
+                executor,
+                [
+                    itemsize * int(np.prod([b - a for a, b in zip(start, stop)]))
+                    for start, stop in batch
+                ],
             )
+            try:
+                items = []
+                for (start, stop), offset in zip(batch, offsets):
+                    shape = tuple(b - a for a, b in zip(start, stop))
+                    nbytes = int(np.prod(shape)) * itemsize
+                    view = (
+                        arena.array[offset : offset + nbytes]
+                        .view(data.dtype)
+                        .reshape(shape)
+                    )
+                    view[...] = data[
+                        tuple(slice(a, b) for a, b in zip(start, stop))
+                    ]
+                    items.append(
+                        (
+                            offset,
+                            shape,
+                            data.dtype.str,
+                            fit_predictors,
+                            self.sample_rate,
+                            self.seed,
+                        )
+                    )
+                fitted = executor.run_batch(
+                    _fit_tile_task, items, input=arena
+                )
+            finally:
+                arena.release()
+            for tile_models, tile_lo, tile_hi in fitted:
+                models.append(tile_models)
+                lo = min(lo, tile_lo)
+                hi = max(hi, tile_hi)
         return models, fallbacks, hi - lo
 
     def _allocate_bounds(
@@ -395,3 +459,49 @@ class AdaptivePlanner:
         while radius < min(cap, RADIUS_MARGIN * max(1, max_code)):
             radius *= 2
         return min(radius, cap) if cap >= 2 else cap
+
+
+def _fit_models(
+    tile: np.ndarray,
+    fit_predictors: tuple[str, ...],
+    sample_rate: float,
+    seed: int | None,
+) -> tuple[dict[str, RatioQualityModel] | None, float, float]:
+    """Fit one tile's candidate models: ``(models_or_None, min, max)``.
+
+    The single implementation behind both the serial loop and the
+    executor task — the serial and parallel plans must stay
+    *identical*, so the fit itself lives in exactly one place.  Tiles
+    below :data:`MIN_PLAN_POINTS` return ``None`` (nominal-config
+    fallback).
+    """
+    lo = float(np.min(tile))
+    hi = float(np.max(tile))
+    if tile.size < MIN_PLAN_POINTS:
+        return None, lo, hi
+    models = {
+        predictor: RatioQualityModel(
+            predictor=predictor,
+            sample_rate=sample_rate,
+            seed=seed,
+        ).fit(tile)
+        for predictor in fit_predictors
+    }
+    return models, lo, hi
+
+
+def _fit_tile_task(item, inp, out):
+    """Executor task: fit the candidate models for one staged tile.
+
+    ``item`` is ``(offset, shape, dtype_str, fit_predictors,
+    sample_rate, seed)``; the tile samples live in the batch input
+    buffer (zero-copy shared-memory view under the process backend).
+    Fitted :class:`~repro.core.model.RatioQualityModel` objects hold
+    only the small sampled summaries, so the pickled result stays
+    modest.
+    """
+    offset, shape, dtype_str, fit_predictors, sample_rate, seed = item
+    dtype = np.dtype(dtype_str)
+    nbytes = int(np.prod(shape)) * dtype.itemsize
+    tile = inp[offset : offset + nbytes].view(dtype).reshape(shape)
+    return _fit_models(tile, fit_predictors, sample_rate, seed)

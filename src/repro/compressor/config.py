@@ -77,6 +77,14 @@ class CompressionConfig:
         the array into tiles of this shape and writes the tiled v4
         container (out-of-core streaming, region-of-interest decode).
         Ignored by the flat :class:`~repro.compressor.sz.SZCompressor`.
+    parallel_backend:
+        Runtime execution hint, **not** part of the on-disk format:
+        which :mod:`repro.compressor.executor` backend the chunked and
+        tiled hot paths should fan work out on — ``"serial"``,
+        ``"thread"`` or ``"process"`` (``None`` keeps each
+        compressor's own default).  Never serialized into container
+        headers; two configs differing only here produce byte-identical
+        containers.
     adaptive:
         When set (tiled compression only), the model-driven planner
         (:class:`repro.compressor.adaptive.AdaptivePlanner`) assigns
@@ -99,9 +107,11 @@ class CompressionConfig:
     chunk_size: int | None = None
     tile_shape: tuple[int, ...] | None = None
     adaptive: bool = False
+    parallel_backend: str | None = None
 
     _KNOWN_PREDICTORS = ("lorenzo", "interpolation", "regression")
     _KNOWN_LOSSLESS = ("zstd_like", "gzip_like", "rle", None)
+    _KNOWN_BACKENDS = ("serial", "thread", "process", None)
 
     def __post_init__(self) -> None:
         if self.predictor not in self._KNOWN_PREDICTORS:
@@ -137,6 +147,11 @@ class CompressionConfig:
         if self.adaptive and self.mode is ErrorBoundMode.PW_REL:
             raise ValueError(
                 "adaptive tiling supports ABS and REL bounds only"
+            )
+        if self.parallel_backend not in self._KNOWN_BACKENDS:
+            raise ValueError(
+                f"unknown parallel backend {self.parallel_backend!r}; "
+                f"expected one of {self._KNOWN_BACKENDS}"
             )
 
     def absolute_bound(self, data: np.ndarray) -> float:

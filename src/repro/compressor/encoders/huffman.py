@@ -23,7 +23,10 @@ The implementation is written for NumPy throughput:
 
 from __future__ import annotations
 
+import hashlib
 import heapq
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -62,6 +65,56 @@ _SYNC_TARGET_BLOCKS = 4096
 #: Floor on symbols per sync block, bounding table overhead to
 #: 32 / _SYNC_MIN_INTERVAL bits per symbol.
 _SYNC_MIN_INTERVAL = 256
+
+
+class _DecodeTableLRU:
+    """Thread-safe LRU of primary decode tables, keyed by code content.
+
+    Decoding is concurrent (threaded region decodes, the serving
+    layer), so lookups/insertions take a lock; the tables themselves
+    are immutable once published.  Capacity bounds worst-case memory
+    at ``capacity * ~0.6 MiB``.
+    """
+
+    def __init__(self, capacity: int = 32) -> None:
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[bytes, tuple] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: bytes) -> tuple | None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key: bytes, value: tuple) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+#: process-wide decode-table cache shared by every HuffmanEncoder (and
+#: hence every reader in the process; executor workers each get their
+#: own copy on first decode)
+_DECODE_TABLE_CACHE = _DecodeTableLRU()
 
 
 def huffman_code_lengths(counts: np.ndarray) -> np.ndarray:
@@ -547,11 +600,26 @@ class HuffmanEncoder:
     def _primary_tables(
         self, code: HuffmanCode
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Build the 16-bit primary decode table.
+        """The 16-bit primary decode table for *code* (cached).
 
         ``len_table[prefix]`` is the code length when a full code of
         length <= 16 matches the prefix, else 0 (escape to the slow path).
+
+        The tables are content-addressed through a process-wide LRU:
+        canonical codes are fully determined by ``(symbols, lengths)``,
+        so any two streams sharing an alphabet — e.g. the many
+        near-constant tiles of an adaptive (v5) container that land on
+        the same TOC config palette entry and emit the same tiny code —
+        build the half-megabyte LUT once per reader process instead of
+        once per tile.
         """
+        key = hashlib.blake2b(
+            code.symbols.tobytes() + b"|" + code.lengths.tobytes(),
+            digest_size=16,
+        ).digest()
+        cached = _DECODE_TABLE_CACHE.get(key)
+        if cached is not None:
+            return cached
         sym_table = np.zeros(1 << _PRIMARY_BITS, dtype=np.int64)
         len_table = np.zeros(1 << _PRIMARY_BITS, dtype=np.uint8)
         for dense in range(code.lengths.size):
@@ -562,6 +630,11 @@ class HuffmanEncoder:
             span = 1 << (_PRIMARY_BITS - ln)
             sym_table[base : base + span] = dense
             len_table[base : base + span] = ln
+        # the same arrays are handed to every decode that shares the
+        # alphabet, so freeze them against accidental mutation
+        sym_table.flags.writeable = False
+        len_table.flags.writeable = False
+        _DECODE_TABLE_CACHE.put(key, (sym_table, len_table))
         return sym_table, len_table
 
     def _long_code_index(

@@ -117,16 +117,22 @@ class CompressionResult:
 class SZCompressor:
     """Facade composing the transform, prediction and entropy stages.
 
-    ``workers`` sets the default parallelism for chunked (v3) containers:
-    blocks are encoded/decoded through a ``concurrent.futures`` thread
-    pool.  ``None`` or 1 keeps everything on the calling thread.  Pass
-    alternative stage implementations to swap parts of the pipeline.
+    ``workers`` sets the default parallelism for chunked (v3)
+    containers and ``backend`` picks the execution backend the blocks
+    fan out on — ``"serial"``, ``"thread"`` (historical default) or
+    ``"process"`` (shared-memory process pool; see
+    :mod:`repro.compressor.executor`).  ``None``/1 workers keeps
+    everything on the calling thread.  Pass alternative stage
+    implementations to swap parts of the pipeline (a custom ``entropy``
+    stage owns its own parallelism, so ``backend`` then only serves as
+    the default for configs carrying ``parallel_backend``).
     """
 
     def __init__(
         self,
         workers: int | None = None,
         *,
+        backend: str | None = None,
         transform: TransformStage | None = None,
         prediction: PredictionStage | None = None,
         entropy: EntropyStage | None = None,
@@ -134,9 +140,17 @@ class SZCompressor:
         if workers is not None and workers < 1:
             raise ValueError("workers must be a positive integer or None")
         self._workers = workers or 1
+        self._backend = backend
         self._transform = transform or PwRelLogTransform()
         self._prediction = prediction or PredictorStage()
-        self._entropy = entropy or HuffmanEntropyStage(workers=workers)
+        self._entropy = entropy or HuffmanEntropyStage(
+            workers=workers, backend=backend
+        )
+
+    @property
+    def entropy_releases_gil(self) -> bool:
+        """Whether the entropy stage can run GIL-free (thread scaling)."""
+        return bool(getattr(self._entropy, "releases_gil", False))
 
     # -- public API ------------------------------------------------------------
 

@@ -37,7 +37,6 @@ from __future__ import annotations
 import io
 import os
 import threading
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import BinaryIO, Iterable, Iterator, Sequence
 
@@ -47,6 +46,13 @@ from repro.compressor import container
 from repro.compressor.adaptive import AdaptivePlan, AdaptivePlanner
 from repro.compressor.config import CompressionConfig, ErrorBoundMode
 from repro.compressor.container import TiledReader, TiledWriter, TileRecord
+from repro.compressor.executor import (
+    CodecExecutor,
+    carve_buffer,
+    resolve_executor,
+    worker_state,
+)
+from repro.compressor.stages import gil_capped_encode_executor
 from repro.compressor.sz import SZCompressor
 from repro.compressor.tiled_geometry import (
     copy_overlap,
@@ -110,8 +116,16 @@ class TiledCompressor:
 
     ``workers`` bounds both the encode parallelism *and* the number of
     tiles materialized at once, so peak memory stays at a few tiles.
-    ``codec`` swaps the per-tile compressor (any :class:`SZCompressor`-
-    compatible facade).
+    ``backend`` picks the execution backend tiles fan out on —
+    ``"serial"``, ``"thread"`` or ``"process"`` (shared-memory process
+    pool; see :mod:`repro.compressor.executor`); ``None`` resolves to
+    the thread backend (or ``config.parallel_backend`` when set).
+    Note that thread-backend *encode* fan-out is capped to serial
+    whenever the per-tile codec's entropy stage cannot release the GIL
+    — the stock stage cannot — with a one-time warning; decode keeps
+    its thread fan-out.  ``codec`` swaps the per-tile compressor (any
+    :class:`SZCompressor`-compatible facade; serial/thread backends
+    only — process workers rebuild the stock codec).
 
     Decoding is **thread-safe**: every decode call works on local state
     only (the stage objects are stateless and :class:`TiledReader`
@@ -127,17 +141,45 @@ class TiledCompressor:
         workers: int | None = None,
         codec: SZCompressor | None = None,
         planner: AdaptivePlanner | None = None,
+        backend: str | None = None,
     ) -> None:
         if workers is not None and workers < 1:
             raise ValueError("workers must be a positive integer or None")
-        self._workers = workers or 1
+        # None is preserved: an explicit backend with no width resolves
+        # to the machine's default_workers() (see executor.get_executor)
+        self._workers = workers
+        # a caller-supplied codec travels inside work items, which the
+        # process backend would have to pickle (stage objects hold
+        # executors); its workers rebuild the *default* codec instead,
+        # so custom codecs are restricted to serial/thread
+        self._custom_codec = codec is not None
         self._codec = codec or SZCompressor()
         self._planner = planner or AdaptivePlanner()
+        self._backend = backend
         self._counter_lock = threading.Lock()
         #: tiles decoded since construction (all decode calls)
         self.tiles_decoded = 0
         #: tiles decoded by the most recent decode call
         self.last_tiles_decoded = 0
+
+    def _executor_for(
+        self,
+        config: CompressionConfig | None = None,
+        workers: int | None = None,
+    ) -> CodecExecutor:
+        backend = self._backend or (
+            config.parallel_backend if config is not None else None
+        )
+        effective = workers if workers is not None else self._workers
+        executor = resolve_executor(backend, effective)
+        if executor.name == "process" and self._custom_codec:
+            raise ValueError(
+                "the process backend re-creates the default per-tile "
+                "codec in every worker and cannot ship a custom codec "
+                "object; use backend='thread' or 'serial' with custom "
+                "codecs"
+            )
+        return executor
 
     def _count_decoded(self, n_tiles: int) -> None:
         with self._counter_lock:
@@ -183,10 +225,24 @@ class TiledCompressor:
             with Timer() as t:
                 # None = nothing to plan (REL bound on a constant
                 # field); the uniform path below stores it exactly
-                plan = self._planner.plan(data, config, tile_shape)
+                plan = self._planner.plan(
+                    data,
+                    config,
+                    tile_shape,
+                    executor=self._executor_for(config),
+                )
             times.add("plan", t.elapsed)
         if plan is not None:
-            base = replace(config, tile_shape=None, adaptive=False)
+            # per-tile configs travel into executor tasks: strip the
+            # tiling fields AND the parallel hint, or every worker
+            # would recursively spin up its own executor for the
+            # tile's inner (chunked) encode
+            base = replace(
+                config,
+                tile_shape=None,
+                adaptive=False,
+                parallel_backend=None,
+            )
             per_tile = [
                 (plan.config_for(base, i), choice.to_json())
                 for i, choice in enumerate(plan.choices)
@@ -225,12 +281,22 @@ class TiledCompressor:
             **header_extra,
         }
 
+        executor = gil_capped_encode_executor(
+            self._executor_for(config),
+            getattr(self._codec, "entropy_releases_gil", False),
+        )
         sink, close_sink = self._open_sink(out)
         try:
             writer = TiledWriter(sink, header, version=version)
             with Timer() as t:
                 self._encode_tiles(
-                    data, tile_config, tile_shape, writer, times, per_tile
+                    data,
+                    tile_config,
+                    tile_shape,
+                    writer,
+                    times,
+                    per_tile,
+                    executor,
                 )
             times.add("encode_tiles", t.elapsed)
             total = writer.finish()
@@ -258,55 +324,73 @@ class TiledCompressor:
         writer: TiledWriter,
         times: StageTimes,
         per_tile: list[tuple[CompressionConfig, dict]] | None = None,
+        executor: CodecExecutor | None = None,
     ) -> None:
         """Encode tiles batch-by-batch; at most ``workers`` tiles live.
 
         ``per_tile`` (adaptive runs) supplies each tile's own config
-        plus the TOC ``config`` dict, in ``iter_tiles`` order.
+        plus the TOC ``config`` dict, in ``iter_tiles`` order.  Each
+        batch is staged into one executor input buffer (a shared-memory
+        arena under the process backend, which workers view without
+        copying), so peak memory stays at one batch of raw tiles plus
+        their compressed payloads.
         """
-
-        def encode(
-            item: tuple[int, tuple[tuple[int, ...], tuple[int, ...]]]
-        ) -> bytes:
-            index, (start, stop) = item
-            cfg = per_tile[index][0] if per_tile is not None else tile_config
-            slc = tuple(slice(a, b) for a, b in zip(start, stop))
-            tile = np.ascontiguousarray(data[slc])
-            return self._codec.compress(tile, cfg).blob
-
-        pool = (
-            ThreadPoolExecutor(max_workers=self._workers)
-            if self._workers > 1
-            else None
-        )
-        try:
-            for batch in _batched(
-                enumerate(iter_tiles(data.shape, tile_shape)),
-                max(self._workers, 1),
-            ):
-                payloads = (
-                    list(pool.map(encode, batch))
-                    if pool is not None
-                    else [encode(item) for item in batch]
+        executor = executor or resolve_executor(None, self._workers)
+        itemsize = data.dtype.itemsize
+        ship_codec = self._codec if self._custom_codec else None
+        for batch in _batched(
+            enumerate(iter_tiles(data.shape, tile_shape)),
+            max(executor.workers, 1),
+        ):
+            arena, offsets = carve_buffer(
+                executor,
+                [
+                    itemsize * int(np.prod([b - a for a, b in zip(start, stop)]))
+                    for _, (start, stop) in batch
+                ],
+            )
+            try:
+                items = []
+                for (index, (start, stop)), offset in zip(batch, offsets):
+                    shape = tuple(b - a for a, b in zip(start, stop))
+                    nbytes = int(np.prod(shape)) * itemsize
+                    slc = tuple(
+                        slice(a, b) for a, b in zip(start, stop)
+                    )
+                    view = (
+                        arena.array[offset : offset + nbytes]
+                        .view(data.dtype)
+                        .reshape(shape)
+                    )
+                    view[...] = data[slc]
+                    cfg = (
+                        per_tile[index][0]
+                        if per_tile is not None
+                        else tile_config
+                    )
+                    items.append(
+                        (offset, shape, data.dtype.str, cfg, ship_codec)
+                    )
+                payloads = executor.run_batch(
+                    _compress_tile_task, items, input=arena
                 )
-                with Timer() as t:
-                    for (index, (start, stop)), payload in zip(
-                        batch, payloads
-                    ):
-                        writer.add_tile(
-                            start,
-                            stop,
-                            payload,
-                            config=(
-                                per_tile[index][1]
-                                if per_tile is not None
-                                else None
-                            ),
-                        )
-                times.add("io", t.elapsed)
-        finally:
-            if pool is not None:
-                pool.shutdown()
+            finally:
+                arena.release()
+            with Timer() as t:
+                for (index, (start, stop)), payload in zip(
+                    batch, payloads
+                ):
+                    writer.add_tile(
+                        start,
+                        stop,
+                        payload,
+                        config=(
+                            per_tile[index][1]
+                            if per_tile is not None
+                            else None
+                        ),
+                    )
+            times.add("io", t.elapsed)
 
     @staticmethod
     def _resolve_tile_shape(
@@ -328,8 +412,18 @@ class TiledCompressor:
         config: CompressionConfig,
         tile_shape: tuple[int, ...],
     ) -> tuple[CompressionConfig, dict]:
-        """Per-tile config with data-independent bound, plus header extras."""
-        base = replace(config, tile_shape=None, adaptive=False)
+        """Per-tile config with data-independent bound, plus header extras.
+
+        The parallel hint is stripped along with the tiling fields:
+        per-tile configs execute *inside* executor tasks, which must
+        never recursively resolve another executor.
+        """
+        base = replace(
+            config,
+            tile_shape=None,
+            adaptive=False,
+            parallel_backend=None,
+        )
         if config.mode is not ErrorBoundMode.REL or data.size == 0:
             return base, {}
         # REL: one streaming pass over the tiles resolves the global
@@ -407,6 +501,15 @@ class TiledCompressor:
         region: tuple[slice, ...],
         workers: int | None,
     ) -> np.ndarray:
+        """Decode the tiles intersecting *region* on the executor.
+
+        The parent reads the (compressed, small) tile payloads and
+        ships them as work items; workers decode each tile straight
+        into a preallocated output buffer — a shared-memory region
+        under the process backend, so decoded samples are never
+        pickled — and the parent assembles the hyperslab from the
+        buffer views.
+        """
         dtype = np.dtype(reader.header["dtype"])
         out_shape = tuple(r.stop - r.start for r in region)
         out = np.zeros(out_shape, dtype=dtype)
@@ -418,26 +521,46 @@ class TiledCompressor:
             ]
             if overlap is not None
         ]
+        executor = self._executor_for(None, workers)
 
-        def decode(
-            hit: tuple[TileRecord, tuple[slice, ...]]
-        ) -> tuple[TileRecord, tuple[slice, ...], np.ndarray]:
-            record, overlap = hit
-            tile = self._codec.decompress(reader.read_tile(record))
-            return record, overlap, tile
+        if executor.workers <= 1 or len(hits) <= 1:
+            for record, overlap in hits:
+                tile = self._codec.decompress(reader.read_tile(record))
+                copy_overlap(out, region, tile, record.start, overlap)
+            self._count_decoded(len(hits))
+            return out
 
-        effective = workers if workers is not None else self._workers
-        if effective > 1 and len(hits) > 1:
-            with ThreadPoolExecutor(
-                max_workers=min(effective, len(hits))
-            ) as pool:
-                decoded: Iterable = pool.map(decode, hits)
-                decoded = list(decoded)
-        else:
-            decoded = [decode(h) for h in hits]
-
-        for record, overlap, tile in decoded:
-            copy_overlap(out, region, tile, record.start, overlap)
+        ship_codec = self._codec if self._custom_codec else None
+        buffer, offsets = carve_buffer(
+            executor,
+            [
+                int(np.prod(record.shape)) * dtype.itemsize
+                for record, _ in hits
+            ],
+            kind="output",
+        )
+        try:
+            items = [
+                (
+                    reader.read_tile(record),
+                    offset,
+                    record.shape,
+                    dtype.str,
+                    ship_codec,
+                )
+                for (record, _), offset in zip(hits, offsets)
+            ]
+            executor.run_batch(_decode_tile_task, items, output=buffer)
+            for (record, overlap), offset in zip(hits, offsets):
+                nbytes = int(np.prod(record.shape)) * dtype.itemsize
+                tile = (
+                    buffer.array[offset : offset + nbytes]
+                    .view(dtype)
+                    .reshape(record.shape)
+                )
+                copy_overlap(out, region, tile, record.start, overlap)
+        finally:
+            buffer.release()
 
         self._count_decoded(len(hits))
         return out
@@ -476,6 +599,47 @@ class TiledCompressor:
         ):
             return source.read()
         return None
+
+
+def _compress_tile_task(item, inp, out):
+    """Executor task: compress one tile staged in the input arena.
+
+    ``item`` is ``(offset, shape, dtype_str, config, codec)``; the tile
+    samples live in the batch input buffer (zero-copy shared-memory
+    view under the process backend).  ``codec`` is ``None`` for the
+    stock pipeline — the worker's own rebuilt
+    :class:`~repro.compressor.sz.SZCompressor` encodes the tile — and
+    the caller's codec object on the serial/thread backends, where no
+    pickling happens.  Returns only the compressed blob.
+    """
+    offset, shape, dtype_str, config, codec = item
+    dtype = np.dtype(dtype_str)
+    nbytes = int(np.prod(shape)) * dtype.itemsize
+    tile = inp[offset : offset + nbytes].view(dtype).reshape(shape)
+    codec = codec if codec is not None else worker_state().codec
+    return codec.compress(tile, config).blob
+
+
+def _decode_tile_task(item, inp, out):
+    """Executor task: decode one tile into the shared output buffer.
+
+    ``item`` is ``(blob, offset, shape, dtype_str, codec)``; the
+    decoded samples are written at ``offset`` of the preallocated
+    output region, so nothing array-sized is pickled back.
+    """
+    blob, offset, shape, dtype_str, codec = item
+    codec = codec if codec is not None else worker_state().codec
+    tile = codec.decompress(blob)
+    if tuple(tile.shape) != tuple(shape):
+        raise ValueError(
+            f"corrupt tiled container: tile decodes to shape "
+            f"{tuple(tile.shape)}, TOC records {tuple(shape)}"
+        )
+    dtype = np.dtype(dtype_str)
+    nbytes = int(np.prod(shape)) * dtype.itemsize
+    view = out[offset : offset + nbytes].view(dtype).reshape(shape)
+    view[...] = tile
+    return None
 
 
 def _batched(iterable: Iterable, size: int) -> Iterator[list]:

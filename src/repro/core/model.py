@@ -80,6 +80,31 @@ class RQEstimate:
         )
 
 
+class _LatticeCodesFn:
+    """Replay dual-quantization lattice codes from sampled stencils.
+
+    A picklable callable (fitted models travel to and from executor
+    worker processes) capturing the sampled stencil values and the
+    Lorenzo sign pattern; calling it reproduces the exact quantization
+    codes the compressor would emit at any bound.
+    """
+
+    __slots__ = ("stencils", "signs")
+
+    def __init__(self, stencils: np.ndarray, signs: np.ndarray) -> None:
+        self.stencils = stencils
+        self.signs = signs
+
+    def __call__(self, error_bound: float) -> np.ndarray:
+        width = 2.0 * error_bound
+        lattice = np.rint(self.stencils / width)
+        # Clamp far beyond any quantizer radius: keeps the cast to
+        # int64 exact at absurdly small bounds, where these points are
+        # outliers regardless.
+        np.clip(lattice, -1e15, 1e15, out=lattice)
+        return (lattice @ self.signs).astype(np.int64)
+
+
 class RatioQualityModel:
     """Analytical ratio/quality estimator for one array + predictor.
 
@@ -165,17 +190,9 @@ class RatioQualityModel:
             self.sample.stencil_values is not None
             and self.sample.stencil_signs is not None
         ):
-            stencils = self.sample.stencil_values
-            signs = self.sample.stencil_signs
-
-            def codes_fn(error_bound: float) -> np.ndarray:
-                width = 2.0 * error_bound
-                lattice = np.rint(stencils / width)
-                # Clamp far beyond any quantizer radius: keeps the cast
-                # to int64 exact at absurdly small bounds, where these
-                # points are outliers regardless.
-                np.clip(lattice, -1e15, 1e15, out=lattice)
-                return (lattice @ signs).astype(np.int64)
+            codes_fn = _LatticeCodesFn(
+                self.sample.stencil_values, self.sample.stencil_signs
+            )
 
         self._huffman = HuffmanAnchorModel(
             self.sample.errors,

@@ -48,6 +48,9 @@ class CodecFactory:
     tile_shape: tuple[int, ...] | None = None
     adaptive: bool = False
     workers: int | None = None
+    #: execution backend for the parallel hot paths ("serial",
+    #: "thread", "process"; None keeps the compressors' defaults)
+    parallel_backend: str | None = None
     sample_rate: float = DEFAULT_SAMPLE_RATE
     seed: int | None = 0
 
@@ -67,24 +70,30 @@ class CodecFactory:
             chunk_size=self.chunk_size,
             tile_shape=self.tile_shape,
             adaptive=self.adaptive,
+            parallel_backend=self.parallel_backend,
         )
         return replace(base, **overrides) if overrides else base
 
     def compressor(self) -> SZCompressor:
         """The flat staged-pipeline compressor."""
-        return SZCompressor(workers=self.workers)
+        return SZCompressor(
+            workers=self.workers, backend=self.parallel_backend
+        )
 
     def tiled_compressor(self) -> TiledCompressor:
         """The tiled out-of-core compressor.
 
         The factory's sampling settings parameterize the adaptive
         planner, so ``adaptive`` runs sample at the rate/seed every
-        other model in the study uses.
+        other model in the study uses; the factory's
+        ``parallel_backend``/``workers`` pick the execution backend
+        tiles (and the planner's per-tile fits) fan out on.
         """
         from repro.compressor.adaptive import AdaptivePlanner
 
         return TiledCompressor(
             workers=self.workers,
+            backend=self.parallel_backend,
             planner=AdaptivePlanner(
                 sample_rate=self.sample_rate, seed=self.seed
             ),
@@ -100,7 +109,11 @@ class CodecFactory:
         from repro.service.store import ArrayStore
 
         return ArrayStore(
-            root, cache=cache, workers=self.workers, factory=self
+            root,
+            cache=cache,
+            workers=self.workers,
+            factory=self,
+            parallel_backend=self.parallel_backend,
         )
 
     # -- model construction ----------------------------------------------------

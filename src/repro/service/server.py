@@ -329,8 +329,14 @@ def serve(
     port: int = 8765,
     cache_bytes: int | None = None,
     workers: int | None = None,
+    parallel_backend: str | None = None,
 ) -> None:
-    """Blocking entry point behind ``repro serve``."""
+    """Blocking entry point behind ``repro serve``.
+
+    ``parallel_backend`` selects the codec executor for dataset puts
+    and cache-miss tile decodes (``"process"`` keeps slow decodes off
+    the serving threads; see :mod:`repro.compressor.executor`).
+    """
     from repro.service.cache import TileLRUCache
 
     cache = (
@@ -338,7 +344,12 @@ def serve(
         if cache_bytes is not None
         else None
     )
-    store = ArrayStore(root, cache=cache, workers=workers)
+    store = ArrayStore(
+        root,
+        cache=cache,
+        workers=workers,
+        parallel_backend=parallel_backend,
+    )
     server = ArrayServer(store, (host, port))
     print(
         f"serving store {root!r} ({len(store.names())} datasets) "

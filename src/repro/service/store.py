@@ -30,6 +30,7 @@ import os
 import re
 import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -37,7 +38,9 @@ import numpy as np
 
 from repro.compressor import CompressionConfig, SZCompressor, TiledCompressor
 from repro.compressor.container import TiledReader
+from repro.compressor.executor import resolve_executor
 from repro.compressor.inspect import describe_container
+from repro.compressor.tiled import _decode_tile_task
 from repro.compressor.tiled_geometry import (
     copy_overlap,
     intersect_extent,
@@ -82,12 +85,20 @@ class ArrayStore:
         Decoded-tile cache shared across datasets; ``None`` builds a
         default :class:`TileLRUCache`.
     workers:
-        Thread count for tile *encoding* on :meth:`create` (decode
-        parallelism comes from the caller's own threads).
+        Parallel width for tile *encoding* on :meth:`create` and for
+        the per-request cache-miss fan-out of :meth:`read_region`
+        (``None``/1 keeps reads sequential, the historical behavior).
     factory:
         Optional :class:`repro.factory.CodecFactory` supplying the
         tiled compressor, so adaptive puts sample at the same
         rate/seed as the rest of the caller's pipeline.
+    parallel_backend:
+        Execution backend for the codec hot paths (``"serial"``,
+        ``"thread"``, ``"process"``).  With the process backend,
+        cache-miss tiles are entropy-decoded in executor worker
+        processes (decoded samples return through shared memory), so
+        the serving threads — and the cache shard locks they take —
+        are never held hostage by a slow pure-Python decode.
     """
 
     def __init__(
@@ -96,13 +107,17 @@ class ArrayStore:
         cache: TileLRUCache | None = None,
         workers: int | None = None,
         factory=None,
+        parallel_backend: str | None = None,
     ) -> None:
         self.root = str(root)
         os.makedirs(self.root, exist_ok=True)
         self.cache = cache or TileLRUCache()
         self._workers = workers
         self._factory = factory
+        self._backend = parallel_backend
         self._codec = SZCompressor()
+        self._fanout_lock = threading.Lock()
+        self._fanout: "ThreadPoolExecutor | None" = None
         self._lock = threading.RLock()
         self._readers: dict[str, TiledReader] = {}
         self._manifest: dict = {"datasets": {}}
@@ -177,7 +192,9 @@ class ArrayStore:
         compressor = (
             self._factory.tiled_compressor()
             if self._factory is not None
-            else TiledCompressor(workers=self._workers)
+            else TiledCompressor(
+                workers=self._workers, backend=self._backend
+            )
         )
         try:
             result = compressor.compress(data, config, out=tmp)
@@ -314,6 +331,43 @@ class ArrayStore:
                 self._readers[name] = reader
             return reader, generation
 
+    def _decode_tile_blob(
+        self, executor, blob: bytes, shape: tuple[int, ...], dtype
+    ) -> np.ndarray:
+        """Decode one tile payload, on *executor* when it is a pool.
+
+        With the ``process`` backend the entropy decode runs in an
+        executor worker and the decoded samples come back through a
+        shared-memory output region (never pickled); otherwise the
+        decode is inline.  Tiles go one at a time — not as one batch
+        per request — because each one must pass through the cache's
+        ``get_or_load`` coalescing individually; the per-tile segment
+        setup is microseconds against a multi-millisecond decode.
+        """
+        if executor.name != "process":
+            return self._codec.decompress(blob)
+        nbytes = int(np.prod(shape)) * dtype.itemsize
+        buffer = executor.output_buffer(nbytes)
+        try:
+            executor.run_batch(
+                _decode_tile_task,
+                [(blob, 0, tuple(shape), dtype.str, None)],
+                output=buffer,
+            )
+            return buffer.array.view(dtype).reshape(shape).copy()
+        finally:
+            buffer.release()
+
+    def _fanout_pool(self, width: int) -> ThreadPoolExecutor:
+        """Lazily built pool for per-request cache-miss fan-out."""
+        with self._fanout_lock:
+            if self._fanout is None:
+                self._fanout = ThreadPoolExecutor(
+                    max_workers=max(2, width),
+                    thread_name_prefix="store-read",
+                )
+            return self._fanout
+
     def read_region(
         self,
         name: str,
@@ -323,7 +377,10 @@ class ArrayStore:
 
         Only intersecting tiles are touched; each comes from the
         decoded-tile cache when possible (concurrent cold misses on one
-        tile are coalesced into a single decode).
+        tile are coalesced into a single decode).  With ``workers`` > 1
+        the misses of one request are fetched concurrently — decodes
+        run on the configured executor backend — so a single slow tile
+        never serializes the rest of the request.
         """
         reader, generation = self._reader(name)
         shape = tuple(reader.header["shape"])
@@ -332,26 +389,43 @@ class ArrayStore:
         out = np.zeros(
             tuple(r.stop - r.start for r in slices), dtype=dtype
         )
+        executor = resolve_executor(self._backend, self._workers)
 
         def load_tile(rec) -> np.ndarray:
             try:
-                return self._codec.decompress(reader.read_tile(rec))
+                return self._decode_tile_blob(
+                    executor, reader.read_tile(rec), rec.shape, dtype
+                )
             except (ValueError, OSError) as exc:
                 raise DatasetCorruptError(
                     f"tile at offset {rec.offset} of dataset "
                     f"{name!r} failed to decode: {exc}"
                 ) from exc
 
-        hits = misses = touched = 0
-        for record in reader.tiles:
-            overlap = intersect_extent(record.start, record.stop, slices)
-            if overlap is None:
-                continue
-            touched += 1
-            tile, was_hit = self.cache.get_or_load(
-                (name, generation, record.offset),
-                lambda rec=record: load_tile(rec),
+        def fetch(rec) -> tuple[np.ndarray, bool]:
+            return self.cache.get_or_load(
+                (name, generation, rec.offset),
+                lambda: load_tile(rec),
             )
+
+        needed = [
+            (record, overlap)
+            for record in reader.tiles
+            for overlap in [
+                intersect_extent(record.start, record.stop, slices)
+            ]
+            if overlap is not None
+        ]
+        if executor.workers > 1 and len(needed) > 1:
+            pool = self._fanout_pool(executor.workers)
+            fetched = list(
+                pool.map(fetch, [record for record, _ in needed])
+            )
+        else:
+            fetched = [fetch(record) for record, _ in needed]
+
+        hits = misses = 0
+        for (record, overlap), (tile, was_hit) in zip(needed, fetched):
             if was_hit:
                 hits += 1
             else:
@@ -359,7 +433,7 @@ class ArrayStore:
             copy_overlap(out, slices, tile, record.start, overlap)
         return RegionResult(
             data=out,
-            tiles_touched=touched,
+            tiles_touched=len(needed),
             cache_hits=hits,
             cache_misses=misses,
         )
@@ -373,7 +447,11 @@ class ArrayStore:
         ).data
 
     def close(self) -> None:
-        """Close every open container reader."""
+        """Close every open container reader and the read fan-out pool."""
+        with self._fanout_lock:
+            if self._fanout is not None:
+                self._fanout.shutdown(wait=True)
+                self._fanout = None
         with self._lock:
             for reader in self._readers.values():
                 reader.close()
