@@ -33,7 +33,26 @@ lognormal region) and compares the adaptive v5 container against the
 *best uniform v4 config at equal PSNR* — each uniform predictor's bound
 is bisected until its measured PSNR matches the adaptive run's.  The
 recorded ``equal_psnr_gain`` is the acceptance metric: adaptive must
-spend at least 5% fewer bytes than the best uniform baseline.
+spend at least 5% fewer bytes than the best uniform baseline.  (The
+measured gain is sensitive to the bisection resolution because the
+uniform byte/PSNR curve has a knee near the adaptive operating point;
+the 12-step bisection below measures ~1.078 deterministically.  The
+1.0834 recorded in the earliest trajectory entry came from a pre-final
+state of the PR-3 codec — replaying the committed PR-3/PR-4 trees
+reproduces today's uniform bytes, not that entry's.)  The mode also
+records the planner's fit/cluster counters and a cross-snapshot
+plan-cache replay timing.
+
+The **planner_perf** mode exercises the vectorized planner's fit-reuse
+machinery on a population-structured snapshot (distinct quiet / mild /
+turbulent / oscillatory regions — the regime tile clustering is built
+for): it asserts the planned-tiles/fits ratio stays >= 4x, that
+cluster-level fit reuse is quality-neutral against per-tile fits
+(bytes within 2%, PSNR within 0.15 dB), and that replanning a second
+statistically matching snapshot hits the :class:`PlannerCache` with a
+>= 5x planning speedup, keeping cached adaptive compression within 3x
+of a uniform v4 compress end to end.  The CI ``planner-perf`` job runs
+exactly this mode.
 
 Reference points on this workload: the seed implementation ran at
 14.4 s compress / 3.5 s decompress (~2.3 MB/s); the chunked vectorized
@@ -180,6 +199,7 @@ def _hetero_field() -> np.ndarray:
 def _measure_adaptive() -> dict:
     """v5 adaptive vs best uniform v4 at equal measured PSNR."""
     from repro.analysis.metrics import psnr
+    from repro.compressor import PlannerCache
 
     field = _hetero_field()
     mb = field.nbytes / 1e6
@@ -195,6 +215,18 @@ def _measure_adaptive() -> dict:
         ),
     )
     compress_s = time.perf_counter() - start
+
+    # cross-snapshot plan replay: same field statistics -> cache hit
+    cache = PlannerCache()
+    tcc = TiledCompressor(plan_cache=cache)
+    cfg = CompressionConfig(
+        error_bound=ADAPTIVE_EB, tile_shape=ADAPTIVE_TILE, adaptive=True
+    )
+    fresh = tcc.compress(field, cfg, dataset="halo")
+    start = time.perf_counter()
+    cached = tcc.compress(field, cfg, dataset="halo")
+    cached_compress_s = time.perf_counter() - start
+    assert cached.plan.stats.cache == "hit"
     start = time.perf_counter()
     recon = tc.decompress(adaptive.blob)
     decompress_s = time.perf_counter() - start
@@ -247,11 +279,171 @@ def _measure_adaptive() -> dict:
         "ratio": round(field.nbytes / adaptive.compressed_bytes, 4),
         "psnr": round(ada_psnr, 3),
         "predictor_counts": adaptive.plan.predictor_counts(),
+        "planner": adaptive.plan.stats.to_json(),
+        "plan_s": round(adaptive.plan.stats.plan_seconds, 4),
+        "cached_plan_s": round(cached.plan.stats.plan_seconds, 5),
+        "cached_compress_s": round(cached_compress_s, 4),
+        "plan_cache_speedup": round(
+            fresh.plan.stats.plan_seconds
+            / max(cached.plan.stats.plan_seconds, 1e-9),
+            1,
+        ),
         "uniform_equal_psnr": uniform,
         "equal_psnr_gain": round(
             best_uniform / adaptive.compressed_bytes, 4
         ),
     }
+
+
+# -- planner fit-reuse / plan-cache workload -----------------------------------
+
+#: population-structured snapshot: 64 tiles in four homogeneous
+#: regions, the regime the stat-signature clustering targets
+PLANNER_SHAPE = (256, 256)
+PLANNER_TILE = (32, 32)
+PLANNER_EB = 0.5
+#: acceptance: planned-tiles / fits ratio from cluster-level reuse
+PLANNER_MIN_FIT_RATIO = 4.0
+#: acceptance: plan-cache hit speedup on a matching second snapshot
+PLANNER_MIN_CACHE_SPEEDUP = 5.0
+#: acceptance: cached adaptive compress vs a uniform v4 compress
+PLANNER_MAX_VS_UNIFORM = 3.0
+
+
+def _population_field(seed: int = 7, jitter: float = 0.0) -> np.ndarray:
+    """Quiet / mild / turbulent / oscillatory quadrant populations.
+
+    ``jitter`` adds small extra noise so consecutive "snapshots" are
+    statistically close but not identical (the plan-cache use case).
+    """
+    from repro.datasets.generators import gaussian_random_field
+
+    shape = PLANNER_SHAPE
+    rng = np.random.default_rng(seed)
+    f = gaussian_random_field(shape, slope=4.0, seed=7).astype(
+        np.float64
+    ) * 10.0
+    h, w = shape[0] // 2, shape[1] // 2
+    f[:h, :w] += rng.normal(0, 0.2, (h, w))
+    f[:h, w:] += rng.normal(0, 1.5, (h, w))
+    f[h:, :w] += rng.normal(0, 6.0, (h, w))
+    f[h:, w:] += (
+        4.0
+        * np.sin(np.arange(w) * 0.9)[None, :]
+        * np.cos(np.arange(h) * 0.7)[:, None]
+    )
+    if jitter:
+        f += rng.normal(0, jitter, shape)
+    return f.astype(np.float32)
+
+
+def _measure_planner_perf() -> dict:
+    """Fit-reuse ratio, reuse quality parity, and plan-cache replay."""
+    from dataclasses import replace
+
+    from repro.analysis.metrics import psnr
+    from repro.compressor import PlannerCache
+
+    snap0 = _population_field(seed=7)
+    config = CompressionConfig(
+        error_bound=PLANNER_EB, tile_shape=PLANNER_TILE, adaptive=True
+    )
+    tc = TiledCompressor()
+
+    # uniform v4 reference for the end-to-end throughput bound
+    ucfg = CompressionConfig(
+        predictor="lorenzo",
+        error_bound=PLANNER_EB,
+        tile_shape=PLANNER_TILE,
+    )
+    tc.compress(snap0, ucfg)  # page-in / warm-up
+    start = time.perf_counter()
+    tc.compress(snap0, ucfg)
+    uniform_compress_s = time.perf_counter() - start
+
+    # clustered (default) vs per-tile fits: reuse must be ~free
+    clustered = tc.compress(snap0, config)
+    per_tile = tc.compress(snap0, replace(config, fit_clusters=0))
+    cl_psnr = psnr(snap0, tc.decompress(clustered.blob))
+    pt_psnr = psnr(snap0, tc.decompress(per_tile.blob))
+    stats = clustered.plan.stats
+    fit_ratio = stats.tiles_planned / stats.fits_performed
+
+    # cross-snapshot plan cache: snapshot 1 is statistically close
+    cache = PlannerCache()
+    tcc = TiledCompressor(plan_cache=cache)
+    first = tcc.compress(snap0, config, dataset="pop")
+    snap1 = _population_field(seed=9, jitter=0.05)
+    start = time.perf_counter()
+    second = tcc.compress(snap1, config, dataset="pop")
+    cached_compress_s = time.perf_counter() - start
+    cache_speedup = first.plan.stats.plan_seconds / max(
+        second.plan.stats.plan_seconds, 1e-9
+    )
+    # reuse never touches correctness: the per-tile bound holds on the
+    # replayed plan exactly as on a fresh one
+    recon1 = tcc.decompress(second.blob)
+    max_err = float(np.max(np.abs(recon1.astype(np.float64) - snap1)))
+    bound = max(c.error_bound for c in second.plan.choices)
+    assert max_err <= bound * (1 + 1e-6)
+
+    return {
+        "field": {
+            "shape": list(PLANNER_SHAPE),
+            "tile_shape": list(PLANNER_TILE),
+            "error_bound": PLANNER_EB,
+        },
+        "planner": stats.to_json(),
+        "fit_ratio": round(fit_ratio, 2),
+        "plan_s": round(stats.plan_seconds, 4),
+        "clustered_bytes": clustered.compressed_bytes,
+        "per_tile_bytes": per_tile.compressed_bytes,
+        "reuse_byte_overhead": round(
+            clustered.compressed_bytes / per_tile.compressed_bytes, 4
+        ),
+        "clustered_psnr": round(cl_psnr, 3),
+        "per_tile_psnr": round(pt_psnr, 3),
+        "cache_status": second.plan.stats.cache,
+        "cached_plan_s": round(second.plan.stats.plan_seconds, 5),
+        "plan_cache_speedup": round(cache_speedup, 1),
+        "uniform_compress_s": round(uniform_compress_s, 4),
+        "cached_compress_s": round(cached_compress_s, 4),
+        "cached_vs_uniform": round(
+            cached_compress_s / uniform_compress_s, 3
+        ),
+    }
+
+
+def test_planner_perf(report):
+    """Planner fit-reuse and plan-cache guardrails (CI planner-perf)."""
+    perf = _measure_planner_perf()
+    report(
+        "planner_perf (population-structured 64-tile snapshot): "
+        f"{perf['planner']['fits_performed']} fits for "
+        f"{perf['planner']['tiles_planned']} tiles "
+        f"(ratio {perf['fit_ratio']}x, "
+        f"{perf['planner']['clusters']} clusters, "
+        f"{perf['planner']['refits']} refits); "
+        f"reuse byte overhead {perf['reuse_byte_overhead']}x; "
+        f"plan cache {perf['cache_status']} -> "
+        f"{perf['plan_cache_speedup']}x planning speedup, "
+        f"cached adaptive compress {perf['cached_vs_uniform']}x a "
+        "uniform v4 compress"
+    )
+    _append_trajectory(
+        {
+            "date": time.strftime("%Y-%m-%d %H:%M:%S"),
+            "modes": {"planner_perf": perf},
+        }
+    )
+    assert perf["fit_ratio"] >= PLANNER_MIN_FIT_RATIO
+    # cluster-level reuse must be quality-neutral on clustered data
+    assert perf["reuse_byte_overhead"] <= 1.02
+    assert abs(perf["clustered_psnr"] - perf["per_tile_psnr"]) <= 0.15
+    # a matching second snapshot replays the cached plan
+    assert perf["cache_status"] == "hit"
+    assert perf["plan_cache_speedup"] >= PLANNER_MIN_CACHE_SPEEDUP
+    assert perf["cached_vs_uniform"] <= PLANNER_MAX_VS_UNIFORM
 
 
 # -- serving (region-read latency) workload ------------------------------------

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 import numpy as np
@@ -136,6 +137,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="model-driven per-tile configuration: each tile gets its "
         "own predictor/bound/radius at matched aggregate quality "
         "(adaptive v5 container; requires --tile, abs/rel modes)",
+    )
+    comp.add_argument(
+        "--fit-clusters",
+        type=int,
+        default=None,
+        metavar="N",
+        help="adaptive planning: cap on tile clusters sharing one "
+        "model fit (0 fits every tile individually; default: the "
+        "planner's own cap)",
+    )
+    comp.add_argument(
+        "--plan-cache",
+        default=None,
+        metavar="PATH",
+        help="adaptive planning: file-backed cross-snapshot plan "
+        "cache; repeated compressions of the same input filename "
+        "reuse the previous plan while its tile stats have not "
+        "drifted",
     )
     comp.add_argument(
         "--workers",
@@ -379,10 +398,18 @@ def _cmd_compress(args: argparse.Namespace) -> int:
 
     if tile_shape is not None:
         config = factory.config(
-            eb, tile_shape=tile_shape, adaptive=args.adaptive
+            eb,
+            tile_shape=tile_shape,
+            adaptive=args.adaptive,
+            fit_clusters=getattr(args, "fit_clusters", None),
+            plan_cache=getattr(args, "plan_cache", None),
         )
+        # the input's base name keys the cross-snapshot plan cache, so
+        # re-compressing successive snapshots written to the same file
+        # name reuses the plan
+        dataset = os.path.splitext(os.path.basename(args.input))[0]
         result = factory.tiled_compressor().compress(
-            data, config, out=args.output
+            data, config, out=args.output, dataset=dataset
         )
         print(
             f"{args.input} -> {args.output}: {result.original_bytes} -> "
@@ -404,6 +431,15 @@ def _cmd_compress(args: argparse.Namespace) -> int:
                 f"(nominal {result.plan.nominal_bound:.4g}, target "
                 f"PSNR {result.plan.target_psnr:.2f} dB)"
             )
+            stats = result.plan.stats
+            if stats is not None:
+                print(
+                    f"planner: {stats.fits_performed} fits for "
+                    f"{stats.tiles_planned} tiles "
+                    f"({stats.clusters} clusters, {stats.refits} "
+                    f"refits, cache {stats.cache}) in "
+                    f"{stats.plan_seconds:.3f}s"
+                )
         return 0
 
     config = factory.config(eb)

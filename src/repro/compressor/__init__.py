@@ -17,6 +17,7 @@ adaptive v5 container).
 from repro.compressor.adaptive import (
     AdaptivePlan,
     AdaptivePlanner,
+    PlanStats,
     TileChoice,
 )
 from repro.compressor.config import (
@@ -34,6 +35,7 @@ from repro.compressor.executor import (
     get_executor,
     make_executor,
 )
+from repro.compressor.plan_cache import PlannerCache
 from repro.compressor.quantizer import LinearQuantizer, QuantizedBlock
 from repro.compressor.sz import CompressionResult, SZCompressor, StageSizes
 from repro.compressor.tiled import TiledCompressor, TiledResult
@@ -51,6 +53,8 @@ __all__ = [
     "TiledResult",
     "AdaptivePlanner",
     "AdaptivePlan",
+    "PlanStats",
+    "PlannerCache",
     "TileChoice",
     "BACKENDS",
     "CodecExecutor",

@@ -17,6 +17,7 @@ Prediction-based error-bounded lossy compressors (the SZ family) expose an
 from __future__ import annotations
 
 import enum
+import os
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -94,6 +95,19 @@ class CompressionConfig:
         and ``error_bound`` then act as the nominal starting point.
         Requires an ``ABS`` or ``REL`` mode (the planner works in the
         value domain).
+    fit_clusters:
+        Adaptive-planning hint, **not** part of the on-disk format:
+        maximum number of tile clusters the planner fits models for
+        (statistically similar tiles share one fit; a drift guard
+        re-fits outliers).  ``0`` disables clustering (one fit per
+        tile); ``None`` keeps the planner's own default.  Like
+        ``parallel_backend``, never serialized into container headers.
+    plan_cache:
+        Adaptive-planning hint, **not** part of the on-disk format:
+        path of a file-backed :class:`repro.compressor.plan_cache.
+        PlannerCache` the planner reuses cross-snapshot plans through.
+        ``None`` disables caching.  Never serialized into container
+        headers.
     """
 
     predictor: str = "lorenzo"
@@ -108,6 +122,8 @@ class CompressionConfig:
     tile_shape: tuple[int, ...] | None = None
     adaptive: bool = False
     parallel_backend: str | None = None
+    fit_clusters: int | None = None
+    plan_cache: str | None = None
 
     _KNOWN_PREDICTORS = ("lorenzo", "interpolation", "regression")
     _KNOWN_LOSSLESS = ("zstd_like", "gzip_like", "rle", None)
@@ -152,6 +168,19 @@ class CompressionConfig:
             raise ValueError(
                 f"unknown parallel backend {self.parallel_backend!r}; "
                 f"expected one of {self._KNOWN_BACKENDS}"
+            )
+        if self.fit_clusters is not None:
+            fit_clusters = int(self.fit_clusters)
+            if fit_clusters < 0:
+                raise ValueError(
+                    "fit_clusters must be non-negative (0 disables "
+                    "clustering) or None"
+                )
+            object.__setattr__(self, "fit_clusters", fit_clusters)
+        if self.plan_cache is not None:
+            # normalize PathLike inputs so equality and hashing work
+            object.__setattr__(
+                self, "plan_cache", os.fspath(self.plan_cache)
             )
 
     def absolute_bound(self, data: np.ndarray) -> float:

@@ -44,6 +44,7 @@ import numpy as np
 
 from repro.compressor import container
 from repro.compressor.adaptive import AdaptivePlan, AdaptivePlanner
+from repro.compressor.plan_cache import PlannerCache
 from repro.compressor.config import CompressionConfig, ErrorBoundMode
 from repro.compressor.container import TiledReader, TiledWriter, TileRecord
 from repro.compressor.executor import (
@@ -142,6 +143,7 @@ class TiledCompressor:
         codec: SZCompressor | None = None,
         planner: AdaptivePlanner | None = None,
         backend: str | None = None,
+        plan_cache: PlannerCache | str | os.PathLike | None = None,
     ) -> None:
         if workers is not None and workers < 1:
             raise ValueError("workers must be a positive integer or None")
@@ -156,6 +158,13 @@ class TiledCompressor:
         self._codec = codec or SZCompressor()
         self._planner = planner or AdaptivePlanner()
         self._backend = backend
+        # a path means the shared file-backed cache for that path; an
+        # object is used as-is (e.g. one in-memory cache per service)
+        self._plan_cache = (
+            PlannerCache.at_path(plan_cache)
+            if isinstance(plan_cache, (str, os.PathLike))
+            else plan_cache
+        )
         self._counter_lock = threading.Lock()
         #: tiles decoded since construction (all decode calls)
         self.tiles_decoded = 0
@@ -193,6 +202,7 @@ class TiledCompressor:
         data: np.ndarray,
         config: CompressionConfig,
         out: str | os.PathLike | BinaryIO | None = None,
+        dataset: str | None = None,
     ) -> TiledResult:
         """Tile-compress *data* into a v4 container.
 
@@ -206,7 +216,11 @@ class TiledCompressor:
         model-driven planner assigns every tile its own predictor,
         bound and quantizer radius, and the container is written as v5
         with the choices recorded in the TOC (``result.plan`` carries
-        the full assignment).
+        the full assignment).  ``dataset`` names the array for the
+        cross-snapshot plan cache (the compressor's ``plan_cache`` or
+        ``config.plan_cache``): successive snapshots of the same
+        dataset reuse the previous plan when their tile statistics
+        have not drifted.
         """
         if not hasattr(data, "ndim"):
             data = np.asarray(data)
@@ -222,6 +236,9 @@ class TiledCompressor:
         per_tile: list[tuple[CompressionConfig, dict]] | None = None
         version = container.VERSION_TILED
         if config.adaptive and data.size > 0:
+            cache = self._plan_cache
+            if cache is None and config.plan_cache is not None:
+                cache = PlannerCache.at_path(config.plan_cache)
             with Timer() as t:
                 # None = nothing to plan (REL bound on a constant
                 # field); the uniform path below stores it exactly
@@ -230,6 +247,8 @@ class TiledCompressor:
                     config,
                     tile_shape,
                     executor=self._executor_for(config),
+                    cache=cache,
+                    dataset=dataset,
                 )
             times.add("plan", t.elapsed)
         if plan is not None:
@@ -242,6 +261,8 @@ class TiledCompressor:
                 tile_shape=None,
                 adaptive=False,
                 parallel_backend=None,
+                fit_clusters=None,
+                plan_cache=None,
             )
             per_tile = [
                 (plan.config_for(base, i), choice.to_json())
@@ -259,6 +280,11 @@ class TiledCompressor:
                     else None
                 ),
             }
+            if plan.stats is not None:
+                # deterministic counters only: wall-clock timing would
+                # break byte-identical re-encodes (plan_seconds stays
+                # on the runtime PlanStats object)
+                header_extra["planner_stats"] = plan.stats.to_json()
             version = container.VERSION_ADAPTIVE
             tile_config = base
         else:
@@ -423,6 +449,8 @@ class TiledCompressor:
             tile_shape=None,
             adaptive=False,
             parallel_backend=None,
+            fit_clusters=None,
+            plan_cache=None,
         )
         if config.mode is not ErrorBoundMode.REL or data.size == 0:
             return base, {}

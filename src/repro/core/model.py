@@ -36,10 +36,22 @@ from repro.core.quality import (
 from repro.core.sampling import (
     DEFAULT_SAMPLE_RATE,
     SampleResult,
+    iter_tile_batches,
     sample_prediction_errors,
 )
 
-__all__ = ["RatioQualityModel", "RQEstimate", "OUTLIER_BITS"]
+__all__ = [
+    "RatioQualityModel",
+    "RQEstimate",
+    "OUTLIER_BITS",
+    "batch_residual_curves",
+]
+
+#: Per-tile point cap for the batched residual-curve pass — a
+#: systematic stride subsample, like the per-model
+#: :meth:`RatioQualityModel._fit_residual_curve` cap but sized for a
+#: whole grid of bounds evaluated over every tile at once.
+RESIDUAL_CURVE_POINTS = 1 << 16
 
 #: Container cost of one unpredictable point: 64-bit position + 64-bit
 #: verbatim value/lattice code.
@@ -541,3 +553,36 @@ class RatioQualityModel:
             else:
                 hi = mid
         return float(np.sqrt(lo * hi))
+
+
+# -- batched exact quality curves (adaptive planner fast path) -----------------
+
+
+def batch_residual_curves(
+    data: np.ndarray,
+    extents,
+    grid: np.ndarray,
+    max_points: int = RESIDUAL_CURVE_POINTS,
+) -> np.ndarray:
+    """Exact dual-quantization residual variances, batched over tiles.
+
+    Returns an ``(n_tiles, n_grid)`` table: entry ``(i, j)`` is the
+    value-residual variance tile ``i`` achieves under the dual-quant
+    Lorenzo reconstruction ``2 eb * rint(x / 2 eb)`` at ``grid[j]`` —
+    the same exact quantity :meth:`RatioQualityModel._fit_residual_curve`
+    tabulates per model, but computed for *all* tiles of a tiled run in
+    one vectorized sweep (the bound-allocation MSE table of the
+    adaptive planner).  A systematic stride subsample caps the per-tile
+    cost at *max_points*.
+    """
+    grid = np.asarray(grid, dtype=np.float64)
+    out = np.zeros((len(extents), grid.size))
+    for indices, stack in iter_tile_batches(data, extents):
+        flat = stack.reshape(stack.shape[0], -1)
+        if flat.shape[1] > max_points:
+            flat = flat[:, :: flat.shape[1] // max_points + 1]
+        for j, eb in enumerate(grid):
+            width = 2.0 * float(eb)
+            residual = flat - width * np.rint(flat / width)
+            out[indices, j] = np.mean(residual**2, axis=1)
+    return out

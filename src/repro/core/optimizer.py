@@ -76,6 +76,50 @@ class PartitionOptimizer:
         )
         self._build_grid(grid_points, eb_span)
 
+    @classmethod
+    def from_tables(
+        cls,
+        grid: np.ndarray,
+        bitrates: np.ndarray,
+        mses: np.ndarray,
+        sizes: np.ndarray,
+        value_range: float,
+    ) -> "PartitionOptimizer":
+        """Build an optimizer from precomputed (bitrate, mse) tables.
+
+        The per-model ``estimate()`` sweep of ``_build_grid`` is the
+        dominant cost of adaptive planning; callers that already hold
+        the tables — the vectorized adaptive planner computes exact MSE
+        curves for all tiles in one batched pass and shares bitrate
+        rows across clustered tiles — construct directly.  ``bitrates``
+        and ``mses`` are ``(n_partitions, len(grid))``; ``sizes`` holds
+        the per-partition point counts the aggregate weighting uses.
+        """
+        self = cls.__new__(cls)
+        self.models = None
+        self.grid = np.asarray(grid, dtype=np.float64)
+        self.bitrates = np.asarray(bitrates, dtype=np.float64)
+        self.mses = np.asarray(mses, dtype=np.float64)
+        self.sizes = np.asarray(sizes, dtype=np.float64)
+        if self.grid.ndim != 1 or self.grid.size < 2:
+            raise ValueError("grid must be a 1-d array of >= 2 bounds")
+        expected = (self.sizes.size, self.grid.size)
+        if self.bitrates.shape != expected or self.mses.shape != expected:
+            raise ValueError(
+                "bitrate/mse tables must be (n_partitions, len(grid))"
+            )
+        if self.sizes.size == 0:
+            raise ValueError("need at least one partition")
+        if value_range < 0:
+            raise ValueError("value_range must be non-negative")
+        self.value_range = float(value_range)
+        return self
+
+    @property
+    def n_partitions(self) -> int:
+        """Number of partitions the tables cover."""
+        return int(self.sizes.size)
+
     def _build_grid(
         self, grid_points: int, eb_span: tuple[float, float] | None
     ) -> None:
@@ -115,7 +159,7 @@ class PartitionOptimizer:
     def _evaluate(self, choice: np.ndarray) -> tuple[float, float]:
         """(weighted mean bitrate, aggregate PSNR) for a grid choice."""
         weights = self.sizes / self.sizes.sum()
-        rows = np.arange(len(self.models))
+        rows = np.arange(self.n_partitions)
         mean_bits = float(np.sum(weights * self.bitrates[rows, choice]))
         mean_mse = float(np.sum(weights * self.mses[rows, choice]))
         if mean_mse <= 0 or self.value_range <= 0:
@@ -129,7 +173,7 @@ class PartitionOptimizer:
         return mean_bits, psnr
 
     def _plan(self, choice: np.ndarray) -> PartitionPlan:
-        rows = np.arange(len(self.models))
+        rows = np.arange(self.n_partitions)
         bits, psnr = self._evaluate(choice)
         return PartitionPlan(
             error_bounds=tuple(float(self.grid[j]) for j in choice),
@@ -156,7 +200,7 @@ class PartitionOptimizer:
                 lo = lam
         if best is None:
             # Even the finest grid point misses the target: take it.
-            best = np.zeros(len(self.models), dtype=np.int64)
+            best = np.zeros(self.n_partitions, dtype=np.int64)
         return self._plan(best)
 
     def maximize_psnr_for_bits(self, bit_budget: float) -> PartitionPlan:
@@ -173,11 +217,13 @@ class PartitionOptimizer:
             else:
                 hi = lam
         if best is None:
-            best = np.full(len(self.models), self.grid.size - 1, dtype=np.int64)
+            best = np.full(
+                self.n_partitions, self.grid.size - 1, dtype=np.int64
+            )
         return self._plan(best)
 
     def uniform_plan(self, error_bound: float) -> PartitionPlan:
         """Baseline: the same error bound for every partition."""
         j = int(np.argmin(np.abs(np.log(self.grid) - np.log(error_bound))))
-        choice = np.full(len(self.models), j, dtype=np.int64)
+        choice = np.full(self.n_partitions, j, dtype=np.int64)
         return self._plan(choice)

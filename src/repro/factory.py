@@ -53,6 +53,11 @@ class CodecFactory:
     parallel_backend: str | None = None
     sample_rate: float = DEFAULT_SAMPLE_RATE
     seed: int | None = 0
+    #: adaptive-planning fit-reuse cap (None keeps the planner default,
+    #: 0 fits every tile individually)
+    fit_clusters: int | None = None
+    #: path of a file-backed cross-snapshot plan cache (None disables)
+    plan_cache: str | None = None
 
     # -- codec construction ----------------------------------------------------
 
@@ -71,6 +76,8 @@ class CodecFactory:
             tile_shape=self.tile_shape,
             adaptive=self.adaptive,
             parallel_backend=self.parallel_backend,
+            fit_clusters=self.fit_clusters,
+            plan_cache=self.plan_cache,
         )
         return replace(base, **overrides) if overrides else base
 
@@ -97,6 +104,7 @@ class CodecFactory:
             planner=AdaptivePlanner(
                 sample_rate=self.sample_rate, seed=self.seed
             ),
+            plan_cache=self.plan_cache,
         )
 
     def array_store(self, root, cache=None) -> "ArrayStore":

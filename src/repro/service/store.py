@@ -108,6 +108,7 @@ class ArrayStore:
         workers: int | None = None,
         factory=None,
         parallel_backend: str | None = None,
+        plan_cache=None,
     ) -> None:
         self.root = str(root)
         os.makedirs(self.root, exist_ok=True)
@@ -115,6 +116,11 @@ class ArrayStore:
         self._workers = workers
         self._factory = factory
         self._backend = parallel_backend
+        # PlannerCache instance or path: successive puts of the same
+        # dataset name reuse the previous adaptive plan when tile stats
+        # have not drifted.  A factory carries its own plan_cache
+        # setting; this parameter covers the factory-less default path.
+        self._plan_cache = plan_cache
         self._codec = SZCompressor()
         self._fanout_lock = threading.Lock()
         self._fanout: "ThreadPoolExecutor | None" = None
@@ -193,11 +199,15 @@ class ArrayStore:
             self._factory.tiled_compressor()
             if self._factory is not None
             else TiledCompressor(
-                workers=self._workers, backend=self._backend
+                workers=self._workers,
+                backend=self._backend,
+                plan_cache=self._plan_cache,
             )
         )
         try:
-            result = compressor.compress(data, config, out=tmp)
+            # the dataset name keys the cross-snapshot plan cache:
+            # overwriting puts of the same name reuse the prior plan
+            result = compressor.compress(data, config, out=tmp, dataset=name)
         except BaseException:
             if os.path.exists(tmp):
                 os.remove(tmp)

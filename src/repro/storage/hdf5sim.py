@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.compressor import CompressionConfig, SZCompressor
 from repro.compressor.adaptive import AdaptivePlan, AdaptivePlanner
+from repro.compressor.plan_cache import PlannerCache
 from repro.compressor.tiled import (
     intersect_extent,
     iter_tiles,
@@ -84,6 +85,7 @@ class H5LikeFile:
         path: str,
         mode: str = "r",
         planner: AdaptivePlanner | None = None,
+        plan_cache=None,
     ) -> None:
         if mode not in ("r", "w"):
             raise ValueError("mode must be 'r' or 'w'")
@@ -93,6 +95,14 @@ class H5LikeFile:
         # drives adaptive filter configs; injectable so callers can
         # align sampling settings with the rest of their pipeline
         self._planner = planner or AdaptivePlanner()
+        # PlannerCache for cross-snapshot plan reuse: writing the same
+        # dataset name to successive files (one per simulation step)
+        # replays the previous step's plan when stats have not drifted
+        self._plan_cache = (
+            PlannerCache.at_path(plan_cache)
+            if isinstance(plan_cache, (str, os.PathLike))
+            else plan_cache
+        )
         self._toc: dict = {"datasets": {}}
         if mode == "w":
             self._fh = open(path, "wb")
@@ -166,7 +176,13 @@ class H5LikeFile:
         if config is not None and config.adaptive and data.size > 0:
             # None = nothing to plan (constant field under REL): fall
             # back to the uniform filter, which stores it exactly
-            plan = self._planner.plan(data, config, chunk_shape)
+            plan = self._planner.plan(
+                data,
+                config,
+                chunk_shape,
+                cache=self._plan_cache,
+                dataset=name,
+            )
             if plan is not None:
                 base = replace(config, tile_shape=None, adaptive=False)
 

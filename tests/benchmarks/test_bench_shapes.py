@@ -1,0 +1,108 @@
+"""Schema tests for the throughput-bench JSON recorded per PR.
+
+``BENCH_throughput.json`` is the cross-PR performance trajectory, so
+the shape of each mode's entry is a contract: a key rename or a
+non-finite float sneaking in would silently corrupt the history.
+These tests run the two planner-centric measurements at bench scale
+(they are cheap — one 256x256 snapshot each) and pin their schemas.
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+BENCH_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+    "benchmarks",
+)
+sys.path.insert(0, BENCH_DIR)
+
+import bench_throughput  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def planner_perf():
+    return bench_throughput._measure_planner_perf()
+
+
+@pytest.fixture(scope="module")
+def v5_adaptive():
+    return bench_throughput._measure_adaptive()
+
+
+PLANNER_COUNTER_KEYS = {
+    "tiles_planned",
+    "tiles_modeled",
+    "clusters",
+    "fits_performed",
+    "refits",
+    "cache",
+}
+
+
+def test_planner_perf_shape(planner_perf):
+    assert set(planner_perf) == {
+        "field",
+        "planner",
+        "fit_ratio",
+        "plan_s",
+        "clustered_bytes",
+        "per_tile_bytes",
+        "reuse_byte_overhead",
+        "clustered_psnr",
+        "per_tile_psnr",
+        "cache_status",
+        "cached_plan_s",
+        "plan_cache_speedup",
+        "uniform_compress_s",
+        "cached_compress_s",
+        "cached_vs_uniform",
+    }
+    assert set(planner_perf["planner"]) == PLANNER_COUNTER_KEYS
+    # strict JSON: the trajectory file must never carry NaN/Infinity
+    json.loads(json.dumps(planner_perf, allow_nan=False))
+
+
+def test_planner_perf_counters_consistent(planner_perf):
+    stats = planner_perf["planner"]
+    assert stats["tiles_planned"] == 64
+    assert stats["fits_performed"] == stats["clusters"] + stats["refits"]
+    assert planner_perf["fit_ratio"] == pytest.approx(
+        stats["tiles_planned"] / stats["fits_performed"], abs=0.01
+    )
+    assert planner_perf["cache_status"] in {"hit", "drift", "miss"}
+
+
+def test_v5_adaptive_shape(v5_adaptive):
+    assert set(v5_adaptive) == {
+        "field",
+        "compress_s",
+        "decompress_s",
+        "compress_mb_s",
+        "decompress_mb_s",
+        "bytes",
+        "ratio",
+        "psnr",
+        "predictor_counts",
+        "planner",
+        "plan_s",
+        "cached_plan_s",
+        "cached_compress_s",
+        "plan_cache_speedup",
+        "uniform_equal_psnr",
+        "equal_psnr_gain",
+    }
+    assert set(v5_adaptive["planner"]) == PLANNER_COUNTER_KEYS
+    for entry in v5_adaptive["uniform_equal_psnr"].values():
+        assert set(entry) == {"bytes", "ratio", "psnr", "error_bound"}
+    json.loads(json.dumps(v5_adaptive, allow_nan=False))
+
+
+def test_v5_adaptive_counters(v5_adaptive):
+    stats = v5_adaptive["planner"]
+    assert stats["tiles_planned"] == 64
+    assert 0 < stats["fits_performed"] <= stats["tiles_planned"]
+    assert v5_adaptive["plan_cache_speedup"] >= 1.0
+    assert v5_adaptive["equal_psnr_gain"] > 1.0

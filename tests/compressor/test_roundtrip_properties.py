@@ -6,8 +6,14 @@ mode, predictor, lossless backend, chunking, tiling, adaptivity — and
 asserts the round-trip bound, dtype/shape preservation, flat-vs-tiled
 decode equivalence and region-decode consistency.
 
+Adaptive cases additionally sweep the planner's fit-reuse spectrum
+(``fit_clusters`` of None/0/1/4/12) and assert the planner-equivalence
+properties: clustered and cache-replayed plans honour every per-tile
+bound, meet the aggregate PSNR target, and decode identically to the
+fresh plan's container.
+
 Reproduce a reported failure with ``PROPTEST_SEED=<seed>``; widen the
-sweep with ``PROPTEST_COUNT=<n>`` (tier-1 runs the first 48 seeds).
+sweep with ``PROPTEST_COUNT=<n>`` (tier-1 runs the first 72 seeds).
 """
 
 import os
@@ -19,7 +25,7 @@ from tests.proptest import run_seed
 if os.environ.get("PROPTEST_SEED"):
     SEEDS = [int(os.environ["PROPTEST_SEED"])]
 else:
-    SEEDS = list(range(int(os.environ.get("PROPTEST_COUNT", "48"))))
+    SEEDS = list(range(int(os.environ.get("PROPTEST_COUNT", "72"))))
 
 
 @pytest.mark.parametrize("seed", SEEDS)

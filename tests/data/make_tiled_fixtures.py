@@ -12,7 +12,14 @@ the decoded values; they must never change for an already-released
 container version.
 
 The inputs are fully deterministic (fixed seeds, serial encoding), so a
-regeneration without a format change is a byte-identical no-op.
+regeneration without a format change is a byte-identical no-op *for
+fixtures minted at the current revision*.  Older fixtures are frozen as
+released and never overwritten by policy: ``pr3_v5_adaptive`` predates
+the ``planner_stats`` header field (and the clustered fit-reuse
+planner), so re-running this script would alter its bytes — it exists
+precisely to prove those planner changes did not disturb decoding of
+already-released v5 containers.  New planner behaviour is pinned by the
+separate ``pr8_v5_clustered`` fixture instead.
 """
 
 import os
@@ -71,13 +78,28 @@ def main() -> None:
     result = tc.compress(data, config)
     write("pr2_v4_tiled_zstd", result.blob, tc.decompress(result.blob))
 
-    # v5: adaptive per-tile configs on a heterogeneous field
-    field = hetero_field()
+    # v5: adaptive per-tile configs on a heterogeneous field.
+    # FROZEN — minted before the planner_stats header field existed;
+    # see the module docstring.  Kept here for provenance only.
+    if not os.path.exists(os.path.join(DATA_DIR, "pr3_v5_adaptive.rqsz")):
+        field = hetero_field()
+        config = CompressionConfig(
+            error_bound=1.0, tile_shape=(32, 32), adaptive=True
+        )
+        result = tc.compress(field, config)
+        write("pr3_v5_adaptive", result.blob, tc.decompress(result.blob))
+
+    # v5 + clustered planner: fit reuse across tile clusters with the
+    # drift-refit guard active, planner_stats recorded in the header
+    field = hetero_field((128, 128), seed=11)
     config = CompressionConfig(
-        error_bound=1.0, tile_shape=(32, 32), adaptive=True
+        error_bound=1.0,
+        tile_shape=(32, 32),
+        adaptive=True,
+        fit_clusters=4,
     )
     result = tc.compress(field, config)
-    write("pr3_v5_adaptive", result.blob, tc.decompress(result.blob))
+    write("pr8_v5_clustered", result.blob, tc.decompress(result.blob))
 
 
 if __name__ == "__main__":

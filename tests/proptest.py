@@ -34,6 +34,7 @@ import numpy as np
 from repro.compressor import (
     CompressionConfig,
     ErrorBoundMode,
+    PlannerCache,
     SZCompressor,
     TiledCompressor,
 )
@@ -74,6 +75,7 @@ class Case:
             f"eb={cfg.error_bound:.4g} predictor={cfg.predictor} "
             f"lossless={cfg.lossless} chunk={cfg.chunk_size} "
             f"tile={cfg.tile_shape} adaptive={cfg.adaptive} "
+            f"fit_clusters={cfg.fit_clusters} "
             f"workers={self.workers} psnr_target={self.psnr_target}"
         )
 
@@ -150,6 +152,7 @@ def draw_case(seed: int) -> Case:
 
     tile_shape = None
     adaptive = False
+    fit_clusters = None
     if len(shape) >= 1 and all(dim >= 1 for dim in shape):
         if rng.random() < 0.7:
             tile_shape = tuple(
@@ -161,6 +164,11 @@ def draw_case(seed: int) -> Case:
                 and vrange > 0
                 and rng.random() < 0.2
             )
+            if adaptive:
+                # sweep the fit-reuse spectrum: planner default,
+                # per-tile fits, and aggressive single-cluster sharing
+                menu = (None, 0, 1, 4, 12)
+                fit_clusters = menu[int(rng.integers(0, len(menu)))]
 
     psnr_target = None
     if (
@@ -181,6 +189,7 @@ def draw_case(seed: int) -> Case:
         chunk_size=chunk_size,
         tile_shape=tile_shape,
         adaptive=adaptive,
+        fit_clusters=fit_clusters,
     )
     workers = int(rng.choice([1, 1, 3]))
     return Case(
@@ -250,6 +259,8 @@ def _check_tiled(case: Case, flat_recon: np.ndarray) -> None:
                 replace(config, mode=ErrorBoundMode.ABS),
                 choice.error_bound,
             )
+        _check_plan_quality(case, recon, result.plan)
+        _check_cached_plan(case, recon, result.plan)
     else:
         _assert_bound(data, recon, config, config.error_bound)
 
@@ -277,6 +288,57 @@ def _check_tiled(case: Case, flat_recon: np.ndarray) -> None:
             for t in result.tiles
         )
         assert tc.last_tiles_decoded == hits
+
+
+def _check_plan_quality(
+    case: Case, recon: np.ndarray, plan
+) -> None:
+    """Clustered plans must still deliver the aggregate PSNR target.
+
+    The planner trades per-tile fits for shared cluster fits; that may
+    cost bitrate optimality but never the quality floor — the measured
+    aggregate PSNR stays within the estimator's slack of the target the
+    uniform nominal config would have achieved.
+    """
+    data = case.data
+    if (
+        data.size < 512
+        or not np.isfinite(plan.target_psnr)
+        or case.kind not in ("smooth", "smooth_offset", "noise")
+    ):
+        return
+    from repro.analysis.metrics import psnr
+
+    measured = psnr(data, recon)
+    assert measured >= plan.target_psnr - PSNR_SLACK_DB, (
+        f"adaptive plan missed its aggregate PSNR target: "
+        f"{measured:.1f} dB for a {plan.target_psnr:.1f} dB target"
+    )
+
+
+def _check_cached_plan(
+    case: Case, recon: np.ndarray, plan
+) -> None:
+    """Plan-cache round trip: the replayed plan is the plan.
+
+    A second compression through the same cache must hit, reuse the
+    exact per-tile choices, and decode to exactly what the fresh plan's
+    container decodes to.  (The raw blobs are not compared: the header
+    records the cache status, which legitimately differs between the
+    miss and hit runs.)
+    """
+    data, config = case.data, case.config
+    cache = PlannerCache()
+    tc = TiledCompressor(workers=case.workers, plan_cache=cache)
+    first = tc.compress(data, config, dataset="prop")
+    second = tc.compress(data, config, dataset="prop")
+    assert first.plan is not None and second.plan is not None
+    assert first.plan.stats.cache == "miss"
+    assert second.plan.stats.cache == "hit"
+    assert [c.to_json() for c in second.plan.choices] == [
+        c.to_json() for c in plan.choices
+    ]
+    np.testing.assert_array_equal(tc.decompress(second.blob), recon)
 
 
 def check_case(case: Case) -> None:
