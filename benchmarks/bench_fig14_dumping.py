@@ -13,8 +13,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.compressor import CompressionConfig
 from repro.datasets import wave_snapshots
+from repro.factory import CodecFactory
 from repro.storage.cluster import (
     ClusterSimulator,
     ClusterSpec,
@@ -31,9 +31,10 @@ def experiment():
     snaps = wave_snapshots(
         (40, 40, 40), n_snapshots=6, steps_between=8, seed=37
     )
-    config = CompressionConfig(predictor="lorenzo")
+    factory = CodecFactory(predictor="lorenzo")
     vrange = max(float(np.ptp(s)) for s in snaps)
     candidates = [vrange * 10 ** (-e) for e in (1, 2, 3, 4, 5)]
+    config = factory.config(candidates[2])
 
     # the traditional bound comes from the offline worst-case study
     offline = offline_worst_case_error_bound(
@@ -114,9 +115,7 @@ def test_fig14(benchmark, experiment, report):
     assert model.mean() < raw_time
 
     snap = wave_snapshots((32, 32, 32), 2, steps_between=10, seed=41)[-1]
-    config = CompressionConfig()
-    profile = ThroughputProfile.measure(
-        snap, config.with_error_bound(1e-4)
-    )
+    config = CodecFactory().config(1e-4)
+    profile = ThroughputProfile.measure(snap, config)
     sim = ClusterSimulator(ClusterSpec(), profile, config)
     benchmark(lambda: sim.dump_model(snap, 0, TARGET_PSNR))

@@ -43,6 +43,21 @@ reproduces today's uniform bytes, not that entry's.)  The mode also
 records the planner's fit/cluster counters and a cross-snapshot
 plan-cache replay timing.
 
+The **snapshot_stream** mode measures the temporal snapshot-stream
+subsystem (v6 containers + :class:`repro.service.ArrayStore` chains) on
+a ``wave_snapshots`` stream: the traditional baseline compresses every
+snapshot from scratch under the offline worst-case bound for the PSNR
+target, while the stream arm picks a per-snapshot model bound and
+encodes non-keyframe snapshots as temporal deltas against the decoded
+previous snapshot (keyframe every 4).  Recorded: the delta-vs-scratch
+total byte ratio (acceptance: >= 1.25x at the same per-snapshot PSNR
+target), per-tile temporal/spatial choice counts, chain-read latency
+(cold vs warm decoded-tile cache at the deepest chain position), and
+the per-version chain depth, which must stay bounded by the keyframe
+interval.  Chain decodes are asserted byte-identical across the
+serial / thread / process executor backends.  The CI
+``snapshot-stream`` job runs exactly this mode.
+
 The **planner_perf** mode exercises the vectorized planner's fit-reuse
 machinery on a population-structured snapshot (distinct quiet / mild /
 turbulent / oscillatory regions — the regime tile clustering is built
@@ -444,6 +459,234 @@ def test_planner_perf(report):
     assert perf["cache_status"] == "hit"
     assert perf["plan_cache_speedup"] >= PLANNER_MIN_CACHE_SPEEDUP
     assert perf["cached_vs_uniform"] <= PLANNER_MAX_VS_UNIFORM
+
+
+# -- temporal snapshot-stream workload -----------------------------------------
+
+#: wavefield stream (fig13 cadence): 8 snapshots of a 64k-point volume
+STREAM_SHAPE = (32, 32, 64)
+STREAM_TILE = (16, 16, 32)
+STREAM_SNAPSHOTS = 8
+STREAM_STEPS_BETWEEN = 8
+STREAM_SEED = 11
+STREAM_TARGET_PSNR = 60.0
+STREAM_KEYFRAME_INTERVAL = 4
+#: half-decade candidate grid for the offline worst-case baseline
+STREAM_EB_GRID = tuple(10.0**-e for e in (1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0))
+#: acceptance: total bytes, from-scratch baseline vs the delta stream
+STREAM_MIN_DELTA_GAIN = 1.25
+#: PSNR slack on the worst snapshot (model bounds aim at the target)
+STREAM_PSNR_SLACK = 2.0
+
+
+def _stream_snapshots() -> list:
+    from repro.datasets.generators import wave_snapshots
+
+    return wave_snapshots(
+        STREAM_SHAPE,
+        n_snapshots=STREAM_SNAPSHOTS,
+        steps_between=STREAM_STEPS_BETWEEN,
+        seed=STREAM_SEED,
+    )
+
+
+def _measure_snapshot_stream(tmp_path) -> dict:
+    """Delta stream vs from-scratch baseline at one PSNR target."""
+    from repro.analysis.metrics import psnr
+    from repro.compressor import TemporalCompressor
+    from repro.factory import CodecFactory
+    from repro.service import ArrayStore, TileLRUCache
+    from repro.usecases.baselines import offline_worst_case_error_bound
+    from repro.usecases.insitu import SnapshotPipeline
+
+    snaps = _stream_snapshots()
+    factory = CodecFactory(tile_shape=STREAM_TILE)
+
+    # traditional baseline: one conservative bound that holds the PSNR
+    # target on the worst snapshot, every snapshot re-encoded from
+    # scratch (what an in-situ dump does without the stream subsystem)
+    trad_eb = offline_worst_case_error_bound(
+        snaps,
+        factory.config(STREAM_EB_GRID[0]),
+        STREAM_EB_GRID,
+        STREAM_TARGET_PSNR,
+    ).chosen_error_bound
+    tiled = factory.tiled_compressor()
+    trad_config = factory.config(trad_eb)
+    trad_bytes = 0
+    trad_worst = float("inf")
+    for snap in snaps:
+        result = tiled.compress(snap, trad_config)
+        trad_bytes += result.compressed_bytes
+        trad_worst = min(
+            trad_worst, psnr(snap, tiled.decompress(result.blob))
+        )
+
+    # stream arm: per-snapshot model bound + temporal deltas, replayed
+    # once through the pipeline (quality accounting) and once through an
+    # ArrayStore chain (byte accounting + chain reads)
+    stream = SnapshotPipeline(
+        target_psnr=STREAM_TARGET_PSNR,
+        factory=CodecFactory(
+            tile_shape=STREAM_TILE,
+            temporal=True,
+            keyframe_interval=STREAM_KEYFRAME_INTERVAL,
+        ),
+    )
+    for snap in snaps:
+        stream.process(snap)
+    stream_worst = min(r.psnr for r in stream.records)
+
+    store = ArrayStore(
+        str(tmp_path / "stream_store"),
+        cache=TileLRUCache(byte_budget=32 << 20),
+    )
+    try:
+        for snap, record in zip(snaps, stream.records):
+            store.put_snapshot(
+                "wave",
+                snap,
+                factory.config(record.error_bound),
+                keyframe_interval=STREAM_KEYFRAME_INTERVAL,
+            )
+        chain_bytes = store.info("wave")["total_compressed_bytes"]
+        versions = store.versions("wave")
+
+        # every version must hold its own absolute bound, and decode
+        # through a chain no deeper than the keyframe interval
+        full = tuple(slice(0, n) for n in STREAM_SHAPE)
+        depths = []
+        for version, (snap, record) in enumerate(
+            zip(snaps, stream.records)
+        ):
+            region = store.read_region("wave", full, version=version)
+            max_err = float(
+                np.max(
+                    np.abs(
+                        region.data.astype(np.float64)
+                        - snap.astype(np.float64)
+                    )
+                )
+            )
+            assert max_err <= record.error_bound * (1 + 1e-9), (
+                f"version {version} exceeds its bound: "
+                f"{max_err} > {record.error_bound}"
+            )
+            depths.append(region.chain_depth)
+
+        # chain-read latency: deepest chain position, cold vs warm
+        deepest = max(range(len(depths)), key=lambda v: (depths[v], v))
+        store.cache.clear()
+        start = time.perf_counter()
+        store.read_region("wave", full, version=deepest)
+        cold_chain_ms = (time.perf_counter() - start) * 1e3
+        start = time.perf_counter()
+        store.read_region("wave", full, version=deepest)
+        warm_chain_ms = (time.perf_counter() - start) * 1e3
+        store.cache.clear()
+        start = time.perf_counter()
+        store.read_region("wave", full, version=0)
+        cold_keyframe_ms = (time.perf_counter() - start) * 1e3
+
+        # chain decodes are an execution detail: every backend must
+        # reproduce the store's bytes exactly, reference by reference
+        expected = [
+            store.read_full("wave", version=v).tobytes()
+            for v in range(len(snaps))
+        ]
+        files = [
+            os.path.join(store.root, record["file"])
+            for record in versions
+        ]
+    finally:
+        store.close()
+
+    for backend in ("serial", "thread", "process"):
+        codec = TemporalCompressor(workers=2, backend=backend)
+        reference = None
+        for version, path in enumerate(files):
+            keyframe = versions[version]["keyframe"]
+            reference = codec.decompress(
+                path, reference=None if keyframe else reference
+            )
+            assert reference.tobytes() == expected[version], (
+                f"{backend} decode of version {version} differs"
+            )
+
+    return {
+        "field": {
+            "shape": list(STREAM_SHAPE),
+            "tile_shape": list(STREAM_TILE),
+            "snapshots": STREAM_SNAPSHOTS,
+            "steps_between": STREAM_STEPS_BETWEEN,
+            "target_psnr": STREAM_TARGET_PSNR,
+            "keyframe_interval": STREAM_KEYFRAME_INTERVAL,
+        },
+        "trad": {
+            "error_bound": trad_eb,
+            "bytes": int(trad_bytes),
+            "worst_psnr": round(trad_worst, 3),
+        },
+        "stream": {
+            "bytes": int(chain_bytes),
+            "worst_psnr": round(stream_worst, 3),
+            "error_bounds": [
+                round(r.error_bound, 8) for r in stream.records
+            ],
+            "keyframes": sum(1 for r in stream.records if r.keyframe),
+            "temporal_tiles": sum(
+                r.temporal_tiles for r in stream.records
+            ),
+            "spatial_tiles": sum(
+                r.spatial_tiles for r in stream.records
+            ),
+        },
+        "delta_vs_scratch": round(trad_bytes / chain_bytes, 4),
+        "chain": {
+            "depths": depths,
+            "max_chain_depth": max(depths),
+            "cold_read_ms": round(cold_chain_ms, 3),
+            "warm_read_ms": round(warm_chain_ms, 3),
+            "cold_keyframe_ms": round(cold_keyframe_ms, 3),
+        },
+        "backends_byte_identical": True,
+    }
+
+
+def test_snapshot_stream(report, tmp_path):
+    """Temporal stream guardrails (CI snapshot-stream)."""
+    perf = _measure_snapshot_stream(tmp_path)
+    stream, trad, chain = perf["stream"], perf["trad"], perf["chain"]
+    report(
+        "snapshot_stream (8-snapshot wavefield, PSNR target "
+        f"{STREAM_TARGET_PSNR} dB): from-scratch worst-case bound "
+        f"{trad['error_bound']:.1e} -> {trad['bytes']} B, delta chain "
+        f"{stream['bytes']} B -> gain {perf['delta_vs_scratch']}x; "
+        f"{stream['temporal_tiles']} temporal / "
+        f"{stream['spatial_tiles']} spatial tiles, "
+        f"{stream['keyframes']} keyframes; chain depth "
+        f"<= {chain['max_chain_depth']}, deepest read cold "
+        f"{chain['cold_read_ms']} ms / warm {chain['warm_read_ms']} ms "
+        f"(keyframe cold {chain['cold_keyframe_ms']} ms)"
+    )
+    _append_trajectory(
+        {
+            "date": time.strftime("%Y-%m-%d %H:%M:%S"),
+            "modes": {"snapshot_stream": perf},
+        }
+    )
+    # acceptance: the delta stream must spend >= 1.25x fewer total
+    # bytes than per-snapshot-from-scratch at the same PSNR target...
+    assert perf["delta_vs_scratch"] >= STREAM_MIN_DELTA_GAIN
+    # ...with both arms actually meeting the target on every snapshot
+    assert trad["worst_psnr"] >= STREAM_TARGET_PSNR - 1.0
+    assert stream["worst_psnr"] >= STREAM_TARGET_PSNR - STREAM_PSNR_SLACK
+    # deltas must really be in play, and random access must stay
+    # bounded by the keyframe interval
+    assert stream["temporal_tiles"] > 0
+    assert stream["keyframes"] < STREAM_SNAPSHOTS
+    assert chain["max_chain_depth"] <= STREAM_KEYFRAME_INTERVAL
+    assert perf["backends_byte_identical"] is True
 
 
 # -- serving (region-read latency) workload ------------------------------------

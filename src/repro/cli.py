@@ -15,8 +15,14 @@ Entry point for the library's day-to-day workflow on ``.npy`` arrays::
     python -m repro serve ./store --port 8765 --cache-mb 256
     python -m repro remote-put http://host:8765 pressure field.npy \
         --eb 1e-3 --tile 64,64
+    python -m repro remote-put http://host:8765 wave snap_t.npy \
+        --eb 1e-3 --snapshot --keyframe-interval 4
     python -m repro remote-read http://host:8765 pressure roi.npy \
         --region 0:32,16:48
+    python -m repro remote-read http://host:8765 wave roi.npy \
+        --region 0:32,16:48 --version 3
+    python -m repro remote-read http://host:8765 wave series.npy \
+        --region 0:32,16:48 --time-range 0:5
     python -m repro remote-stat http://host:8765 pressure --json
 
 ``compress`` accepts exactly one targeting flag: ``--eb`` (direct
@@ -267,6 +273,22 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="replace the dataset if it already exists",
     )
+    rput.add_argument(
+        "--snapshot",
+        action="store_true",
+        help="append as one version of the dataset's snapshot chain "
+        "(temporal delta against the previous version, keyframes at "
+        "the chain's cadence) instead of creating/replacing it",
+    )
+    rput.add_argument(
+        "--keyframe-interval",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --snapshot: every Nth version is a standalone "
+        "keyframe, bounding random-access chain depth (default: the "
+        "store's setting, 4)",
+    )
 
     rread = sub.add_parser(
         "remote-read",
@@ -280,6 +302,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="A:B,C:D,...",
         help="hyperslab to read (default: the full array)",
+    )
+    rgroup = rread.add_mutually_exclusive_group()
+    rgroup.add_argument(
+        "--version",
+        type=int,
+        default=None,
+        metavar="N",
+        help="read snapshot version N of the dataset's chain "
+        "(default: the latest version)",
+    )
+    rgroup.add_argument(
+        "--time-range",
+        default=None,
+        metavar="T0:T1",
+        help="read versions T0..T1 inclusive, stacked along a new "
+        "leading axis (chain-shared reference tiles are decoded once)",
     )
 
     rstat = sub.add_parser(
@@ -563,6 +601,35 @@ def _cmd_remote_put(args: argparse.Namespace) -> int:
     data = _load_array(args.input)
     tile = parse_tile_shape(args.tile) if args.tile else None
     client = _client(args.url)
+    if args.snapshot:
+        if args.adaptive:
+            raise SystemExit(
+                "--snapshot deltas are not adaptive; drop --adaptive"
+            )
+        entry = _remote_call(
+            lambda: client.put_snapshot(
+                args.name,
+                data,
+                eb=args.eb,
+                predictor=args.predictor,
+                mode=args.mode,
+                lossless=args.lossless,
+                tile=tile,
+                keyframe_interval=args.keyframe_interval,
+            )
+        )
+        kind = "keyframe" if entry.get("keyframe") else (
+            f"delta ({entry.get('temporal_tiles', 0)} temporal / "
+            f"{entry.get('spatial_tiles', 0)} spatial tiles)"
+        )
+        print(
+            f"{args.input} -> {args.url}/v1/datasets/{args.name} "
+            f"v{entry['version']}: {entry['raw_bytes']} -> "
+            f"{entry['compressed_bytes']} bytes, {kind}"
+        )
+        return 0
+    if args.keyframe_interval is not None:
+        raise SystemExit("--keyframe-interval requires --snapshot")
     entry = _remote_call(
         lambda: client.put(
             args.name,
@@ -584,17 +651,52 @@ def _cmd_remote_put(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_time_range(text: str) -> tuple[int, int]:
+    parts = text.split(":")
+    try:
+        if len(parts) != 2:
+            raise ValueError(text)
+        return int(parts[0]), int(parts[1])
+    except ValueError:
+        raise SystemExit(
+            f"invalid time range {text!r}: expected T0:T1"
+        ) from None
+
+
 def _cmd_remote_read(args: argparse.Namespace) -> int:
     client = _client(args.url)
     region = args.region if args.region is not None else ":"
     if args.region is not None:
         parse_region(args.region)  # fail fast with the CLI's message
-    data = _remote_call(lambda: client.read_region(args.name, region))
+    if args.time_range is not None:
+        t0, t1 = _parse_time_range(args.time_range)
+        data = _remote_call(
+            lambda: client.read_range(args.name, region, t0, t1)
+        )
+        np.save(args.output, data)
+        stats = client.last_read_stats
+        print(
+            f"{args.url}/v1/datasets/{args.name} region "
+            f"{args.region or 'full'} versions {t0}:{t1} -> "
+            f"{args.output}: {data.shape} {data.dtype} "
+            f"({stats.get('tiles_touched', 0)} tiles, "
+            f"{stats.get('cache_hits', 0)} cache hits, chain depth "
+            f"<= {stats.get('chain_depth', 1)})"
+        )
+        return 0
+    data = _remote_call(
+        lambda: client.read_region(
+            args.name, region, version=args.version
+        )
+    )
     np.save(args.output, data)
     stats = client.last_read_stats
+    version_note = (
+        f" v{stats['version']}" if args.version is not None else ""
+    )
     print(
         f"{args.url}/v1/datasets/{args.name} region "
-        f"{args.region or 'full'} -> {args.output}: "
+        f"{args.region or 'full'}{version_note} -> {args.output}: "
         f"{data.shape} {data.dtype} "
         f"({stats.get('tiles_touched', 0)} tiles, "
         f"{stats.get('cache_hits', 0)} cache hits)"

@@ -38,6 +38,11 @@ from repro.compressor.executor import (
 from repro.compressor.plan_cache import PlannerCache
 from repro.compressor.quantizer import LinearQuantizer, QuantizedBlock
 from repro.compressor.sz import CompressionResult, SZCompressor, StageSizes
+from repro.compressor.temporal import (
+    TemporalCompressor,
+    TemporalResult,
+    TemporalStats,
+)
 from repro.compressor.tiled import TiledCompressor, TiledResult
 
 __all__ = [
@@ -51,6 +56,9 @@ __all__ = [
     "StageSizes",
     "TiledCompressor",
     "TiledResult",
+    "TemporalCompressor",
+    "TemporalResult",
+    "TemporalStats",
     "AdaptivePlanner",
     "AdaptivePlan",
     "PlanStats",

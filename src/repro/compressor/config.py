@@ -108,6 +108,15 @@ class CompressionConfig:
         PlannerCache` the planner reuses cross-snapshot plans through.
         ``None`` disables caching.  Never serialized into container
         headers.
+    temporal:
+        When set (tiled compression only), snapshots compress as
+        *temporal deltas*: each tile is predicted from the decoded
+        matching tile of a reference snapshot, falling back to spatial
+        prediction per tile when the rate-quality model says the
+        residual costs more bits (see
+        :class:`repro.compressor.temporal.TemporalCompressor`, v6
+        container).  Requires an ``ABS`` or ``REL`` mode and is
+        mutually exclusive with ``adaptive``.
     """
 
     predictor: str = "lorenzo"
@@ -124,6 +133,7 @@ class CompressionConfig:
     parallel_backend: str | None = None
     fit_clusters: int | None = None
     plan_cache: str | None = None
+    temporal: bool = False
 
     _KNOWN_PREDICTORS = ("lorenzo", "interpolation", "regression")
     _KNOWN_LOSSLESS = ("zstd_like", "gzip_like", "rle", None)
@@ -164,6 +174,16 @@ class CompressionConfig:
             raise ValueError(
                 "adaptive tiling supports ABS and REL bounds only"
             )
+        if self.temporal:
+            if self.mode is ErrorBoundMode.PW_REL:
+                raise ValueError(
+                    "temporal delta mode supports ABS and REL bounds only"
+                )
+            if self.adaptive:
+                raise ValueError(
+                    "temporal delta mode and adaptive tiling are "
+                    "mutually exclusive"
+                )
         if self.parallel_backend not in self._KNOWN_BACKENDS:
             raise ValueError(
                 f"unknown parallel backend {self.parallel_backend!r}; "

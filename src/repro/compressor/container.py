@@ -41,6 +41,15 @@ with bounded memory and fix the offsets up at close time.
   + index encoding keeps the per-tile TOC cost to a couple of bytes —
   neighbouring tiles frequently land on the same choice, and the
   allocation grid bounds the number of distinct entries.
+* **v6** (temporal) — the same frame again, for one snapshot of a
+  versioned snapshot chain: each tile payload is either a *spatial*
+  encoding of the tile's samples or a *temporal residual* against the
+  decoded matching tile of a reference snapshot.  The TOC carries a
+  ``tile_modes`` bit array (1 = temporal residual, 0 = spatial) and
+  the header records the reference snapshot id (``ref_snapshot``) plus
+  ``temporal_stats`` choice counters; decoding therefore needs the
+  decoded reference snapshot (see
+  :mod:`repro.compressor.temporal`).
 """
 
 from __future__ import annotations
@@ -58,6 +67,7 @@ __all__ = [
     "VERSION_CHUNKED",
     "VERSION_TILED",
     "VERSION_ADAPTIVE",
+    "VERSION_TEMPORAL",
     "TILED_VERSIONS",
     "SECTION_NAMES",
     "flat_overhead",
@@ -81,10 +91,12 @@ VERSION_CHUNKED = 3
 VERSION_TILED = 4
 #: tiled container whose TOC records per-tile codec configurations
 VERSION_ADAPTIVE = 5
+#: tiled container whose tiles may be temporal residuals vs a reference
+VERSION_TEMPORAL = 6
 
 _FLAT_VERSIONS = (VERSION_SINGLE, VERSION_CHUNKED)
 #: container versions that use the tiled payloads + trailing-TOC frame
-TILED_VERSIONS = (VERSION_TILED, VERSION_ADAPTIVE)
+TILED_VERSIONS = (VERSION_TILED, VERSION_ADAPTIVE, VERSION_TEMPORAL)
 
 # Writer layout constants -- every size computation below derives from
 # these, so accounting cannot drift from the format.
@@ -257,6 +269,10 @@ class TileRecord:
     global header's settings); the adaptive v5 container stores each
     tile's chosen codec parameters here so readers and tooling can
     reconstruct the per-tile choices without a global config.
+
+    ``temporal`` marks a v6 tile whose payload encodes a residual
+    against the decoded matching tile of the reference snapshot rather
+    than the tile's samples directly.
     """
 
     offset: int
@@ -264,6 +280,7 @@ class TileRecord:
     start: tuple[int, ...]
     stop: tuple[int, ...]
     config: dict | None = None
+    temporal: bool = False
 
     @property
     def shape(self) -> tuple[int, ...]:
@@ -281,7 +298,9 @@ class TileRecord:
 
     @staticmethod
     def from_json(
-        record: dict, config: dict | None = None
+        record: dict,
+        config: dict | None = None,
+        temporal: bool = False,
     ) -> "TileRecord":
         return TileRecord(
             offset=int(record["offset"]),
@@ -289,6 +308,7 @@ class TileRecord:
             start=tuple(int(x) for x in record["start"]),
             stop=tuple(int(x) for x in record["stop"]),
             config=config,
+            temporal=temporal,
         )
 
 
@@ -338,16 +358,22 @@ class TiledWriter:
         stop: Sequence[int],
         payload: bytes,
         config: dict | None = None,
+        temporal: bool = False,
     ) -> TileRecord:
         """Append one encoded tile; returns its TOC record."""
         if self._finished:
             raise ValueError("writer already finished")
+        if temporal and self._version != VERSION_TEMPORAL:
+            raise ValueError(
+                "temporal tiles require a v6 (temporal) container"
+            )
         record = TileRecord(
             offset=self._pos,
             size=len(payload),
             start=tuple(int(x) for x in start),
             stop=tuple(int(x) for x in stop),
             config=config,
+            temporal=temporal,
         )
         self._fh.write(payload)
         self._pos += len(payload)
@@ -385,6 +411,10 @@ class TiledWriter:
         if palette:
             body["configs"] = palette
             body["tile_configs"] = tile_configs
+        if self._version == VERSION_TEMPORAL:
+            body["tile_modes"] = [
+                1 if t.temporal else 0 for t in self._tiles
+            ]
         toc = json.dumps(body).encode()
         self._fh.write(toc)
         self._fh.write(len(toc).to_bytes(_TOC_LEN_BYTES, "little"))
@@ -486,14 +516,22 @@ class TiledReader:
             if len(tile_configs) != len(toc["tiles"]):
                 # zip() below would silently drop trailing tiles
                 raise ValueError("corrupt tile TOC")
+            tile_modes = toc.get("tile_modes")
+            if tile_modes is None:
+                tile_modes = [0] * len(toc["tiles"])
+            if len(tile_modes) != len(toc["tiles"]):
+                raise ValueError("corrupt tile TOC")
             self.tiles: list[TileRecord] = [
                 TileRecord.from_json(
                     record,
                     _entry_to_config(palette[index])
                     if index is not None
                     else None,
+                    temporal=bool(mode),
                 )
-                for record, index in zip(toc["tiles"], tile_configs)
+                for record, index, mode in zip(
+                    toc["tiles"], tile_configs, tile_modes
+                )
             ]
         except (
             UnicodeDecodeError,

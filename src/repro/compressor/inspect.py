@@ -25,9 +25,11 @@ def describe_container(
     """Describe a flat (v2/v3) or tiled (v4/v5) RQSZ container.
 
     Returns the parsed header plus ``section_bytes`` (flat) or
-    ``tile_map`` (tiled; tile extents, payload sizes, and — for v5 —
-    per-tile configs with an ``adaptive`` roll-up).  Raises
-    ``ValueError`` for anything that is not a well-formed container.
+    ``tile_map`` (tiled; tile extents, payload sizes, for v5 the
+    per-tile configs with an ``adaptive`` roll-up, and for v6 each
+    tile's temporal/spatial choice with a ``temporal`` roll-up).
+    Raises ``ValueError`` for anything that is not a well-formed
+    container.
     """
     if isinstance(source, (str, os.PathLike)):
         # tiled containers are described from header + TOC alone, so
@@ -78,6 +80,8 @@ def _describe_tiled(source: bytes | str | os.PathLike) -> dict:
             }
             if t.config is not None:
                 entry["config"] = t.config
+            if reader.version == container.VERSION_TEMPORAL:
+                entry["temporal"] = bool(t.temporal)
             tiles.append(entry)
         header["tile_map"] = {
             "n_tiles": len(reader.tiles),
@@ -101,5 +105,11 @@ def _describe_tiled(source: bytes | str | os.PathLike) -> dict:
                 "predictor_counts": counts,
                 "error_bound_min": min(bounds, default=None),
                 "error_bound_max": max(bounds, default=None),
+            }
+        if reader.version == container.VERSION_TEMPORAL:
+            n_temporal = sum(1 for t in reader.tiles if t.temporal)
+            header["tile_map"]["temporal"] = {
+                "temporal_tiles": n_temporal,
+                "spatial_tiles": len(reader.tiles) - n_temporal,
             }
     return header

@@ -493,6 +493,7 @@ class TiledCompressor:
         if flat is not None:
             return self._codec.decompress(flat, workers=workers)
         with TiledReader(source) as reader:
+            self._reject_temporal(reader)
             shape = tuple(reader.header["shape"])
             region = tuple(slice(0, n) for n in shape)
             return self._decode_tiles(reader, region, workers)
@@ -518,6 +519,7 @@ class TiledCompressor:
                 data[normalize_region(region, data.shape)]
             )
         with TiledReader(source) as reader:
+            self._reject_temporal(reader)
             shape = tuple(reader.header["shape"])
             return self._decode_tiles(
                 reader, normalize_region(region, shape), workers
@@ -592,6 +594,18 @@ class TiledCompressor:
 
         self._count_decoded(len(hits))
         return out
+
+    @staticmethod
+    def _reject_temporal(reader: TiledReader) -> None:
+        """Refuse v6 snapshots whose tiles need a decoded reference."""
+        if reader.version == container.VERSION_TEMPORAL and any(
+            record.temporal for record in reader.tiles
+        ):
+            raise ValueError(
+                "temporal (v6) snapshot needs its decoded reference "
+                "snapshot; use TemporalCompressor.decompress(source, "
+                "reference=...)"
+            )
 
     @staticmethod
     def _as_flat_blob(

@@ -26,6 +26,7 @@ from repro.compressor import (
     CompressionConfig,
     ErrorBoundMode,
     SZCompressor,
+    TemporalCompressor,
     TiledCompressor,
 )
 from repro.core.model import DEFAULT_SAMPLE_RATE, RatioQualityModel
@@ -58,6 +59,11 @@ class CodecFactory:
     fit_clusters: int | None = None
     #: path of a file-backed cross-snapshot plan cache (None disables)
     plan_cache: str | None = None
+    #: compress snapshot streams as temporal deltas (v6 container)
+    temporal: bool = False
+    #: every Nth snapshot of a chain is a keyframe, bounding the chain
+    #: depth random access has to decode
+    keyframe_interval: int = 4
 
     # -- codec construction ----------------------------------------------------
 
@@ -78,6 +84,7 @@ class CodecFactory:
             parallel_backend=self.parallel_backend,
             fit_clusters=self.fit_clusters,
             plan_cache=self.plan_cache,
+            temporal=self.temporal,
         )
         return replace(base, **overrides) if overrides else base
 
@@ -107,6 +114,19 @@ class CodecFactory:
             plan_cache=self.plan_cache,
         )
 
+    def temporal_compressor(self) -> TemporalCompressor:
+        """The snapshot-stream delta compressor (v6 container).
+
+        The factory's sampling settings drive the per-tile
+        temporal-vs-spatial rate-model comparison.
+        """
+        return TemporalCompressor(
+            workers=self.workers,
+            backend=self.parallel_backend,
+            sample_rate=self.sample_rate,
+            seed=self.seed,
+        )
+
     def array_store(self, root, cache=None) -> "ArrayStore":
         """An :class:`repro.service.store.ArrayStore` rooted at *root*.
 
@@ -122,6 +142,7 @@ class CodecFactory:
             workers=self.workers,
             factory=self,
             parallel_backend=self.parallel_backend,
+            keyframe_interval=self.keyframe_interval,
         )
 
     # -- model construction ----------------------------------------------------

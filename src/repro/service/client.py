@@ -127,29 +127,81 @@ class ArrayClient:
             content_type=NPY_CONTENT_TYPE,
         )
 
-    def stat(self, name: str) -> dict:
-        """Dataset metadata + full container description."""
+    def put_snapshot(
+        self,
+        name: str,
+        data: np.ndarray,
+        eb: float,
+        predictor: str = "lorenzo",
+        mode: str = "abs",
+        lossless: str = "zstd_like",
+        tile: Sequence[int] | None = None,
+        keyframe_interval: int | None = None,
+    ) -> dict:
+        """Append *data* as one version of *name*'s snapshot chain.
+
+        The first append creates the chain (version 0, a keyframe);
+        later appends become temporal deltas except every
+        ``keyframe_interval``-th version.  Returns the new snapshot's
+        manifest record (``version``, ``keyframe``, byte accounting,
+        temporal/spatial tile counts).
+        """
+        buf = io.BytesIO()
+        np.save(buf, np.ascontiguousarray(data), allow_pickle=False)
+        params = {
+            "eb": repr(float(eb)),
+            "predictor": predictor,
+            "mode": mode,
+            "lossless": lossless,
+            "snapshot": 1,
+        }
+        if tile is not None:
+            params["tile"] = ",".join(str(int(t)) for t in tile)
+        if keyframe_interval is not None:
+            params["keyframe_interval"] = int(keyframe_interval)
         return self._json(
-            "GET", f"/v1/datasets/{urllib.parse.quote(name)}"
+            "PUT",
+            f"/v1/datasets/{urllib.parse.quote(name)}",
+            params=params,
+            body=buf.getvalue(),
+            content_type=NPY_CONTENT_TYPE,
+        )
+
+    def stat(self, name: str, version: int | None = None) -> dict:
+        """Dataset metadata + full container description.
+
+        ``version`` picks one chain snapshot (default: the latest).
+        """
+        params = (
+            {"version": int(version)} if version is not None else None
+        )
+        return self._json(
+            "GET",
+            f"/v1/datasets/{urllib.parse.quote(name)}",
+            params=params,
         )
 
     def read_region(
         self,
         name: str,
         region: str | Sequence[slice | int] | slice | int,
+        version: int | None = None,
     ) -> np.ndarray:
         """Fetch a decoded hyperslab of dataset *name*.
 
-        Read accounting (tiles touched, cache hits/misses) lands in
+        ``version`` addresses one snapshot of the dataset's chain
+        (default: the latest).  Read accounting (tiles touched, cache
+        hits/misses, version, chain depth) lands in
         ``self.last_read_stats``.
         """
         slab = (
             region if isinstance(region, str) else format_region(region)
         )
+        params = {"slab": slab}
+        if version is not None:
+            params["version"] = int(version)
         path = f"/v1/datasets/{urllib.parse.quote(name)}/region"
-        with self._request(
-            "GET", path, params={"slab": slab}
-        ) as response:
+        with self._request("GET", path, params=params) as response:
             payload = response.read()
             self.last_read_stats = {
                 "tiles_touched": int(
@@ -160,6 +212,51 @@ class ArrayClient:
                 ),
                 "cache_misses": int(
                     response.headers.get("X-Cache-Misses", 0)
+                ),
+                "version": int(response.headers.get("X-Version", 0)),
+                "chain_depth": int(
+                    response.headers.get("X-Chain-Depth", 1)
+                ),
+            }
+        return np.load(io.BytesIO(payload), allow_pickle=False)
+
+    def read_range(
+        self,
+        name: str,
+        region: str | Sequence[slice | int] | slice | int,
+        start_version: int,
+        stop_version: int,
+    ) -> np.ndarray:
+        """Fetch a hyperslab across a version range, stacked on axis 0.
+
+        The result's leading axis runs over versions ``start..stop``
+        inclusive; aggregate accounting lands in
+        ``self.last_read_stats``.
+        """
+        slab = (
+            region if isinstance(region, str) else format_region(region)
+        )
+        path = f"/v1/datasets/{urllib.parse.quote(name)}/range"
+        params = {
+            "slab": slab,
+            "t0": int(start_version),
+            "t1": int(stop_version),
+        }
+        with self._request("GET", path, params=params) as response:
+            payload = response.read()
+            self.last_read_stats = {
+                "tiles_touched": int(
+                    response.headers.get("X-Tiles-Touched", 0)
+                ),
+                "cache_hits": int(
+                    response.headers.get("X-Cache-Hits", 0)
+                ),
+                "cache_misses": int(
+                    response.headers.get("X-Cache-Misses", 0)
+                ),
+                "versions": response.headers.get("X-Versions", ""),
+                "chain_depth": int(
+                    response.headers.get("X-Chain-Depth", 1)
                 ),
             }
         return np.load(io.BytesIO(payload), allow_pickle=False)

@@ -12,14 +12,24 @@ Endpoints (all under ``/v1``)::
     PUT    /v1/datasets/{name}?eb=...        compress .npy body into store
     GET    /v1/datasets/{name}               stat (manifest + container)
     GET    /v1/datasets/{name}/region?slab=  decode hyperslab -> .npy
+    GET    /v1/datasets/{name}/range?slab=&t0=&t1=
+                                             hyperslab over a version
+                                             range -> stacked .npy
     DELETE /v1/datasets/{name}               remove dataset
     GET    /v1/cache/stats                   decoded-tile cache counters
 
 ``PUT`` query parameters mirror the CLI compress flags: ``eb``
 (required), ``predictor``, ``mode``, ``lossless``, ``tile`` (e.g.
-``64,64``), ``adaptive`` (0/1) and ``overwrite`` (0/1).  The ``region``
-response carries the read's accounting in ``X-Tiles-Touched``,
-``X-Cache-Hits`` and ``X-Cache-Misses`` headers.
+``64,64``), ``adaptive`` (0/1) and ``overwrite`` (0/1); adding
+``snapshot=1`` appends the body as one version of the dataset's
+snapshot chain instead (``keyframe_interval`` optionally sets the
+chain's keyframe cadence on first append).  ``region`` accepts
+``version=N`` to address one chain snapshot (default: latest), and
+``stat`` accepts the same.  The ``region`` response carries the read's
+accounting in ``X-Tiles-Touched``, ``X-Cache-Hits`` and
+``X-Cache-Misses`` headers plus ``X-Version`` / ``X-Chain-Depth``;
+``range`` responses stack the versions along a new leading axis and
+aggregate the accounting across the range.
 
 Errors map to JSON bodies ``{"error": ...}``: 404 for unknown datasets
 or routes, 400 for malformed input, 409 for conflicts (dataset exists).
@@ -105,6 +115,18 @@ def _config_from_query(query: dict) -> tuple[CompressionConfig, bool]:
     except (TypeError, ValueError) as exc:
         raise _ServiceError(400, str(exc)) from None
     return config, _parse_bool(query, "overwrite")
+
+
+def _parse_int(query: dict, key: str) -> int | None:
+    if key not in query:
+        return None
+    raw = query[key][-1]
+    try:
+        return int(raw)
+    except ValueError:
+        raise _ServiceError(
+            400, f"invalid integer for {key!r}: {raw!r}"
+        ) from None
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -224,7 +246,11 @@ class _Handler(BaseHTTPRequestHandler):
         if len(parts) == 2 and parts[0] == "datasets":
             name = parts[1]
             if method == "GET":
-                self._send_json(self.store.stat(name))
+                self._send_json(
+                    self.store.stat(
+                        name, version=_parse_int(query, "version")
+                    )
+                )
                 return
             if method == "PUT":
                 self._handle_put(name, query)
@@ -241,6 +267,14 @@ class _Handler(BaseHTTPRequestHandler):
         ):
             self._handle_region(parts[1], query)
             return
+        if (
+            len(parts) == 3
+            and parts[0] == "datasets"
+            and parts[2] == "range"
+            and method == "GET"
+        ):
+            self._handle_range(parts[1], query)
+            return
         raise _ServiceError(
             404, f"no route for {method} /{'/'.join(parts)}"
         )
@@ -250,6 +284,20 @@ class _Handler(BaseHTTPRequestHandler):
     def _handle_put(self, name: str, query: dict) -> None:
         config, overwrite = _config_from_query(query)
         data = self._read_body_array()
+        if _parse_bool(query, "snapshot"):
+            try:
+                entry = self.store.put_snapshot(
+                    name,
+                    data,
+                    config,
+                    keyframe_interval=_parse_int(
+                        query, "keyframe_interval"
+                    ),
+                )
+            except ValueError as exc:
+                raise _ServiceError(400, str(exc)) from None
+            self._send_json(entry, status=201)
+            return
         try:
             entry = self.store.create(
                 name, data, config, overwrite=overwrite
@@ -265,13 +313,49 @@ class _Handler(BaseHTTPRequestHandler):
                 400, "missing required parameter 'slab'"
             )
         region = parse_region_text(query["slab"][-1])
-        result = self.store.read_region(name, region)
+        result = self.store.read_region(
+            name, region, version=_parse_int(query, "version")
+        )
         self._send_npy(
             result.data,
             extra_headers={
                 "X-Tiles-Touched": result.tiles_touched,
                 "X-Cache-Hits": result.cache_hits,
                 "X-Cache-Misses": result.cache_misses,
+                "X-Version": result.version,
+                "X-Chain-Depth": result.chain_depth,
+            },
+        )
+
+    def _handle_range(self, name: str, query: dict) -> None:
+        if "slab" not in query:
+            raise _ServiceError(
+                400, "missing required parameter 'slab'"
+            )
+        t0 = _parse_int(query, "t0")
+        t1 = _parse_int(query, "t1")
+        if t0 is None or t1 is None:
+            raise _ServiceError(
+                400, "missing required parameters 't0'/'t1'"
+            )
+        region = parse_region_text(query["slab"][-1])
+        results = self.store.read_range(name, region, t0, t1)
+        stacked = np.stack([r.data for r in results])
+        self._send_npy(
+            stacked,
+            extra_headers={
+                "X-Tiles-Touched": sum(
+                    r.tiles_touched for r in results
+                ),
+                "X-Cache-Hits": sum(r.cache_hits for r in results),
+                "X-Cache-Misses": sum(
+                    r.cache_misses for r in results
+                ),
+                "X-Versions": f"{results[0].version}:"
+                f"{results[-1].version}",
+                "X-Chain-Depth": max(
+                    r.chain_depth for r in results
+                ),
             },
         )
 

@@ -1,21 +1,33 @@
 """Multi-dataset store of tiled compressed arrays, with cached reads.
 
-:class:`ArrayStore` manages a directory of named datasets, each
-persisted as one tiled (v4) or adaptive (v5) RQSZ container produced by
-:class:`repro.compressor.tiled.TiledCompressor`.  A JSON manifest
+:class:`ArrayStore` manages a directory of named datasets.  A dataset
+is an **append-only snapshot chain**: version 0 comes from
+:meth:`create` (or the first :meth:`put_snapshot`) and every further
+:meth:`put_snapshot` appends one version.  Periodic versions are
+**keyframes** — standalone tiled (v4) or adaptive (v5) containers —
+and the versions in between are temporal **deltas** (v6 containers,
+:class:`repro.compressor.temporal.TemporalCompressor`) whose tiles
+encode residuals against the decoded previous version.  The keyframe
+cadence (``keyframe_interval``, default 4) bounds how many containers
+random access to any version has to decode.  A JSON manifest
 (``store.json``) records every dataset's shape, dtype, tile grid,
-compression settings and byte accounting, so a fresh process can serve
-an existing directory without touching the containers.
+compression settings, byte accounting and chain topology, so a fresh
+process can serve an existing directory without touching the
+containers.
 
 Reads go through :meth:`read_region`, which decodes **only** the tiles
 intersecting the requested hyperslab — and, for tiles already decoded
 by an earlier request, skips the codec entirely via the shared
 :class:`repro.service.cache.TileLRUCache` (one cache across all
-datasets; keys are ``(dataset, generation, tile offset)``, where the
-generation is bumped on every create/delete so a decode racing a
-delete or overwrite can never surface stale tiles under the new
-dataset).  Concurrent misses on the same tile are coalesced: one
-decode, many consumers.
+datasets; keys are ``(dataset, generation, version, tile offset)``,
+where the generation is bumped on every create/delete so a decode
+racing a delete or overwrite can never surface stale tiles under the
+new dataset, and the version component keeps a chain's snapshots from
+ever colliding on equal byte offsets).  A temporal tile's loader
+fetches the matching reference tile of the previous version *through
+the same cache*, so chain walks — and time-range reads over a chain —
+share every decoded reference tile.  Concurrent misses on the same
+tile are coalesced: one decode, many consumers.
 
 Everything is thread-safe: the manifest and reader table are guarded
 by an RLock, long-lived :class:`TiledReader` instances serialize their
@@ -31,13 +43,18 @@ import re
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Sequence
 
 import numpy as np
 
-from repro.compressor import CompressionConfig, SZCompressor, TiledCompressor
-from repro.compressor.container import TiledReader
+from repro.compressor import (
+    CompressionConfig,
+    SZCompressor,
+    TemporalCompressor,
+    TiledCompressor,
+)
+from repro.compressor.container import TiledReader, TileRecord
 from repro.compressor.executor import resolve_executor
 from repro.compressor.inspect import describe_container
 from repro.compressor.tiled import _decode_tile_task
@@ -61,16 +78,29 @@ class DatasetCorruptError(RuntimeError):
 
 MANIFEST_NAME = "store.json"
 _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$")
+#: default keyframe cadence of snapshot chains: random access to any
+#: version decodes at most this many containers
+DEFAULT_KEYFRAME_INTERVAL = 4
 
 
 @dataclass(frozen=True)
 class RegionResult:
-    """A decoded hyperslab plus the read's cache/decode accounting."""
+    """A decoded hyperslab plus the read's cache/decode accounting.
+
+    ``version`` is the snapshot the region came from and
+    ``chain_depth`` how many containers materializing it touches (1
+    for keyframes; bounded by the chain's keyframe interval).  The
+    hit/miss counters cover the requested snapshot's tiles only —
+    reference tiles fetched while reconstructing temporal tiles are
+    accounted to the cache, not to this read.
+    """
 
     data: np.ndarray
     tiles_touched: int
     cache_hits: int
     cache_misses: int
+    version: int = 0
+    chain_depth: int = 1
 
 
 class ArrayStore:
@@ -99,6 +129,10 @@ class ArrayStore:
         processes (decoded samples return through shared memory), so
         the serving threads — and the cache shard locks they take —
         are never held hostage by a slow pure-Python decode.
+    keyframe_interval:
+        Default keyframe cadence for snapshot chains appended with
+        :meth:`put_snapshot`: every Nth version is a standalone
+        keyframe, so random access decodes at most N containers.
     """
 
     def __init__(
@@ -109,13 +143,17 @@ class ArrayStore:
         factory=None,
         parallel_backend: str | None = None,
         plan_cache=None,
+        keyframe_interval: int = DEFAULT_KEYFRAME_INTERVAL,
     ) -> None:
+        if keyframe_interval < 1:
+            raise ValueError("keyframe_interval must be at least 1")
         self.root = str(root)
         os.makedirs(self.root, exist_ok=True)
         self.cache = cache or TileLRUCache()
         self._workers = workers
         self._factory = factory
         self._backend = parallel_backend
+        self._keyframe_interval = int(keyframe_interval)
         # PlannerCache instance or path: successive puts of the same
         # dataset name reuse the previous adaptive plan when tile stats
         # have not drifted.  A factory carries its own plan_cache
@@ -125,7 +163,10 @@ class ArrayStore:
         self._fanout_lock = threading.Lock()
         self._fanout: "ThreadPoolExecutor | None" = None
         self._lock = threading.RLock()
-        self._readers: dict[str, TiledReader] = {}
+        self._readers: dict[tuple[str, int], TiledReader] = {}
+        # per-(name, version) map of tile start -> TileRecord, for the
+        # chain walk's reference-tile lookups (chains share a tile grid)
+        self._tile_index: dict[tuple[str, int], dict] = {}
         self._manifest: dict = {"datasets": {}}
         path = self._manifest_path()
         if os.path.exists(path):
@@ -150,6 +191,18 @@ class ArrayStore:
 
     def _container_path(self, name: str) -> str:
         return os.path.join(self.root, f"{name}.rqsz")
+
+    def _snapshot_file(self, name: str, version: int) -> str:
+        """Basename of one chain version's container.
+
+        Version 0 keeps the historical ``{name}.rqsz`` so stores
+        written before snapshot chains stay readable; later versions
+        use ``@v{n}`` (``@`` cannot appear in dataset names, so the
+        suffix never collides with another dataset).
+        """
+        if version == 0:
+            return f"{name}.rqsz"
+        return f"{name}@v{version}.rqsz"
 
     def _persist(self) -> None:
         """Atomically rewrite the manifest (caller holds the lock)."""
@@ -223,6 +276,7 @@ class ArrayStore:
                 self.delete(name)
             os.replace(tmp, path)
             generation = self._bump_generation(name)
+            created = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime())
             entry = {
                 "generation": generation,
                 "file": os.path.basename(path),
@@ -233,9 +287,7 @@ class ArrayStore:
                 "raw_bytes": int(result.original_bytes),
                 "compressed_bytes": int(result.compressed_bytes),
                 "ratio": round(result.ratio, 6),
-                "created": time.strftime(
-                    "%Y-%m-%dT%H:%M:%S", time.gmtime()
-                ),
+                "created": created,
                 "config": {
                     "predictor": config.predictor,
                     "mode": config.mode.value,
@@ -243,6 +295,23 @@ class ArrayStore:
                     "lossless": config.lossless,
                     "adaptive": bool(config.adaptive),
                 },
+                "keyframe_interval": self._keyframe_interval,
+                "latest_version": 0,
+                "snapshots": [
+                    {
+                        "version": 0,
+                        "file": os.path.basename(path),
+                        "keyframe": True,
+                        "ref_version": None,
+                        "raw_bytes": int(result.original_bytes),
+                        "compressed_bytes": int(
+                            result.compressed_bytes
+                        ),
+                        "temporal_tiles": 0,
+                        "spatial_tiles": result.n_tiles,
+                        "created": created,
+                    }
+                ],
             }
             self._manifest["datasets"][name] = entry
             self._persist()
@@ -260,22 +329,223 @@ class ArrayStore:
         generations[name] = int(generations.get(name, 0)) + 1
         return generations[name]
 
+    # -- snapshot chains -------------------------------------------------------
+
+    @staticmethod
+    def _snapshots(entry: dict) -> list[dict]:
+        """Chain topology of *entry* (legacy entries = one keyframe)."""
+        snapshots = entry.get("snapshots")
+        if snapshots:
+            return snapshots
+        return [
+            {
+                "version": 0,
+                "file": entry["file"],
+                "keyframe": True,
+                "ref_version": None,
+            }
+        ]
+
+    @staticmethod
+    def _resolve_version(entry: dict, version: int | None) -> int:
+        latest = int(entry.get("latest_version", 0))
+        if version is None:
+            return latest
+        version = int(version)
+        if not 0 <= version <= latest:
+            raise KeyError(
+                f"no snapshot version {version} "
+                f"(chain has versions 0..{latest})"
+            )
+        return version
+
+    @staticmethod
+    def _chain_depth(snapshots: list[dict], version: int) -> int:
+        """Containers a cold decode of *version* touches (>= 1)."""
+        depth = 0
+        for snap in reversed(snapshots[: version + 1]):
+            depth += 1
+            if snap.get("keyframe", True):
+                break
+        return depth
+
+    def put_snapshot(
+        self,
+        name: str,
+        data: np.ndarray,
+        config: CompressionConfig,
+        keyframe_interval: int | None = None,
+    ) -> dict:
+        """Append one snapshot version to dataset *name*'s chain.
+
+        A missing dataset is created (version 0, always a keyframe).
+        Every ``keyframe_interval``-th version is a standalone
+        keyframe; the versions in between are temporal deltas encoded
+        against the *decoded* previous version (fetched through the
+        tile cache), with the per-tile temporal/spatial choice driven
+        by the rate-quality model.  Appends never rewrite or invalidate
+        existing versions, so concurrent reads of the chain — at any
+        version — race-freely overlap a put.
+
+        The chain's shape, dtype and tile grid are fixed by version 0;
+        mismatching snapshots are rejected.  Returns the snapshot's
+        manifest record (plus ``name`` and ``version``).
+        """
+        self._check_name(name)
+        data = np.asarray(data)
+        with self._lock:
+            exists = name in self._manifest["datasets"]
+            if not exists:
+                interval = int(
+                    keyframe_interval or self._keyframe_interval
+                )
+                if interval < 1:
+                    raise ValueError(
+                        "keyframe_interval must be at least 1"
+                    )
+            else:
+                entry = self._entry(name)
+                interval = int(
+                    keyframe_interval
+                    or entry.get(
+                        "keyframe_interval", self._keyframe_interval
+                    )
+                )
+                if list(data.shape) != list(entry["shape"]):
+                    raise ValueError(
+                        f"snapshot shape {tuple(data.shape)} does not "
+                        f"match chain shape {tuple(entry['shape'])}"
+                    )
+                if data.dtype.str != entry["dtype"]:
+                    raise ValueError(
+                        f"snapshot dtype {data.dtype.str!r} does not "
+                        f"match chain dtype {entry['dtype']!r}"
+                    )
+                version = int(entry.get("latest_version", 0)) + 1
+                # the chain's tile grid is fixed at version 0 so every
+                # version's tiles line up for reference reuse
+                tile_shape = tuple(
+                    int(t) for t in entry["tile_shape"]
+                )
+        if not exists:
+            info = self.create(
+                name,
+                data,
+                replace(config, temporal=False),
+            )
+            with self._lock:
+                entry = self._entry(name)
+                entry["keyframe_interval"] = interval
+                self._persist()
+            return dict(
+                self._snapshots(entry)[0], name=name, version=0
+            )
+
+        keyframe = version % interval == 0
+        snapshot_config = replace(
+            config,
+            temporal=not keyframe,
+            tile_shape=tile_shape,
+            # deltas encode per tile under a resolved absolute bound;
+            # adaptive planning only applies to keyframes
+            adaptive=config.adaptive and keyframe,
+        )
+        # encode outside the lock (reads stay live); the reference is
+        # the decoded previous version, through the shared tile cache
+        path = os.path.join(
+            self.root, self._snapshot_file(name, version)
+        )
+        tmp = f"{path}.tmp-{threading.get_ident()}"
+        compressor = (
+            self._factory.temporal_compressor()
+            if self._factory is not None
+            else TemporalCompressor(
+                workers=self._workers, backend=self._backend
+            )
+        )
+        reference = None
+        if not keyframe:
+            reference = self.read_full(name, version=version - 1)
+        try:
+            result = compressor.compress_snapshot(
+                data,
+                snapshot_config,
+                reference=reference,
+                ref_id=f"{name}@v{version - 1}" if not keyframe else None,
+                snapshot_index=version,
+                out=tmp,
+            )
+        except BaseException:
+            if os.path.exists(tmp):
+                os.remove(tmp)
+            raise
+        with self._lock:
+            entry = self._entry(name)
+            if int(entry.get("latest_version", 0)) != version - 1:
+                os.remove(tmp)
+                raise ValueError(
+                    f"concurrent append to dataset {name!r} "
+                    f"(expected latest version {version - 1})"
+                )
+            os.replace(tmp, path)
+            stats = result.stats
+            record = {
+                "version": version,
+                "file": os.path.basename(path),
+                "keyframe": bool(result.keyframe),
+                "ref_version": None if result.keyframe else version - 1,
+                "raw_bytes": int(result.original_bytes),
+                "compressed_bytes": int(result.compressed_bytes),
+                "temporal_tiles": (
+                    stats.temporal_tiles if stats is not None else 0
+                ),
+                "spatial_tiles": (
+                    stats.spatial_tiles
+                    if stats is not None
+                    else result.n_tiles
+                ),
+                "created": time.strftime(
+                    "%Y-%m-%dT%H:%M:%S", time.gmtime()
+                ),
+            }
+            snapshots = entry.setdefault(
+                "snapshots", self._snapshots(entry)
+            )
+            snapshots.append(record)
+            entry["latest_version"] = version
+            entry["keyframe_interval"] = interval
+            entry["total_compressed_bytes"] = sum(
+                int(s.get("compressed_bytes", 0)) for s in snapshots
+            )
+            self._persist()
+            return dict(record, name=name)
+
+    def versions(self, name: str) -> list[dict]:
+        """Chain topology of dataset *name*, oldest first."""
+        with self._lock:
+            return [
+                dict(snap) for snap in self._snapshots(self._entry(name))
+            ]
+
     def delete(self, name: str) -> None:
-        """Remove a dataset: container file, manifest entry, cache."""
+        """Remove a dataset: every chain file, manifest entry, cache."""
         with self._lock:
             entry = self._entry(name)
             # pop but do NOT close: an in-flight read_region may still
-            # hold this reader; it finishes against the old (unlinked
-            # or replaced) file and the handle closes when the last
+            # hold these readers; they finish against the old (unlinked
+            # or replaced) files and the handles close when the last
             # reference drops.  Closing here would turn a benign
             # read-vs-delete race into a spurious corruption error.
-            self._readers.pop(name, None)
+            for key in [k for k in self._readers if k[0] == name]:
+                self._readers.pop(key, None)
+                self._tile_index.pop(key, None)
             del self._manifest["datasets"][name]
             self._bump_generation(name)
             self._persist()
-            path = os.path.join(self.root, entry["file"])
-            if os.path.exists(path):
-                os.remove(path)
+            for snap in self._snapshots(entry):
+                path = os.path.join(self.root, snap["file"])
+                if os.path.exists(path):
+                    os.remove(path)
         self.cache.invalidate_where(lambda key: key[0] == name)
 
     # -- metadata --------------------------------------------------------------
@@ -301,16 +571,21 @@ class ArrayStore:
         with self._lock:
             return [self.info(name) for name in self.names()]
 
-    def stat(self, name: str) -> dict:
-        """Manifest metadata plus the container's full description.
+    def stat(self, name: str, version: int | None = None) -> dict:
+        """Manifest metadata plus one container's full description.
 
         The container part is exactly ``repro inspect --json`` output
         (:func:`repro.compressor.inspect.describe_container`), so CLI
-        and HTTP tooling see one schema.
+        and HTTP tooling see one schema.  ``version`` picks a chain
+        snapshot (default: the latest).
         """
         with self._lock:
             entry = self.info(name)
-            path = os.path.join(self.root, entry["file"])
+            resolved = self._resolve_version(entry, version)
+            snapshots = self._snapshots(entry)
+            path = os.path.join(
+                self.root, snapshots[resolved]["file"]
+            )
         try:
             entry["container"] = describe_container(path)
         except (ValueError, OSError) as exc:
@@ -318,28 +593,59 @@ class ArrayStore:
                 f"stored container for dataset {name!r} is "
                 f"unreadable: {exc}"
             ) from exc
+        entry["version"] = resolved
+        entry["chain_depth"] = self._chain_depth(snapshots, resolved)
         return entry
 
     # -- reading ---------------------------------------------------------------
 
-    def _reader(self, name: str) -> tuple[TiledReader, int]:
-        """The long-lived reader and cache generation for *name*."""
+    def _reader(
+        self, name: str, version: int | None = None
+    ) -> tuple[TiledReader, int, int, int]:
+        """Long-lived reader for one chain version.
+
+        Returns ``(reader, generation, resolved version, chain
+        depth)``; readers are cached per ``(name, version)``.
+        """
         with self._lock:
             entry = self._entry(name)
             generation = int(entry.get("generation", 0))
-            reader = self._readers.get(name)
+            resolved = self._resolve_version(entry, version)
+            snapshots = self._snapshots(entry)
+            depth = self._chain_depth(snapshots, resolved)
+            key = (name, resolved)
+            reader = self._readers.get(key)
             if reader is None:
                 try:
                     reader = TiledReader(
-                        os.path.join(self.root, entry["file"])
+                        os.path.join(
+                            self.root, snapshots[resolved]["file"]
+                        )
                     )
                 except (ValueError, OSError) as exc:
                     raise DatasetCorruptError(
-                        f"stored container for dataset {name!r} is "
-                        f"unreadable: {exc}"
+                        f"stored container for dataset {name!r} "
+                        f"version {resolved} is unreadable: {exc}"
                     ) from exc
-                self._readers[name] = reader
-            return reader, generation
+                self._readers[key] = reader
+            return reader, generation, resolved, depth
+
+    def _tile_at(self, name: str, version: int, start: tuple) -> "TileRecord":
+        """The tile record of *version* whose extent begins at *start*."""
+        key = (name, version)
+        with self._lock:
+            index = self._tile_index.get(key)
+            if index is None:
+                reader, _, _, _ = self._reader(name, version)
+                index = {rec.start: rec for rec in reader.tiles}
+                self._tile_index[key] = index
+        try:
+            return index[tuple(start)]
+        except KeyError:
+            raise DatasetCorruptError(
+                f"dataset {name!r} version {version} has no tile at "
+                f"{tuple(start)}: chain tile grids are misaligned"
+            ) from None
 
     def _decode_tile_blob(
         self, executor, blob: bytes, shape: tuple[int, ...], dtype
@@ -378,21 +684,71 @@ class ArrayStore:
                 )
             return self._fanout
 
+    def _fetch_tile(
+        self,
+        name: str,
+        generation: int,
+        version: int,
+        rec: TileRecord,
+        executor,
+        dtype: np.dtype,
+    ) -> tuple[np.ndarray, bool]:
+        """One decoded tile of one chain version, through the cache.
+
+        Temporal tiles recursively fetch the matching reference tile of
+        the previous version — also through the cache, so a chain walk
+        decodes each ancestor tile at most once and time-range reads
+        share every reference.  The recursion happens inside the
+        cache's loader, which runs with the shard lock *released*, so
+        nested fetches cannot deadlock; depth is bounded by the chain's
+        keyframe interval.
+        """
+
+        def load() -> np.ndarray:
+            reader, _, _, _ = self._reader(name, version)
+            try:
+                tile = self._decode_tile_blob(
+                    executor, reader.read_tile(rec), rec.shape, dtype
+                )
+            except (ValueError, OSError) as exc:
+                raise DatasetCorruptError(
+                    f"tile at offset {rec.offset} of dataset "
+                    f"{name!r} version {version} failed to decode: "
+                    f"{exc}"
+                ) from exc
+            if rec.temporal:
+                parent = self._tile_at(name, version - 1, rec.start)
+                ref_tile, _ = self._fetch_tile(
+                    name, generation, version - 1, parent, executor, dtype
+                )
+                tile = TemporalCompressor.combine(tile, ref_tile)
+            return tile
+
+        return self.cache.get_or_load(
+            (name, generation, version, rec.offset), load
+        )
+
     def read_region(
         self,
         name: str,
         region: Sequence[slice | int] | slice | int,
+        version: int | None = None,
     ) -> RegionResult:
         """Decode the hyperslab *region* of dataset *name*.
 
+        ``version`` picks a chain snapshot (default: the latest).
         Only intersecting tiles are touched; each comes from the
         decoded-tile cache when possible (concurrent cold misses on one
-        tile are coalesced into a single decode).  With ``workers`` > 1
+        tile are coalesced into a single decode), and temporal tiles
+        pull their reference tiles through the same cache, decoding at
+        most ``chain_depth`` containers per tile.  With ``workers`` > 1
         the misses of one request are fetched concurrently — decodes
         run on the configured executor backend — so a single slow tile
         never serializes the rest of the request.
         """
-        reader, generation = self._reader(name)
+        reader, generation, resolved, depth = self._reader(
+            name, version
+        )
         shape = tuple(reader.header["shape"])
         dtype = np.dtype(reader.header["dtype"])
         slices = normalize_region(region, shape)
@@ -401,21 +757,9 @@ class ArrayStore:
         )
         executor = resolve_executor(self._backend, self._workers)
 
-        def load_tile(rec) -> np.ndarray:
-            try:
-                return self._decode_tile_blob(
-                    executor, reader.read_tile(rec), rec.shape, dtype
-                )
-            except (ValueError, OSError) as exc:
-                raise DatasetCorruptError(
-                    f"tile at offset {rec.offset} of dataset "
-                    f"{name!r} failed to decode: {exc}"
-                ) from exc
-
         def fetch(rec) -> tuple[np.ndarray, bool]:
-            return self.cache.get_or_load(
-                (name, generation, rec.offset),
-                lambda: load_tile(rec),
+            return self._fetch_tile(
+                name, generation, resolved, rec, executor, dtype
             )
 
         needed = [
@@ -446,14 +790,45 @@ class ArrayStore:
             tiles_touched=len(needed),
             cache_hits=hits,
             cache_misses=misses,
+            version=resolved,
+            chain_depth=depth,
         )
 
-    def read_full(self, name: str) -> np.ndarray:
-        """Decode a whole dataset (through the tile cache)."""
-        reader, _ = self._reader(name)
+    def read_range(
+        self,
+        name: str,
+        region: Sequence[slice | int] | slice | int,
+        start_version: int,
+        stop_version: int,
+    ) -> list[RegionResult]:
+        """Decode *region* for every version in ``[start, stop]``.
+
+        Versions are read in increasing order, so each delta's
+        reference tiles are warm in the cache by the time the next
+        version needs them — the whole range decodes every chain tile
+        at most once.
+        """
+        with self._lock:
+            entry = self._entry(name)
+            lo = self._resolve_version(entry, start_version)
+            hi = self._resolve_version(entry, stop_version)
+        if lo > hi:
+            raise ValueError(
+                f"empty version range {start_version}..{stop_version}"
+            )
+        return [
+            self.read_region(name, region, version=v)
+            for v in range(lo, hi + 1)
+        ]
+
+    def read_full(
+        self, name: str, version: int | None = None
+    ) -> np.ndarray:
+        """Decode a whole snapshot (through the tile cache)."""
+        reader, _, resolved, _ = self._reader(name, version)
         shape = tuple(reader.header["shape"])
         return self.read_region(
-            name, tuple(slice(0, n) for n in shape)
+            name, tuple(slice(0, n) for n in shape), version=resolved
         ).data
 
     def close(self) -> None:
@@ -466,6 +841,7 @@ class ArrayStore:
             for reader in self._readers.values():
                 reader.close()
             self._readers.clear()
+            self._tile_index.clear()
 
     def __enter__(self) -> "ArrayStore":
         return self

@@ -11,6 +11,14 @@ Two flavours of fine-grained error-bound tuning:
 * :class:`SnapshotPipeline` — a stream of snapshots, each compressed as
   it is produced: fit the model on the snapshot, derive the bound for
   the target PSNR, compress (Fig. 13, vs. the offline worst-case bound).
+
+The pipeline compresses through whatever codec its
+:class:`~repro.factory.CodecFactory` describes: the flat pipeline by
+default, the tiled/adaptive compressor when the factory carries a
+``tile_shape``, and the temporal snapshot-stream delta mode (v6) when
+the factory sets ``temporal`` — keyframes at the factory's
+``keyframe_interval``, every other snapshot encoded against the decoded
+previous one.
 """
 
 from __future__ import annotations
@@ -133,10 +141,22 @@ class SnapshotRecord:
     ratio: float
     psnr: float
     times: StageTimes = field(default_factory=StageTimes)
+    #: False for temporal-delta snapshots (v6); True otherwise
+    keyframe: bool = True
+    #: per-tile choice counts of temporal-delta snapshots
+    temporal_tiles: int = 0
+    spatial_tiles: int = 0
 
 
 class SnapshotPipeline:
-    """Streaming in-situ optimization: one decision per snapshot."""
+    """Streaming in-situ optimization: one decision per snapshot.
+
+    The factory picks the codec path: flat (default), tiled/adaptive
+    (``tile_shape`` set), or temporal snapshot-stream deltas
+    (``temporal`` set — each non-keyframe snapshot encodes against the
+    *decoded* previous snapshot, exactly what a chained in-situ dump
+    replays).
+    """
 
     def __init__(
         self,
@@ -154,11 +174,25 @@ class SnapshotPipeline:
         self.sample_rate = self.factory.sample_rate
         self.seed = self.factory.seed
         self._sz = self.factory.compressor()
+        self._tiled = (
+            self.factory.tiled_compressor()
+            if self.factory.tile_shape is not None
+            and not self.factory.temporal
+            else None
+        )
+        self._temporal = (
+            self.factory.temporal_compressor()
+            if self.factory.temporal
+            else None
+        )
+        #: decoded previous snapshot — the temporal reference
+        self._last_recon: np.ndarray | None = None
         self.records: list[SnapshotRecord] = []
 
     def process(self, snapshot: np.ndarray) -> SnapshotRecord:
         """Fit, pick the bound for the PSNR target, compress, measure."""
         snapshot = np.asarray(snapshot)
+        index = len(self.records)
         times = StageTimes()
         with Timer() as t:
             model = self.factory.fit_model(snapshot)
@@ -166,20 +200,61 @@ class SnapshotPipeline:
         times.add("optimize", t.elapsed)
 
         config = self.factory.config(eb)
-        result = self._sz.compress(snapshot, config)
-        times.merge(result.times)
-        with Timer() as t:
-            recon = self._sz.decompress(result.blob)
-            quality = psnr(snapshot, recon)
-        times.add("verify", t.elapsed)
+        keyframe = True
+        temporal_tiles = spatial_tiles = 0
+        if self._temporal is not None:
+            interval = max(1, self.factory.keyframe_interval)
+            reference = (
+                self._last_recon if index % interval != 0 else None
+            )
+            result = self._temporal.compress_snapshot(
+                snapshot,
+                config,
+                reference=reference,
+                ref_id=f"snapshot-{index - 1}"
+                if reference is not None
+                else None,
+                snapshot_index=index,
+            )
+            times.merge(result.times)
+            with Timer() as t:
+                recon = self._temporal.decompress(
+                    result.blob, reference=reference
+                )
+                quality = psnr(snapshot, recon)
+            times.add("verify", t.elapsed)
+            keyframe = result.keyframe
+            if result.stats is not None:
+                temporal_tiles = result.stats.temporal_tiles
+                spatial_tiles = result.stats.spatial_tiles
+        elif self._tiled is not None:
+            result = self._tiled.compress(
+                snapshot, config, dataset="insitu-stream"
+            )
+            times.merge(result.times)
+            with Timer() as t:
+                recon = self._tiled.decompress(result.blob)
+                quality = psnr(snapshot, recon)
+            times.add("verify", t.elapsed)
+        else:
+            result = self._sz.compress(snapshot, config)
+            times.merge(result.times)
+            with Timer() as t:
+                recon = self._sz.decompress(result.blob)
+                quality = psnr(snapshot, recon)
+            times.add("verify", t.elapsed)
+        self._last_recon = recon
 
         record = SnapshotRecord(
-            index=len(self.records),
+            index=index,
             error_bound=float(eb),
             bit_rate=result.bit_rate,
             ratio=result.ratio,
             psnr=quality,
             times=times,
+            keyframe=keyframe,
+            temporal_tiles=temporal_tiles,
+            spatial_tiles=spatial_tiles,
         )
         self.records.append(record)
         return record

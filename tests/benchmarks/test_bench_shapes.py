@@ -32,6 +32,13 @@ def v5_adaptive():
     return bench_throughput._measure_adaptive()
 
 
+@pytest.fixture(scope="module")
+def snapshot_stream(tmp_path_factory):
+    return bench_throughput._measure_snapshot_stream(
+        tmp_path_factory.mktemp("stream")
+    )
+
+
 PLANNER_COUNTER_KEYS = {
     "tiles_planned",
     "tiles_modeled",
@@ -106,3 +113,59 @@ def test_v5_adaptive_counters(v5_adaptive):
     assert 0 < stats["fits_performed"] <= stats["tiles_planned"]
     assert v5_adaptive["plan_cache_speedup"] >= 1.0
     assert v5_adaptive["equal_psnr_gain"] > 1.0
+
+
+def test_snapshot_stream_shape(snapshot_stream):
+    assert set(snapshot_stream) == {
+        "field",
+        "trad",
+        "stream",
+        "delta_vs_scratch",
+        "chain",
+        "backends_byte_identical",
+    }
+    assert set(snapshot_stream["field"]) == {
+        "shape",
+        "tile_shape",
+        "snapshots",
+        "steps_between",
+        "target_psnr",
+        "keyframe_interval",
+    }
+    assert set(snapshot_stream["trad"]) == {
+        "error_bound",
+        "bytes",
+        "worst_psnr",
+    }
+    assert set(snapshot_stream["stream"]) == {
+        "bytes",
+        "worst_psnr",
+        "error_bounds",
+        "keyframes",
+        "temporal_tiles",
+        "spatial_tiles",
+    }
+    assert set(snapshot_stream["chain"]) == {
+        "depths",
+        "max_chain_depth",
+        "cold_read_ms",
+        "warm_read_ms",
+        "cold_keyframe_ms",
+    }
+    json.loads(json.dumps(snapshot_stream, allow_nan=False))
+
+
+def test_snapshot_stream_counters(snapshot_stream):
+    stream = snapshot_stream["stream"]
+    chain = snapshot_stream["chain"]
+    n = snapshot_stream["field"]["snapshots"]
+    interval = snapshot_stream["field"]["keyframe_interval"]
+    assert len(stream["error_bounds"]) == n
+    assert len(chain["depths"]) == n
+    # the chain walks keyframe -> delta -> ... within each group
+    assert chain["depths"] == [v % interval + 1 for v in range(n)]
+    assert chain["max_chain_depth"] <= interval
+    assert stream["keyframes"] == -(-n // interval)
+    assert stream["temporal_tiles"] + stream["spatial_tiles"] > 0
+    assert snapshot_stream["delta_vs_scratch"] > 0
+    assert snapshot_stream["backends_byte_identical"] is True

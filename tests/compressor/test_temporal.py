@@ -1,0 +1,281 @@
+"""Unit tests for the temporal snapshot-stream compressor (v6)."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.compressor import (
+    CompressionConfig,
+    ErrorBoundMode,
+    TemporalCompressor,
+    TiledCompressor,
+)
+from repro.compressor.container import TiledReader
+from repro.compressor.inspect import describe_container
+from tests.conftest import assert_error_bounded, smooth_field
+
+EB = 1e-3
+
+
+def chain(n=4, shape=(40, 40), seed=5, drift=0.02):
+    """A deterministic stream of smoothly drifting snapshots."""
+    snaps = [smooth_field(shape, seed=seed).astype(np.float64)]
+    for i in range(1, n):
+        bump = smooth_field(shape, seed=seed + i, noise=0.0)
+        snaps.append(snaps[-1] + drift * bump.astype(np.float64))
+    return snaps
+
+
+def config(**overrides):
+    base = dict(error_bound=EB, tile_shape=(16, 16))
+    base.update(overrides)
+    return CompressionConfig(**base)
+
+
+def test_keyframe_is_plain_tiled_container():
+    tc = TemporalCompressor()
+    result = tc.compress_snapshot(chain(1)[0], config())
+    assert result.keyframe
+    assert result.blob[4] == 4
+    assert result.stats is None
+    # standalone decode, also through the plain tiled front-end
+    np.testing.assert_array_equal(
+        tc.decompress(result.blob),
+        TiledCompressor().decompress(result.blob),
+    )
+
+
+def test_delta_roundtrip_holds_bound_on_every_snapshot():
+    snaps = chain(4)
+    tc = TemporalCompressor()
+    reference = None
+    for i, snap in enumerate(snaps):
+        result = tc.compress_snapshot(
+            snap,
+            config(),
+            reference=reference,
+            ref_id=f"s{i - 1}" if reference is not None else None,
+            snapshot_index=i,
+        )
+        recon = tc.decompress(result.blob, reference=reference)
+        assert_error_bounded(snap, recon, EB)
+        assert result.keyframe == (i == 0)
+        reference = recon
+
+
+def test_delta_container_is_v6_with_stats_and_modes():
+    snaps = chain(2)
+    tc = TemporalCompressor()
+    ref = tc.decompress(tc.compress_snapshot(snaps[0], config()).blob)
+    result = tc.compress_snapshot(
+        snaps[1], config(), reference=ref, ref_id="v0", snapshot_index=1
+    )
+    assert not result.keyframe
+    assert result.blob[4] == 6
+    stats = result.stats
+    assert stats.tiles == result.n_tiles == 9
+    assert stats.temporal_tiles + stats.spatial_tiles == stats.tiles
+    assert stats.temporal_tiles > 0  # drifting field: deltas win
+    with TiledReader(result.blob) as reader:
+        assert reader.header["temporal"] is True
+        assert reader.header["ref_snapshot"] == "v0"
+        assert reader.header["snapshot_index"] == 1
+        assert reader.header["temporal_stats"] == stats.to_json()
+        modes = [record.temporal for record in reader.tiles]
+        assert sum(modes) == stats.temporal_tiles
+
+
+def test_region_decode_matches_full_decode():
+    snaps = chain(2)
+    tc = TemporalCompressor()
+    ref = tc.decompress(tc.compress_snapshot(snaps[0], config()).blob)
+    result = tc.compress_snapshot(snaps[1], config(), reference=ref)
+    full = tc.decompress(result.blob, reference=ref)
+    region = (slice(7, 31), slice(10, 38))
+    roi = tc.decompress_region(result.blob, region, reference=ref)
+    np.testing.assert_array_equal(roi, full[region])
+
+
+def test_rel_bound_resolves_against_current_snapshot():
+    snaps = chain(2, drift=0.05)
+    tc = TemporalCompressor()
+    cfg = config(error_bound=1e-4, mode=ErrorBoundMode.REL)
+    ref = tc.decompress(tc.compress_snapshot(snaps[0], cfg).blob)
+    result = tc.compress_snapshot(snaps[1], cfg, reference=ref)
+    recon = tc.decompress(result.blob, reference=ref)
+    abs_eb = 1e-4 * float(np.ptp(snaps[1]))
+    assert_error_bounded(snaps[1], recon, abs_eb)
+    with TiledReader(result.blob) as reader:
+        assert reader.header["abs_eb"] == pytest.approx(abs_eb)
+
+
+def test_pw_rel_is_rejected():
+    tc = TemporalCompressor()
+    with pytest.raises(ValueError, match="ABS and REL"):
+        tc.compress_snapshot(
+            chain(1)[0], config(mode=ErrorBoundMode.PW_REL)
+        )
+
+
+def test_mismatched_reference_shape_is_rejected():
+    tc = TemporalCompressor()
+    snap = chain(1)[0]
+    with pytest.raises(ValueError, match="reference shape"):
+        tc.compress_snapshot(snap, config(), reference=snap[:-1])
+
+
+def test_decode_without_reference_is_rejected():
+    snaps = chain(2)
+    tc = TemporalCompressor()
+    ref = tc.decompress(tc.compress_snapshot(snaps[0], config()).blob)
+    result = tc.compress_snapshot(snaps[1], config(), reference=ref)
+    with pytest.raises(ValueError, match="reference"):
+        tc.decompress(result.blob)
+    with pytest.raises(ValueError, match="reference shape"):
+        tc.decompress(result.blob, reference=ref[:-1])
+
+
+def test_tiled_front_end_refuses_v6():
+    snaps = chain(2)
+    tc = TemporalCompressor()
+    ref = tc.decompress(tc.compress_snapshot(snaps[0], config()).blob)
+    result = tc.compress_snapshot(snaps[1], config(), reference=ref)
+    tiled = TiledCompressor()
+    with pytest.raises(ValueError, match="TemporalCompressor"):
+        tiled.decompress(result.blob)
+    with pytest.raises(ValueError, match="TemporalCompressor"):
+        tiled.decompress_region(result.blob, (slice(0, 4), slice(0, 4)))
+
+
+def test_identical_snapshot_yields_trivial_tiles():
+    snap = chain(1)[0]
+    tc = TemporalCompressor()
+    ref = tc.decompress(tc.compress_snapshot(snap, config()).blob)
+    result = tc.compress_snapshot(snap, config(), reference=ref)
+    assert result.stats.trivial_tiles == result.stats.tiles
+    assert result.stats.temporal_tiles == result.stats.tiles
+    recon = tc.decompress(result.blob, reference=ref)
+    assert_error_bounded(snap, recon, EB)
+    # trivial residuals make the delta cheaper than a fresh keyframe
+    keyframe_bytes = tc.compress_snapshot(snap, config()).compressed_bytes
+    assert result.compressed_bytes < keyframe_bytes
+
+
+def test_integer_snapshots_fall_back_to_spatial():
+    rng = np.random.default_rng(9)
+    snap0 = rng.integers(-1000, 1000, size=(32, 32), dtype=np.int32)
+    snap1 = snap0 + rng.integers(-3, 4, size=(32, 32), dtype=np.int32)
+    tc = TemporalCompressor()
+    ref = tc.decompress(tc.compress_snapshot(snap0, config()).blob)
+    result = tc.compress_snapshot(snap1, config(), reference=ref)
+    assert result.stats.spatial_tiles == result.stats.tiles
+    assert result.stats.temporal_tiles == 0
+    recon = tc.decompress(result.blob, reference=ref)
+    assert_error_bounded(snap1, recon, EB)
+
+
+def test_uncorrelated_tiles_choose_spatial():
+    snaps = chain(2)
+    snap1 = snaps[1].copy()
+    # replace one tile with an uncorrelated field: the temporal
+    # residual there is more complex than the tile itself
+    snap1[:16, :16] = 10.0 * smooth_field(
+        (16, 16), seed=321, noise=0.5
+    ).astype(np.float64)
+    tc = TemporalCompressor()
+    ref = tc.decompress(tc.compress_snapshot(snaps[0], config()).blob)
+    result = tc.compress_snapshot(snap1, config(), reference=ref)
+    assert result.stats.spatial_tiles >= 1
+    assert result.stats.temporal_tiles >= 1
+    recon = tc.decompress(result.blob, reference=ref)
+    assert_error_bounded(snap1, recon, EB)
+
+
+def test_tiny_tiles_use_measured_decisions():
+    snaps = chain(2, shape=(12, 12))
+    tc = TemporalCompressor()
+    cfg = config(tile_shape=(4, 4), error_bound=1e-6)
+    ref = tc.decompress(tc.compress_snapshot(snaps[0], cfg).blob)
+    result = tc.compress_snapshot(snaps[1], cfg, reference=ref)
+    assert result.stats.model_decisions == 0
+    assert (
+        result.stats.measured_decisions + result.stats.trivial_tiles
+        == result.stats.tiles
+    )
+    recon = tc.decompress(result.blob, reference=ref)
+    assert_error_bounded(snaps[1], recon, 1e-6)
+
+
+def test_empty_reference_falls_back_to_keyframe():
+    tc = TemporalCompressor()
+    empty = np.zeros((0, 8))
+    result = tc.compress_snapshot(empty, config(), reference=empty)
+    assert result.keyframe
+
+
+def test_file_sink_roundtrip(tmp_path):
+    snaps = chain(2)
+    tc = TemporalCompressor()
+    ref = tc.decompress(tc.compress_snapshot(snaps[0], config()).blob)
+    path = tmp_path / "delta.rqsz"
+    result = tc.compress_snapshot(
+        snaps[1], config(), reference=ref, out=str(path)
+    )
+    assert result.blob is None
+    assert path.stat().st_size == result.compressed_bytes
+    recon = tc.decompress(str(path), reference=ref)
+    np.testing.assert_array_equal(
+        recon,
+        tc.decompress(
+            io.BytesIO(path.read_bytes()).getvalue(), reference=ref
+        ),
+    )
+    assert_error_bounded(snaps[1], recon, EB)
+
+
+def test_inspect_reports_temporal_rollup():
+    snaps = chain(2)
+    tc = TemporalCompressor()
+    ref = tc.decompress(tc.compress_snapshot(snaps[0], config()).blob)
+    result = tc.compress_snapshot(
+        snaps[1], config(), reference=ref, ref_id="v0"
+    )
+    info = describe_container(result.blob)
+    assert info["temporal"] is True
+    assert info["ref_snapshot"] == "v0"
+    rollup = info["tile_map"]["temporal"]
+    assert rollup["temporal_tiles"] == result.stats.temporal_tiles
+    assert rollup["spatial_tiles"] == result.stats.spatial_tiles
+    assert info["temporal_stats"] == result.stats.to_json()
+    assert all("temporal" in t for t in info["tile_map"]["tiles"])
+
+
+def test_temporal_config_validation():
+    with pytest.raises(ValueError, match="ABS and REL"):
+        CompressionConfig(temporal=True, mode=ErrorBoundMode.PW_REL)
+    with pytest.raises(ValueError, match="mutually exclusive"):
+        CompressionConfig(
+            temporal=True, adaptive=True, tile_shape=(8, 8)
+        )
+
+
+def test_scratch_vs_delta_byte_advantage():
+    """Correlated streams: deltas beat from-scratch re-encoding."""
+    snaps = chain(6, shape=(48, 48), drift=0.01)
+    tc = TemporalCompressor()
+    cfg = config(tile_shape=(24, 24))
+    scratch = sum(
+        tc.compress_snapshot(s, cfg).compressed_bytes for s in snaps
+    )
+    total = 0
+    reference = None
+    for i, snap in enumerate(snaps):
+        result = tc.compress_snapshot(
+            snap, cfg, reference=reference, snapshot_index=i
+        )
+        total += result.compressed_bytes
+        reference = tc.decompress(result.blob, reference=reference)
+    assert total < scratch

@@ -1,4 +1,4 @@
-"""Regenerate the tiled (v4) and adaptive (v5) golden fixtures.
+"""Regenerate the tiled (v4), adaptive (v5) and temporal (v6) fixtures.
 
 Run from the repo root::
 
@@ -29,7 +29,11 @@ import numpy as np
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", ".."))
 
-from repro.compressor import CompressionConfig, TiledCompressor  # noqa: E402
+from repro.compressor import (  # noqa: E402
+    CompressionConfig,
+    TemporalCompressor,
+    TiledCompressor,
+)
 from repro.datasets.generators import (  # noqa: E402
     gaussian_random_field,
     lognormal_field,
@@ -100,6 +104,31 @@ def main() -> None:
     )
     result = tc.compress(field, config)
     write("pr8_v5_clustered", result.blob, tc.decompress(result.blob))
+
+    # v6: temporal delta against the decoded keyframe.  The next
+    # snapshot drifts smoothly except one corner that is replaced with
+    # an uncorrelated field, so the pinned tile_modes TOC mixes
+    # temporal and spatial choices.
+    kf = smooth_field((40, 40), seed=2024).astype(np.float64)
+    nxt = kf + 0.02 * smooth_field((40, 40), seed=2025, noise=0.0).astype(
+        np.float64
+    )
+    nxt[:16, :16] = lognormal_field(
+        (16, 16), slope=2.0, seed=77, contrast=2.5
+    ).astype(np.float64)
+    config = CompressionConfig(error_bound=1e-3, tile_shape=(16, 16))
+    temporal = TemporalCompressor()
+    keyframe = temporal.compress_snapshot(kf, config)
+    ref = temporal.decompress(keyframe.blob)
+    np.save(os.path.join(DATA_DIR, "pr9_v6_temporal_ref.npy"), ref)
+    delta = temporal.compress_snapshot(
+        nxt, config, reference=ref, ref_id="pr9@v0", snapshot_index=1
+    )
+    write(
+        "pr9_v6_temporal",
+        delta.blob,
+        temporal.decompress(delta.blob, reference=ref),
+    )
 
 
 if __name__ == "__main__":

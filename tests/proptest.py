@@ -15,7 +15,12 @@ the invariants every case must satisfy:
 * the flat and tiled front-ends decode the same blob identically;
 * a tiled container's full decode, full-region decode and random
   subregion decodes agree with each other, and region decodes touch
-  only the intersecting tiles.
+  only the intersecting tiles;
+* temporal cases replay the case as a short snapshot chain: the bound
+  holds on *every* snapshot (keyframe or delta), full decode and
+  region decode of a v6 container are byte-identical, keyframes decode
+  standalone while deltas demand their reference, and the keyframe
+  cadence bounds the number of containers any version needs.
 
 Failures re-raise with the seed and the full case description, so
 
@@ -36,6 +41,7 @@ from repro.compressor import (
     ErrorBoundMode,
     PlannerCache,
     SZCompressor,
+    TemporalCompressor,
     TiledCompressor,
 )
 from repro.compressor.tiled import intersect_extent, normalize_region
@@ -75,7 +81,7 @@ class Case:
             f"eb={cfg.error_bound:.4g} predictor={cfg.predictor} "
             f"lossless={cfg.lossless} chunk={cfg.chunk_size} "
             f"tile={cfg.tile_shape} adaptive={cfg.adaptive} "
-            f"fit_clusters={cfg.fit_clusters} "
+            f"fit_clusters={cfg.fit_clusters} temporal={cfg.temporal} "
             f"workers={self.workers} psnr_target={self.psnr_target}"
         )
 
@@ -181,6 +187,16 @@ def draw_case(seed: int) -> Case:
     ):
         psnr_target = float(rng.uniform(45.0, 75.0))
 
+    # drawn last so every earlier draw matches pre-temporal seeds
+    temporal = (
+        mode is not ErrorBoundMode.PW_REL
+        and not adaptive
+        and len(shape) >= 1
+        and data.size > 0
+        and np.issubdtype(data.dtype, np.floating)
+        and rng.random() < 0.15
+    )
+
     config = CompressionConfig(
         predictor=predictor,
         mode=mode,
@@ -190,6 +206,7 @@ def draw_case(seed: int) -> Case:
         tile_shape=tile_shape,
         adaptive=adaptive,
         fit_clusters=fit_clusters,
+        temporal=temporal,
     )
     workers = int(rng.choice([1, 1, 3]))
     return Case(
@@ -341,6 +358,80 @@ def _check_cached_plan(
     np.testing.assert_array_equal(tc.decompress(second.blob), recon)
 
 
+def _check_temporal(case: Case) -> None:
+    """Replay the case as a 3-snapshot chain through the v6 codec.
+
+    Keyframe cadence 2, so the chain is KF, delta, KF: every version
+    must honour the bound against its *own* snapshot, v6 full and
+    region decodes must agree byte-for-byte, keyframes must decode
+    standalone, and a delta must refuse to decode without the decoded
+    reference its header names.
+    """
+    data, config = case.data, case.config
+    rng = np.random.default_rng(case.seed + 2)
+    scale = float(np.max(np.abs(data))) if data.size else 1.0
+    scale = scale if scale > 0 else 1.0
+    snaps = [data]
+    for _ in range(2):
+        drift = 0.03 * scale * rng.standard_normal(data.shape)
+        snaps.append((snaps[-1] + drift).astype(data.dtype))
+
+    interval = 2
+    tc = TemporalCompressor(workers=case.workers)
+    previous = None
+    for index, snap in enumerate(snaps):
+        keyframe = index % interval == 0
+        result = tc.compress_snapshot(
+            snap,
+            config,
+            reference=None if keyframe else previous,
+            ref_id=None if keyframe else f"v{index - 1}",
+            snapshot_index=index,
+        )
+        if keyframe:
+            # the cadence bounds chain depth: keyframes decode
+            # standalone, so no version walks past its keyframe
+            assert result.keyframe
+            assert result.blob[4] != 6
+        reference = None if result.keyframe else previous
+        recon = tc.decompress(result.blob, reference=reference)
+        assert recon.shape == snap.shape and recon.dtype == snap.dtype
+        _assert_bound(snap, recon, config, config.error_bound)
+
+        full_region = tuple(slice(0, n) for n in snap.shape)
+        np.testing.assert_array_equal(
+            tc.decompress_region(
+                result.blob, full_region, reference=reference
+            ),
+            recon,
+        )
+        region = tuple(
+            slice(lo, int(rng.integers(lo, n + 1)))
+            for n, lo in (
+                (n, int(rng.integers(0, n))) for n in snap.shape
+            )
+        )
+        np.testing.assert_array_equal(
+            tc.decompress_region(
+                result.blob, region, reference=reference
+            ),
+            recon[region],
+        )
+        if not result.keyframe and any(
+            record.temporal for record in result.tiles
+        ):
+            assert result.blob[4] == 6
+            try:
+                tc.decompress(result.blob)
+            except ValueError:
+                pass
+            else:
+                raise AssertionError(
+                    "delta decoded without its reference"
+                )
+        previous = recon
+
+
 def check_case(case: Case) -> None:
     """Assert every round-trip invariant of *case*."""
     data, config = case.data, case.config
@@ -355,7 +446,9 @@ def check_case(case: Case) -> None:
         error_bound = model.error_bound_for_psnr(case.psnr_target)
         config = replace(config, error_bound=error_bound)
 
-    flat_config = replace(config, tile_shape=None, adaptive=False)
+    flat_config = replace(
+        config, tile_shape=None, adaptive=False, temporal=False
+    )
     sz = SZCompressor(workers=case.workers)
     result = sz.compress(data, flat_config)
     recon = sz.decompress(result.blob)
@@ -377,7 +470,13 @@ def check_case(case: Case) -> None:
     )
 
     if config.tile_shape is not None and data.ndim >= 1:
-        _check_tiled(replace(case, config=config), recon)
+        _check_tiled(
+            replace(case, config=replace(config, temporal=False)),
+            recon,
+        )
+
+    if config.temporal:
+        _check_temporal(replace(case, config=config))
 
 
 def run_seed(seed: int) -> None:

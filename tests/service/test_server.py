@@ -105,6 +105,83 @@ class TestEndpoints:
         assert "adaptive" in stat["container"]["tile_map"]
 
 
+def _snaps(field, n, drift=0.01):
+    snaps = [np.asarray(field, dtype=np.float64)]
+    for i in range(1, n):
+        bump = smooth_field(field.shape, seed=200 + i, noise=0.0)
+        snaps.append(snaps[-1] + drift * bump.astype(np.float64))
+    return snaps
+
+
+class TestSnapshotChains:
+    def test_put_snapshot_chain_and_versioned_reads(
+        self, served, field
+    ):
+        client, _ = served
+        snaps = _snaps(field, 5)
+        for i, snap in enumerate(snaps):
+            record = client.put_snapshot(
+                "wave", snap, eb=EB, tile=(16, 16), keyframe_interval=4
+            )
+            assert record["version"] == i
+            assert record["keyframe"] == (i % 4 == 0)
+        for v, snap in enumerate(snaps):
+            roi = client.read_region("wave", ":,:", version=v)
+            assert_error_bounded(snap, roi, EB)
+            assert client.last_read_stats["version"] == v
+            assert client.last_read_stats["chain_depth"] == v % 4 + 1
+
+    def test_stat_versioned(self, served, field):
+        client, _ = served
+        snaps = _snaps(field, 2)
+        for snap in snaps:
+            client.put_snapshot("wave", snap, eb=EB, tile=(16, 16))
+        stat = client.stat("wave")  # latest = the delta
+        assert stat["version"] == 1
+        assert stat["chain_depth"] == 2
+        assert stat["container"]["temporal"] is True
+        assert "temporal" in stat["container"]["tile_map"]
+        kf = client.stat("wave", version=0)
+        assert kf["version"] == 0
+        assert kf["container"]["container_version"] == 4
+
+    def test_read_range_stacks_versions(self, served, field):
+        client, _ = served
+        snaps = _snaps(field, 4)
+        for snap in snaps:
+            client.put_snapshot("wave", snap, eb=EB, tile=(16, 16))
+        stack = client.read_range("wave", "0:16,0:16", 0, 3)
+        assert stack.shape == (4, 16, 16)
+        for snap, plane in zip(snaps, stack):
+            assert_error_bounded(snap[0:16, 0:16], plane, EB)
+        assert client.last_read_stats["versions"] == "0:3"
+        assert client.last_read_stats["chain_depth"] >= 1
+        assert client.last_read_stats["tiles_touched"] == 4
+
+    def test_unknown_version_404(self, served, field):
+        client, _ = served
+        client.put_snapshot("wave", field, eb=EB, tile=(16, 16))
+        with pytest.raises(ServiceError) as err:
+            client.read_region("wave", ":", version=7)
+        assert err.value.status == 404
+        with pytest.raises(ServiceError) as err:
+            client.read_range("wave", ":", 0, 7)
+        assert err.value.status == 404
+
+    def test_bad_range_params_400(self, served, field):
+        client, _ = served
+        snaps = _snaps(field, 2)
+        for snap in snaps:
+            client.put_snapshot("wave", snap, eb=EB, tile=(16, 16))
+        with pytest.raises(ServiceError) as err:
+            client.read_range("wave", ":", 1, 0)
+        assert err.value.status == 400
+        with pytest.raises(ServiceError) as err:
+            client._json("GET", "/v1/datasets/wave/range",
+                         params={"slab": ":", "t0": "x", "t1": "1"})
+        assert err.value.status == 400
+
+
 class TestErrors:
     def test_unknown_dataset_404(self, served):
         client, _ = served

@@ -190,7 +190,7 @@ class TestOverwriteRaces:
         """A tile decoded against generation N must never be served
         for the generation-N+1 dataset at the same byte offset."""
         store.create("press", field, _config())
-        reader, gen_before = store._reader("press")
+        reader, gen_before, _, _ = store._reader("press")
         record = reader.tiles[0]
         stale_tile = np.full(record.shape, 1234.5, dtype=field.dtype)
 
@@ -198,7 +198,7 @@ class TestOverwriteRaces:
         # *after* the overwrite and inserts under the old generation
         store.create("press", field + 9.0, _config(), overwrite=True)
         store.cache.put(
-            ("press", gen_before, record.offset), stale_tile
+            ("press", gen_before, 0, record.offset), stale_tile
         )
 
         result = store.read_region(
@@ -218,10 +218,10 @@ class TestOverwriteRaces:
         self, store, field
     ):
         store.create("press", field, _config())
-        _, g1 = store._reader("press")
+        _, g1, _, _ = store._reader("press")
         store.delete("press")
         store.create("press", field, _config())
-        _, g2 = store._reader("press")
+        _, g2, _, _ = store._reader("press")
         assert g2 > g1
 
 
@@ -254,7 +254,7 @@ class TestCorruptContainers:
         from repro.compressor import SZCompressor
 
         store.create("press", field, _config())
-        reader, _ = store._reader("press")
+        reader, _, _, _ = store._reader("press")
         record = reader.tiles[0]
         expected = SZCompressor().decompress(reader.read_tile(record))
         store.delete("press")
@@ -280,3 +280,245 @@ class TestSharedCache:
         back = store.read_full("rel")
         rng = float(field.max() - field.min())
         assert_error_bounded(field, back, 1e-3 * rng)
+
+
+def _drifting_snaps(field, n, drift=0.01):
+    snaps = [np.asarray(field, dtype=np.float64)]
+    for i in range(1, n):
+        bump = smooth_field(field.shape, seed=100 + i, noise=0.0)
+        snaps.append(snaps[-1] + drift * bump.astype(np.float64))
+    return snaps
+
+
+class TestSnapshotChains:
+    def test_chain_append_and_versioned_reads(self, store, field):
+        snaps = _drifting_snaps(field, 6)
+        for snap in snaps:
+            store.put_snapshot(
+                "wave", snap, _config(), keyframe_interval=4
+            )
+        chain = store.versions("wave")
+        assert [s["version"] for s in chain] == list(range(6))
+        assert [s["keyframe"] for s in chain] == [
+            True, False, False, False, True, False,
+        ]
+        for v, snap in enumerate(snaps):
+            back = store.read_full("wave", version=v)
+            assert_error_bounded(snap, back, EB)
+
+    def test_first_put_creates_keyframe_chain(self, store, field):
+        record = store.put_snapshot("wave", field, _config())
+        assert record["version"] == 0
+        assert record["keyframe"] is True
+        assert store.info("wave")["latest_version"] == 0
+
+    def test_deltas_record_temporal_tiles(self, store, field):
+        snaps = _drifting_snaps(field, 2)
+        store.put_snapshot("wave", snaps[0], _config())
+        record = store.put_snapshot("wave", snaps[1], _config())
+        assert record["keyframe"] is False
+        assert record["ref_version"] == 0
+        assert record["temporal_tiles"] > 0
+        assert (
+            record["temporal_tiles"] + record["spatial_tiles"] == 9
+        )
+
+    def test_chain_depth_bounded_by_keyframe_interval(
+        self, store, field
+    ):
+        snaps = _drifting_snaps(field, 7)
+        for snap in snaps:
+            store.put_snapshot(
+                "wave", snap, _config(), keyframe_interval=3
+            )
+        for v in range(7):
+            depth = store.stat("wave", version=v)["chain_depth"]
+            assert depth == v % 3 + 1
+            assert depth <= 3
+
+    def test_region_read_of_delta_version(self, store, field):
+        snaps = _drifting_snaps(field, 3)
+        for snap in snaps:
+            store.put_snapshot("wave", snap, _config())
+        region = (slice(4, 28), slice(10, 40))
+        result = store.read_region("wave", region, version=2)
+        assert result.version == 2
+        assert result.chain_depth == 3
+        full = store.read_full("wave", version=2)
+        np.testing.assert_array_equal(result.data, full[region])
+
+    def test_read_range_stacks_versions_and_shares_tiles(
+        self, store, field
+    ):
+        snaps = _drifting_snaps(field, 4)
+        for snap in snaps:
+            store.put_snapshot("wave", snap, _config())
+        region = (slice(0, 16), slice(0, 16))
+        results = store.read_range("wave", region, 0, 3)
+        assert [r.version for r in results] == [0, 1, 2, 3]
+        for snap, result in zip(snaps, results):
+            assert_error_bounded(snap[region], result.data, EB)
+        # ascending walk: each chain tile decoded at most once, so a
+        # re-read of the range is all hits
+        warm = store.read_range("wave", region, 0, 3)
+        assert all(r.cache_misses == 0 for r in warm)
+
+    def test_shape_and_dtype_mismatch_rejected(self, store, field):
+        store.put_snapshot("wave", field, _config())
+        with pytest.raises(ValueError, match="shape"):
+            store.put_snapshot("wave", field[:-1], _config())
+        with pytest.raises(ValueError, match="dtype"):
+            store.put_snapshot(
+                "wave", field.astype(np.float64), _config()
+            )
+
+    def test_unknown_version_rejected(self, store, field):
+        snaps = _drifting_snaps(field, 2)
+        for snap in snaps:
+            store.put_snapshot("wave", snap, _config())
+        with pytest.raises(KeyError, match="no snapshot version"):
+            store.read_full("wave", version=3)
+        with pytest.raises(KeyError, match="no snapshot version"):
+            store.read_range("wave", (slice(0, 8), slice(0, 8)), 0, -1)
+        with pytest.raises(ValueError, match="empty version range"):
+            store.read_range("wave", (slice(0, 8), slice(0, 8)), 1, 0)
+
+    def test_delete_removes_every_chain_file(self, store, field):
+        snaps = _drifting_snaps(field, 3)
+        for snap in snaps:
+            store.put_snapshot("wave", snap, _config())
+        files = [
+            os.path.join(store.root, s["file"])
+            for s in store.versions("wave")
+        ]
+        assert all(os.path.exists(f) for f in files)
+        store.delete("wave")
+        assert not any(os.path.exists(f) for f in files)
+        assert not any(
+            key[0] == "wave" for key in store.cache.keys()
+        )
+
+    def test_chain_persists_across_instances(self, tmp_path, field):
+        snaps = _drifting_snaps(field, 3)
+        root = tmp_path / "store"
+        with ArrayStore(root) as first:
+            for snap in snaps:
+                first.put_snapshot("wave", snap, _config())
+        with ArrayStore(root) as second:
+            for v, snap in enumerate(snaps):
+                assert_error_bounded(
+                    snap, second.read_full("wave", version=v), EB
+                )
+
+    def test_total_compressed_bytes_accumulates(self, store, field):
+        snaps = _drifting_snaps(field, 3)
+        for snap in snaps:
+            store.put_snapshot("wave", snap, _config())
+        entry = store.info("wave")
+        assert entry["total_compressed_bytes"] == sum(
+            s["compressed_bytes"] for s in store.versions("wave")
+        )
+
+    def test_legacy_created_dataset_accepts_appends(self, store, field):
+        """create() then put_snapshot() continues the chain at v1."""
+        field = np.asarray(field, dtype=np.float64)
+        store.create("press", field, _config())
+        snaps = _drifting_snaps(field, 2)
+        record = store.put_snapshot("press", snaps[1], _config())
+        assert record["version"] == 1
+        assert record["keyframe"] is False
+        assert_error_bounded(
+            snaps[1], store.read_full("press", version=1), EB
+        )
+        # version 0 still reads as before
+        assert_error_bounded(field, store.read_full("press", version=0), EB)
+
+
+class TestSnapshotAppendRaces:
+    def test_read_racing_put_snapshot_serves_consistent_version(
+        self, store, field
+    ):
+        """A read that resolved version N before an append finishes
+        must keep serving version N's bytes: appends never bump the
+        generation or invalidate existing cache entries."""
+        snaps = _drifting_snaps(field, 2)
+        store.put_snapshot("wave", snaps[0], _config())
+
+        # the read starts: resolves the latest version (0) and decodes
+        reader, generation, resolved, _ = store._reader("wave")
+        assert resolved == 0
+        before = store.read_region(
+            "wave", (slice(0, 16), slice(0, 16)), version=resolved
+        )
+
+        # an append lands mid-read
+        store.put_snapshot("wave", snaps[1], _config())
+
+        # the in-flight read's version is untouched: same generation,
+        # same cache entries, byte-identical data
+        _, gen_after, _, _ = store._reader("wave", version=0)
+        assert gen_after == generation
+        after = store.read_region(
+            "wave", (slice(0, 16), slice(0, 16)), version=0
+        )
+        assert after.cache_hits == after.tiles_touched
+        assert after.data.tobytes() == before.data.tobytes()
+
+        # and the new version is distinct in the cache: reading it
+        # misses (fresh decode) rather than reusing version 0's tiles
+        fresh = store.read_region(
+            "wave", (slice(0, 16), slice(0, 16)), version=1
+        )
+        assert fresh.cache_misses > 0
+        assert_error_bounded(
+            snaps[1][(slice(0, 16), slice(0, 16))], fresh.data, EB
+        )
+
+    def test_cache_keys_distinguish_versions_at_equal_offsets(
+        self, store, field
+    ):
+        """Chain versions share byte offsets; only the version
+        component keeps their cache entries apart."""
+        snaps = _drifting_snaps(field, 5, drift=0.05)
+        for snap in snaps:
+            store.put_snapshot(
+                "wave", snap, _config(), keyframe_interval=4
+            )
+        # versions 0 and 4 are both keyframes with identical layouts
+        r0, _, _, _ = store._reader("wave", version=0)
+        r4, _, _, _ = store._reader("wave", version=4)
+        assert r0.tiles[0].offset == r4.tiles[0].offset
+        a = store.read_full("wave", version=0)
+        b = store.read_full("wave", version=4)
+        assert not np.array_equal(a, b)
+        assert_error_bounded(snaps[0], a, EB)
+        assert_error_bounded(snaps[4], b, EB)
+
+    def test_concurrent_append_conflict_detected(
+        self, store, field, monkeypatch
+    ):
+        """Two writers resolve the same next version; the loser's
+        commit is rejected instead of silently clobbering the chain."""
+        snaps = _drifting_snaps(field, 3)
+        store.put_snapshot("wave", snaps[0], _config())
+        original = ArrayStore.read_full
+        fired = []
+
+        def sneaky(self_, name, version=None):
+            if not fired:
+                fired.append(True)
+                # a competing writer lands its append in the window
+                # between this writer's version resolution (inside
+                # the lock) and its commit (encode runs unlocked)
+                store.put_snapshot("wave", snaps[1], _config())
+            return original(self_, name, version=version)
+
+        monkeypatch.setattr(ArrayStore, "read_full", sneaky)
+        with pytest.raises(ValueError, match="concurrent append"):
+            store.put_snapshot("wave", snaps[2], _config())
+        monkeypatch.setattr(ArrayStore, "read_full", original)
+        # the winner's append is intact and every version still decodes
+        assert store.info("wave")["latest_version"] == 1
+        assert_error_bounded(
+            snaps[1], store.read_full("wave", version=1), EB
+        )

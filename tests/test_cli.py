@@ -377,6 +377,70 @@ class TestRemoteCommands:
         with pytest.raises(SystemExit, match="cannot reach server"):
             main(["remote-stat", "http://127.0.0.1:1", "x"])
 
+    def test_remote_snapshot_chain_and_versioned_read(
+        self, served, tmp_path, capsys
+    ):
+        base = smooth_field((20, 24), seed=3).astype(np.float64)
+        paths = []
+        for i in range(3):
+            path = tmp_path / f"snap{i}.npy"
+            np.save(path, base + 0.01 * i)
+            paths.append(str(path))
+        for i, path in enumerate(paths):
+            assert (
+                main(["remote-put", served, "wave", path,
+                      "--eb", "0.001", "--tile", "10,12",
+                      "--snapshot", "--keyframe-interval", "4"])
+                == 0
+            )
+            out = capsys.readouterr().out
+            assert f"v{i}" in out
+            assert ("keyframe" in out) == (i == 0)
+        out_path = str(tmp_path / "v1.npy")
+        assert (
+            main(["remote-read", served, "wave", out_path,
+                  "--version", "1"])
+            == 0
+        )
+        assert "v1" in capsys.readouterr().out
+        roi = np.load(out_path)
+        expected = np.load(paths[1])
+        assert np.max(np.abs(roi - expected)) <= 0.001 * (1 + 1e-5)
+
+    def test_remote_time_range_read(self, served, tmp_path, capsys):
+        base = smooth_field((20, 24), seed=3).astype(np.float64)
+        for i in range(3):
+            path = tmp_path / f"snap{i}.npy"
+            np.save(path, base + 0.01 * i)
+            main(["remote-put", served, "wave", str(path),
+                  "--eb", "0.001", "--tile", "10,12", "--snapshot"])
+        capsys.readouterr()
+        out_path = str(tmp_path / "series.npy")
+        assert (
+            main(["remote-read", served, "wave", out_path,
+                  "--region", "0:10,0:12", "--time-range", "0:2"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "versions 0:2" in out
+        assert "chain depth" in out
+        series = np.load(out_path)
+        assert series.shape == (3, 10, 12)
+
+    def test_remote_snapshot_flag_validation(
+        self, served, field_file, tmp_path
+    ):
+        with pytest.raises(SystemExit, match="requires --snapshot"):
+            main(["remote-put", served, "wave", field_file,
+                  "--eb", "0.001", "--keyframe-interval", "4"])
+        with pytest.raises(SystemExit, match="drop --adaptive"):
+            main(["remote-put", served, "wave", field_file,
+                  "--eb", "0.001", "--tile", "10,12",
+                  "--snapshot", "--adaptive"])
+        with pytest.raises(SystemExit, match="invalid time range"):
+            main(["remote-read", served, "wave",
+                  str(tmp_path / "o.npy"), "--time-range", "zz"])
+
 
 class TestDatasetsAndGenerate:
     def test_datasets_listing(self, capsys):
