@@ -58,6 +58,19 @@ interval.  Chain decodes are asserted byte-identical across the
 serial / thread / process executor backends.  The CI
 ``snapshot-stream`` job runs exactly this mode.
 
+The **chaos** mode exercises the fault-tolerance subsystem end to end:
+a deterministic :class:`FaultInjector` (seeded, so every run injects
+the same schedule) drops, truncates or delays ~35% of HTTP responses
+while a :class:`RetryPolicy`-armed client replays the serving
+workload.  Recorded: availability (fraction of requests that
+ultimately succeeded), mean attempts per served request, total backoff
+time, and the container checksum overhead.  The acceptance criteria
+are the detected-or-correct guarantee — **zero** responses whose bytes
+differ from ground truth — availability >= 90% despite the fault
+storm, and checksum overhead <= 1% of container bytes.  The CI
+``chaos-smoke`` job runs exactly this mode plus the fault-injection
+test suite.
+
 The **planner_perf** mode exercises the vectorized planner's fit-reuse
 machinery on a population-structured snapshot (distinct quiet / mild /
 turbulent / oscillatory regions — the regime tile clustering is built
@@ -822,6 +835,184 @@ def _measure_serving(tmp_path) -> dict:
         "qps": round(qps, 1),
         "cache": stats.to_json(),
     }
+
+
+# -- chaos workload ------------------------------------------------------------
+
+CHAOS_SEED = 42
+CHAOS_FAILURE_RATE = 0.35
+CHAOS_REQUESTS = 60
+#: acceptance: fraction of requests that must ultimately succeed
+CHAOS_MIN_AVAILABILITY = 0.9
+#: acceptance: integrity bytes per container payload byte
+CHAOS_MAX_CHECKSUM_OVERHEAD = 0.01
+
+
+def _checksum_overhead(data: np.ndarray, config) -> float:
+    """Fractional container growth from the integrity checksums."""
+    import io
+
+    from repro.compressor.container import TiledReader, TiledWriter
+
+    blob = TiledCompressor().compress(data, config).blob
+    reader = TiledReader(blob)
+    assert reader.checksum_state == "verified"
+    plain = io.BytesIO()
+    with TiledWriter(
+        plain,
+        {
+            k: v
+            for k, v in reader.header.items()
+            if k not in ("checksums", "container_version")
+        },
+        version=reader.version,
+        checksums=False,
+    ) as writer:
+        for t in reader.tiles:
+            writer.add_tile(
+                t.start, t.stop, reader.read_tile(t), config=t.config
+            )
+    without = len(plain.getvalue())
+    return (len(blob) - without) / without
+
+
+def _measure_chaos(tmp_path) -> dict:
+    """Availability + retry overhead under an injected fault storm.
+
+    The serving workload replayed against a server whose responses are
+    dropped / truncated / delayed at ``CHAOS_FAILURE_RATE`` by a
+    seeded :class:`FaultInjector`; the client retries with capped
+    exponential backoff.  Every response the client accepts is
+    compared byte-for-byte against ground truth read straight from the
+    store — the recorded ``wrong_bytes_responses`` must be zero.
+    """
+    from repro.compressor.tiled_geometry import parse_region_text
+    from repro.service import (
+        ArrayClient,
+        ArrayServer,
+        ArrayStore,
+        TileLRUCache,
+    )
+    from repro.service.client import RetryPolicy
+    from repro.service.faults import FaultInjector
+
+    field = _serve_field()
+    config = CompressionConfig(
+        error_bound=SERVE_EB, tile_shape=SERVE_TILE
+    )
+    store = ArrayStore(
+        str(tmp_path / "chaos_store"),
+        cache=TileLRUCache(byte_budget=64 << 20),
+    )
+    injector = FaultInjector(
+        seed=CHAOS_SEED,
+        http_failure_rate=CHAOS_FAILURE_RATE,
+        delay_seconds=0.002,
+    )
+    server = ArrayServer(store, faults=injector)
+    server.serve_in_background()
+    try:
+        # setup bypasses HTTP: the injector is armed from the start
+        store.create("halo", field, config)
+        slabs = _serve_slabs()
+        truths = {
+            slab: store.read_region(
+                "halo", parse_region_text(slab)
+            ).data
+            for slab in slabs
+        }
+        client = ArrayClient(
+            server.url,
+            retry=RetryPolicy(
+                max_attempts=8,
+                base_delay=0.003,
+                max_delay=0.05,
+                seed=1,
+            ),
+        )
+        served = failed = wrong = attempts = 0
+        backoff_s = 0.0
+        start = time.perf_counter()
+        for i in range(CHAOS_REQUESTS):
+            slab = slabs[i % len(slabs)]
+            try:
+                roi = client.read_region("halo", slab)
+            except Exception:
+                failed += 1
+                continue
+            served += 1
+            attempts += client.last_retry_stats["attempts"]
+            backoff_s += client.last_retry_stats["slept"]
+            if not np.array_equal(roi, truths[slab]):
+                wrong += 1
+        elapsed = time.perf_counter() - start
+        injected = injector.fired("http")
+    finally:
+        server.shutdown()
+        server.server_close()
+        store.close()
+
+    return {
+        "field": {
+            "shape": list(SERVE_SHAPE),
+            "tile_shape": list(SERVE_TILE),
+            "error_bound": SERVE_EB,
+        },
+        "faults": {
+            "seed": CHAOS_SEED,
+            "http_failure_rate": CHAOS_FAILURE_RATE,
+            "injected": int(injected),
+        },
+        "requests": CHAOS_REQUESTS,
+        "served": served,
+        "failed": failed,
+        "availability": round(served / CHAOS_REQUESTS, 4),
+        "wrong_bytes_responses": wrong,
+        "retry": {
+            "mean_attempts": round(attempts / max(1, served), 3),
+            "total_backoff_s": round(backoff_s, 3),
+        },
+        "elapsed_s": round(elapsed, 3),
+        "checksum_overhead": round(
+            _checksum_overhead(field, config), 6
+        ),
+    }
+
+
+def test_chaos(report, tmp_path):
+    chaos = _measure_chaos(tmp_path)
+    report(
+        "Chaos serving (seeded fault storm, "
+        f"{int(100 * chaos['faults']['http_failure_rate'])}% of "
+        f"responses faulted, {chaos['faults']['injected']} injected): "
+        f"availability {chaos['availability']}, "
+        f"{chaos['wrong_bytes_responses']} wrong-bytes responses, "
+        f"mean {chaos['retry']['mean_attempts']} attempts/request, "
+        f"{chaos['retry']['total_backoff_s']} s backoff, "
+        f"checksum overhead {chaos['checksum_overhead']}"
+    )
+    _append_trajectory(
+        {
+            "date": time.strftime("%Y-%m-%d %H:%M:%S"),
+            "modes": {"chaos": chaos},
+        }
+    )
+    # the detected-or-correct guarantee at the wire: a faulted
+    # response may fail the request, never falsify it
+    assert chaos["wrong_bytes_responses"] == 0
+    assert chaos["availability"] >= CHAOS_MIN_AVAILABILITY, (
+        "retries must keep availability above "
+        f"{CHAOS_MIN_AVAILABILITY} under the fault storm "
+        f"(got {chaos['availability']})"
+    )
+    assert chaos["faults"]["injected"] > 0  # the storm actually blew
+    assert (
+        chaos["checksum_overhead"] <= CHAOS_MAX_CHECKSUM_OVERHEAD
+    ), (
+        "integrity checksums must cost <= "
+        f"{CHAOS_MAX_CHECKSUM_OVERHEAD:.0%} of container bytes "
+        f"(got {chaos['checksum_overhead']:.4%})"
+    )
 
 
 # -- parallel-scaling workload -------------------------------------------------

@@ -212,6 +212,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="machine-readable output: one compact JSON document "
         "(container version, tile map, per-tile adaptive choices)",
     )
+    ins.add_argument(
+        "--verify",
+        action="store_true",
+        help="deep integrity check: re-checksum every tile payload "
+        "(tiled containers); exits non-zero naming the first corrupt "
+        "tile",
+    )
 
     sub.add_parser("datasets", help="list the synthetic dataset suite")
 
@@ -246,6 +253,20 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["serial", "thread", "process"],
         help="codec execution backend ('process' keeps cache-miss "
         "decodes off the serving threads)",
+    )
+    srv.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help="concurrent-request cap; beyond it requests get 503 + "
+        "Retry-After instead of queuing (default: unbounded)",
+    )
+    srv.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        help="seconds to wait for in-flight requests on SIGTERM "
+        "before exiting anyway",
     )
 
     rput = sub.add_parser(
@@ -330,6 +351,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="compact machine-readable output",
+    )
+
+    rec = sub.add_parser(
+        "recover",
+        help="repair a store after a crash (quarantine damage, "
+        "truncate broken chains, resolve interrupted writes)",
+    )
+    rec.add_argument("store", help="store directory to repair")
+    rec.add_argument(
+        "--deep",
+        action="store_true",
+        help="re-checksum every tile payload (catches bit rot a "
+        "structural scan misses; slower)",
     )
 
     return parser
@@ -530,7 +564,7 @@ def _cmd_decompress(args: argparse.Namespace) -> int:
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
     try:
-        header = describe_container(args.input)
+        header = describe_container(args.input, verify=args.verify)
     except ValueError as exc:
         raise SystemExit(f"cannot inspect {args.input}: {exc}") from exc
     except OSError as exc:
@@ -566,6 +600,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     if args.cache_mb < 0:
         raise SystemExit("--cache-mb must be >= 0 (0 disables caching)")
+    if args.max_inflight is not None and args.max_inflight < 1:
+        raise SystemExit("--max-inflight must be >= 1")
     serve(
         args.store,
         host=args.host,
@@ -573,6 +609,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_bytes=int(args.cache_mb * (1 << 20)),
         workers=args.workers,
         parallel_backend=args.backend,
+        max_inflight=args.max_inflight,
+        drain_timeout=args.drain_timeout,
     )
     return 0
 
@@ -714,6 +752,34 @@ def _cmd_remote_stat(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from repro.service.store import ArrayStore
+
+    with ArrayStore(args.store) as store:
+        report = store.recover(deep=args.deep)
+    print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    if report.clean:
+        print("store is clean", file=sys.stderr)
+    else:
+        actions = []
+        if report.removed_temps:
+            actions.append(f"{len(report.removed_temps)} temp file(s)")
+        if report.quarantined:
+            actions.append(
+                f"{len(report.quarantined)} file(s) quarantined"
+            )
+        if report.truncated:
+            actions.append(
+                f"{len(report.truncated)} chain(s) truncated"
+            )
+        if report.dropped:
+            actions.append(f"{len(report.dropped)} dataset(s) dropped")
+        if report.intent_resolved:
+            actions.append(f"intent: {report.intent_resolved}")
+        print("repaired: " + "; ".join(actions), file=sys.stderr)
+    return 0
+
+
 _COMMANDS = {
     "estimate": _cmd_estimate,
     "compress": _cmd_compress,
@@ -725,6 +791,7 @@ _COMMANDS = {
     "remote-put": _cmd_remote_put,
     "remote-read": _cmd_remote_read,
     "remote-stat": _cmd_remote_stat,
+    "recover": _cmd_recover,
 }
 
 

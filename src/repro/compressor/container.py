@@ -31,6 +31,17 @@ intersecting a requested hyperslab without touching the rest of the
 file.  The TOC trails the payloads so writers can stream tiles to disk
 with bounded memory and fix the offsets up at close time.
 
+Integrity: containers written with ``checksums`` enabled (the default)
+declare a checksum algorithm in the header (``"checksums"`` field) and
+carry a 32-bit checksum of every tile payload (``tile_crcs`` in the
+TOC), of the header JSON (``header_crc`` in the TOC) and of the TOC
+JSON itself (a 4-byte trailer between the TOC and its length word).
+Verification happens on read: a mismatching TOC or header raises
+:class:`ContainerFormatError` at open, a mismatching tile payload
+raises :class:`TileCorruptError` naming the tile, and containers
+*without* checksums (anything written before this scheme, including
+all golden fixtures) verify as **unknown** — never as failures.
+
 * **v4** — every tile was encoded under the global header's config.
 * **v5** (adaptive) — the same frame, but the TOC additionally carries
   a ``configs`` palette of the distinct model-selected codec parameter
@@ -61,6 +72,12 @@ import threading
 from dataclasses import dataclass
 from typing import BinaryIO, Sequence
 
+from repro.compressor.integrity import (
+    CHECKSUM_ALGORITHM,
+    checksum,
+    checksum_named,
+)
+
 __all__ = [
     "MAGIC",
     "VERSION_SINGLE",
@@ -70,6 +87,8 @@ __all__ = [
     "VERSION_TEMPORAL",
     "TILED_VERSIONS",
     "SECTION_NAMES",
+    "ContainerFormatError",
+    "TileCorruptError",
     "flat_overhead",
     "write_flat",
     "read_flat",
@@ -81,6 +100,37 @@ __all__ = [
     "TiledWriter",
     "TiledReader",
 ]
+
+
+class ContainerFormatError(ValueError):
+    """A container failed structural parsing or integrity verification.
+
+    Subclasses :class:`ValueError`, so every pre-existing handler (CLI
+    error mapping, the store's corruption wrapping, legacy ``except
+    ValueError`` call sites) keeps working while new code can target
+    container damage precisely.
+    """
+
+
+class TileCorruptError(ContainerFormatError):
+    """One tile's payload failed checksum verification.
+
+    Structured so callers can name exactly what was damaged:
+    ``tile_index`` / ``offset`` locate the tile inside its container,
+    ``version`` (when known) names the snapshot the container stores.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        tile_index: int | None = None,
+        offset: int | None = None,
+        version: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.tile_index = tile_index
+        self.offset = offset
+        self.version = version
 
 MAGIC = b"RQSZ"
 #: flat container, single-stream codes section
@@ -106,6 +156,7 @@ _SECTION_LEN_BYTES = 8
 _CHUNK_COUNT_BYTES = 4
 _CHUNK_LEN_BYTES = 8
 _TOC_LEN_BYTES = 8
+_CRC_BYTES = 4
 
 #: flat container sections, in on-disk order
 SECTION_NAMES = (
@@ -119,8 +170,13 @@ SECTION_NAMES = (
 
 def container_version(blob: bytes) -> int:
     """Version byte of any RQSZ container (flat or tiled)."""
+    if len(blob) <= len(MAGIC):
+        raise ContainerFormatError(
+            f"truncated container: {len(blob)} bytes is too short for "
+            "the RQSZ magic and version"
+        )
     if blob[: len(MAGIC)] != MAGIC:
-        raise ValueError("not an RQSZ container")
+        raise ContainerFormatError("not an RQSZ container")
     return blob[len(MAGIC)]
 
 
@@ -165,16 +221,20 @@ def _read_header(blob: bytes) -> tuple[dict, int, int]:
     """Parse magic/version/header; returns ``(header, version, pos)``."""
     version = container_version(blob)
     pos = len(MAGIC) + _VERSION_BYTES
+    if len(blob) < pos + _HEADER_LEN_BYTES:
+        raise ContainerFormatError("truncated container header")
     header_len = int.from_bytes(
         blob[pos : pos + _HEADER_LEN_BYTES], "little"
     )
     pos += _HEADER_LEN_BYTES
+    if len(blob) < pos + header_len:
+        raise ContainerFormatError("truncated container header")
     try:
         header = json.loads(blob[pos : pos + header_len].decode())
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise ValueError("corrupt container header") from exc
+        raise ContainerFormatError("corrupt container header") from exc
     if not isinstance(header, dict):
-        raise ValueError("corrupt container header")
+        raise ContainerFormatError("corrupt container header")
     header["container_version"] = int(version)
     return header, version, pos + header_len
 
@@ -186,16 +246,26 @@ def read_flat(blob: bytes) -> tuple[dict, list[bytes]]:
     returned header dict.
     """
     if container_version(blob) not in _FLAT_VERSIONS:
-        raise ValueError(
+        raise ContainerFormatError(
             f"unsupported container version {container_version(blob)}"
         )
     header, _, pos = _read_header(blob)
     sections: list[bytes] = []
-    for _ in SECTION_NAMES:
+    for name in SECTION_NAMES:
+        if len(blob) < pos + _SECTION_LEN_BYTES:
+            raise ContainerFormatError(
+                f"truncated container: section {name!r} has no "
+                "length prefix"
+            )
         size = int.from_bytes(
             blob[pos : pos + _SECTION_LEN_BYTES], "little"
         )
         pos += _SECTION_LEN_BYTES
+        if len(blob) < pos + size:
+            raise ContainerFormatError(
+                f"truncated container: section {name!r} records "
+                f"{size} bytes but only {len(blob) - pos} remain"
+            )
         sections.append(blob[pos : pos + size])
         pos += size
     return header, sections
@@ -217,11 +287,11 @@ def write_chunked_codes(payloads: Sequence[bytes]) -> bytes:
 def read_chunked_codes(payload: bytes) -> list[bytes]:
     """Split a v3 codes section back into its block payloads."""
     if len(payload) < _CHUNK_COUNT_BYTES:
-        raise ValueError("corrupt chunked codes section")
+        raise ContainerFormatError("corrupt chunked codes section")
     n_chunks = int.from_bytes(payload[:_CHUNK_COUNT_BYTES], "little")
     table_end = _CHUNK_COUNT_BYTES + _CHUNK_LEN_BYTES * n_chunks
     if n_chunks < 1 or len(payload) < table_end:
-        raise ValueError("corrupt chunked codes section")
+        raise ContainerFormatError("corrupt chunked codes section")
     lengths = [
         int.from_bytes(
             payload[
@@ -239,7 +309,7 @@ def read_chunked_codes(payload: bytes) -> list[bytes]:
         blobs.append(payload[pos : pos + length])
         pos += length
     if pos != len(payload):
-        raise ValueError("corrupt chunked codes section")
+        raise ContainerFormatError("corrupt chunked codes section")
     return blobs
 
 
@@ -273,6 +343,10 @@ class TileRecord:
     ``temporal`` marks a v6 tile whose payload encodes a residual
     against the decoded matching tile of the reference snapshot rather
     than the tile's samples directly.
+
+    ``crc`` is the payload's 32-bit checksum under the container's
+    declared algorithm, or ``None`` for containers written without
+    checksums (which verify as *unknown*, never as failures).
     """
 
     offset: int
@@ -281,6 +355,7 @@ class TileRecord:
     stop: tuple[int, ...]
     config: dict | None = None
     temporal: bool = False
+    crc: int | None = None
 
     @property
     def shape(self) -> tuple[int, ...]:
@@ -301,6 +376,7 @@ class TileRecord:
         record: dict,
         config: dict | None = None,
         temporal: bool = False,
+        crc: int | None = None,
     ) -> "TileRecord":
         return TileRecord(
             offset=int(record["offset"]),
@@ -309,6 +385,7 @@ class TileRecord:
             stop=tuple(int(x) for x in record["stop"]),
             config=config,
             temporal=temporal,
+            crc=crc,
         )
 
 
@@ -317,6 +394,10 @@ class TiledWriter:
 
     Tiles are appended one at a time (bounded memory); the TOC is
     written at close.  Use as a context manager or call :meth:`finish`.
+
+    ``checksums`` (default on) records the payload/header/TOC
+    checksums described in the module docstring; readers of containers
+    written with ``checksums=False`` treat integrity as unknown.
     """
 
     def __init__(
@@ -324,6 +405,7 @@ class TiledWriter:
         sink: BinaryIO,
         header: dict,
         version: int = VERSION_TILED,
+        checksums: bool = True,
     ) -> None:
         if version not in TILED_VERSIONS:
             raise ValueError(f"not a tiled container version: {version}")
@@ -331,25 +413,31 @@ class TiledWriter:
         self._version = version
         self._tiles: list[TileRecord] = []
         self._finished = False
+        self._checksums = bool(checksums)
+        self._header_crc: int | None = None
         try:
             self._start = sink.tell()
         except (OSError, AttributeError):
             self._start = 0  # non-seekable sink: container starts it
-        prelude, _ = self._prelude(header, version)
+        if self._checksums:
+            header = dict(header, checksums=CHECKSUM_ALGORITHM)
+        prelude, header_bytes = self._prelude(header, version)
+        if self._checksums:
+            self._header_crc = checksum(header_bytes)
         self._fh.write(prelude)
         # _pos tracks the sink's absolute position so TOC offsets stay
         # valid even when the container does not begin at byte 0
         self._pos = self._start + len(prelude)
 
     @staticmethod
-    def _prelude(header: dict, version: int) -> tuple[bytes, int]:
+    def _prelude(header: dict, version: int) -> tuple[bytes, bytes]:
         header_bytes = json.dumps(header, sort_keys=True).encode()
         return (
             MAGIC
             + bytes([version])
             + len(header_bytes).to_bytes(_HEADER_LEN_BYTES, "little")
             + header_bytes,
-            len(header_bytes),
+            header_bytes,
         )
 
     def add_tile(
@@ -374,6 +462,7 @@ class TiledWriter:
             stop=tuple(int(x) for x in stop),
             config=config,
             temporal=temporal,
+            crc=checksum(payload) if self._checksums else None,
         )
         self._fh.write(payload)
         self._pos += len(payload)
@@ -415,8 +504,19 @@ class TiledWriter:
             body["tile_modes"] = [
                 1 if t.temporal else 0 for t in self._tiles
             ]
+        if self._checksums:
+            body["tile_crcs"] = [t.crc for t in self._tiles]
+            body["header_crc"] = self._header_crc
         toc = json.dumps(body).encode()
         self._fh.write(toc)
+        if self._checksums:
+            # the TOC's own checksum sits between the TOC JSON and the
+            # length word; readers know it is there from the header's
+            # ``checksums`` declaration (written before any tile)
+            self._fh.write(
+                checksum(toc).to_bytes(_CRC_BYTES, "little")
+            )
+            self._pos += _CRC_BYTES
         self._fh.write(len(toc).to_bytes(_TOC_LEN_BYTES, "little"))
         self._pos += len(toc) + _TOC_LEN_BYTES
         self._finished = True
@@ -454,7 +554,7 @@ class _ByteSource:
             self._fh.seek(offset)
             data = self._fh.read(size)
         if len(data) != size:
-            raise ValueError("truncated container")
+            raise ContainerFormatError("truncated container")
         return data
 
     def size(self) -> int:
@@ -480,46 +580,79 @@ class TiledReader:
         total = self._src.size()
         head_len = len(MAGIC) + _VERSION_BYTES + _HEADER_LEN_BYTES
         if total < head_len + _TOC_LEN_BYTES:
-            raise ValueError("truncated container")
+            raise ContainerFormatError("truncated container")
         head = self._src.read_at(0, head_len)
         if head[: len(MAGIC)] != MAGIC:
-            raise ValueError("not an RQSZ container")
+            raise ContainerFormatError("not an RQSZ container")
         if head[len(MAGIC)] not in TILED_VERSIONS:
-            raise ValueError(
+            raise ContainerFormatError(
                 f"not a tiled container (version {head[len(MAGIC)]})"
             )
         self.version = int(head[len(MAGIC)])
         header_len = int.from_bytes(head[-_HEADER_LEN_BYTES:], "little")
+        if total < head_len + header_len + _TOC_LEN_BYTES:
+            raise ContainerFormatError("truncated container header")
+        header_bytes = self._src.read_at(head_len, header_len)
         try:
-            self.header: dict = json.loads(
-                self._src.read_at(head_len, header_len).decode()
-            )
+            self.header: dict = json.loads(header_bytes.decode())
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise ValueError("corrupt container header") from exc
+            raise ContainerFormatError("corrupt container header") from exc
         if not isinstance(self.header, dict):
-            raise ValueError("corrupt container header")
+            raise ContainerFormatError("corrupt container header")
         self.header["container_version"] = self.version
+
+        #: checksum algorithm the container declares (``None`` = none)
+        self.checksum_algorithm: str | None = self.header.get("checksums")
+        # whether this build can recompute the declared algorithm; a
+        # declared-but-unsupported algorithm degrades to "unknown"
+        self._verifiable = (
+            self.checksum_algorithm is not None
+            and checksum_named(self.checksum_algorithm, b"") is not None
+        )
+        #: ``"verified"`` (header+TOC checksums held), ``"unknown"``
+        #: (no/unsupported checksums); a mismatch raises instead
+        self.checksum_state = "unknown"
 
         toc_len = int.from_bytes(
             self._src.read_at(total - _TOC_LEN_BYTES, _TOC_LEN_BYTES),
             "little",
         )
-        toc_start = total - _TOC_LEN_BYTES - toc_len
+        # containers that declare checksums carry a 4-byte TOC
+        # checksum between the TOC JSON and the trailing length word
+        crc_bytes = _CRC_BYTES if self.checksum_algorithm else 0
+        toc_start = total - _TOC_LEN_BYTES - crc_bytes - toc_len
         if toc_len <= 0 or toc_start < head_len + header_len:
-            raise ValueError("corrupt tile TOC")
+            raise ContainerFormatError("corrupt tile TOC")
+        toc_bytes = self._src.read_at(toc_start, toc_len)
+        if self._verifiable:
+            stored = int.from_bytes(
+                self._src.read_at(toc_start + toc_len, _CRC_BYTES),
+                "little",
+            )
+            if checksum_named(self.checksum_algorithm, toc_bytes) != stored:
+                raise ContainerFormatError(
+                    "corrupt tile TOC: checksum mismatch "
+                    f"({self.checksum_algorithm})"
+                )
         try:
-            toc = json.loads(self._src.read_at(toc_start, toc_len).decode())
+            toc = json.loads(toc_bytes.decode())
+            n_tiles = len(toc["tiles"])
             palette = toc.get("configs", ())
             tile_configs = toc.get("tile_configs")
             if tile_configs is None:
-                tile_configs = [None] * len(toc["tiles"])
-            if len(tile_configs) != len(toc["tiles"]):
+                tile_configs = [None] * n_tiles
+            if len(tile_configs) != n_tiles:
                 # zip() below would silently drop trailing tiles
                 raise ValueError("corrupt tile TOC")
             tile_modes = toc.get("tile_modes")
             if tile_modes is None:
-                tile_modes = [0] * len(toc["tiles"])
-            if len(tile_modes) != len(toc["tiles"]):
+                tile_modes = [0] * n_tiles
+            if len(tile_modes) != n_tiles:
+                raise ValueError("corrupt tile TOC")
+            tile_crcs = toc.get("tile_crcs")
+            if tile_crcs is None:
+                tile_crcs = [None] * n_tiles
+            if len(tile_crcs) != n_tiles:
                 raise ValueError("corrupt tile TOC")
             self.tiles: list[TileRecord] = [
                 TileRecord.from_json(
@@ -528,9 +661,10 @@ class TiledReader:
                     if index is not None
                     else None,
                     temporal=bool(mode),
+                    crc=None if crc is None else int(crc),
                 )
-                for record, index, mode in zip(
-                    toc["tiles"], tile_configs, tile_modes
+                for record, index, mode, crc in zip(
+                    toc["tiles"], tile_configs, tile_modes, tile_crcs
                 )
             ]
         except (
@@ -539,12 +673,66 @@ class TiledReader:
             KeyError,
             IndexError,
             TypeError,
+            ValueError,
         ) as exc:
-            raise ValueError("corrupt tile TOC") from exc
+            raise ContainerFormatError("corrupt tile TOC") from exc
+        if self._verifiable:
+            header_crc = toc.get("header_crc")
+            if header_crc is not None and (
+                checksum_named(self.checksum_algorithm, header_bytes)
+                != int(header_crc)
+            ):
+                raise ContainerFormatError(
+                    "corrupt container header: checksum mismatch "
+                    f"({self.checksum_algorithm})"
+                )
+            self.checksum_state = "verified"
 
-    def read_tile(self, record: TileRecord) -> bytes:
-        """Read one tile's payload (a flat v2/v3 container)."""
-        return self._src.read_at(record.offset, record.size)
+    def read_tile(
+        self, record: TileRecord, verify: bool = True
+    ) -> bytes:
+        """Read one tile's payload (a flat v2/v3 container).
+
+        When the container carries checksums the payload is verified
+        against the TOC's recorded value; a mismatch raises
+        :class:`TileCorruptError` naming the tile.  ``verify=False``
+        skips the check (diagnostics that want the raw damaged bytes).
+        """
+        payload = self._src.read_at(record.offset, record.size)
+        if (
+            verify
+            and record.crc is not None
+            and self._verifiable
+            and checksum_named(self.checksum_algorithm, payload)
+            != record.crc
+        ):
+            try:
+                index = self.tiles.index(record)
+            except ValueError:
+                index = None
+            raise TileCorruptError(
+                f"corrupt tile payload: tile {index} of v{self.version} "
+                f"container at offset {record.offset} ({record.size} "
+                f"bytes, extent {record.start}..{record.stop}) failed "
+                f"{self.checksum_algorithm} verification",
+                tile_index=index,
+                offset=record.offset,
+                version=self.version,
+            )
+        return payload
+
+    def verify_tiles(self) -> str:
+        """Checksum every tile payload; returns the resulting state.
+
+        ``"verified"`` when every payload matched, ``"unknown"`` when
+        the container carries no (usable) checksums; the first
+        mismatch raises :class:`TileCorruptError`.
+        """
+        if not self._verifiable:
+            return "unknown"
+        for record in self.tiles:
+            self.read_tile(record)
+        return "verified"
 
     def close(self) -> None:
         self._src.close()

@@ -21,15 +21,21 @@ __all__ = ["describe_container"]
 
 def describe_container(
     source: bytes | str | os.PathLike | BinaryIO,
+    verify: bool = False,
 ) -> dict:
-    """Describe a flat (v2/v3) or tiled (v4/v5) RQSZ container.
+    """Describe a flat (v2/v3) or tiled (v4/v5/v6) RQSZ container.
 
     Returns the parsed header plus ``section_bytes`` (flat) or
     ``tile_map`` (tiled; tile extents, payload sizes, for v5 the
     per-tile configs with an ``adaptive`` roll-up, and for v6 each
     tile's temporal/spatial choice with a ``temporal`` roll-up).
-    Raises ``ValueError`` for anything that is not a well-formed
-    container.
+    Tiled descriptions carry an ``integrity`` block: the declared
+    checksum algorithm and the verification state — ``"verified"`` /
+    ``"unknown"`` from header+TOC alone, upgraded by ``verify=True``
+    to a full read of every tile payload.  Raises
+    :class:`~repro.compressor.container.ContainerFormatError` (a
+    ``ValueError``) for anything that is not a well-formed container,
+    including checksum mismatches.
     """
     if isinstance(source, (str, os.PathLike)):
         # tiled containers are described from header + TOC alone, so
@@ -38,7 +44,7 @@ def describe_container(
         with open(source, "rb") as fh:
             head = fh.read(len(container.MAGIC) + 1)
         if container.is_tiled_version(_version_of(head)):
-            return _describe_tiled(source)
+            return _describe_tiled(source, verify)
         with open(source, "rb") as fh:
             return _describe_flat(fh.read())
     blob = (
@@ -47,7 +53,7 @@ def describe_container(
         else source.read()
     )
     if container.is_tiled_version(_version_of(blob)):
-        return _describe_tiled(blob)
+        return _describe_tiled(blob, verify)
     return _describe_flat(blob)
 
 
@@ -66,9 +72,17 @@ def _describe_flat(blob: bytes) -> dict:
     return header
 
 
-def _describe_tiled(source: bytes | str | os.PathLike) -> dict:
+def _describe_tiled(
+    source: bytes | str | os.PathLike, verify: bool = False
+) -> dict:
     with TiledReader(source) as reader:
         header = dict(reader.header)
+        state = reader.verify_tiles() if verify else reader.checksum_state
+        header["integrity"] = {
+            "checksums": reader.checksum_algorithm,
+            "state": state,
+            "deep": bool(verify),
+        }
         sizes = [t.size for t in reader.tiles]
         tiles = []
         for t in reader.tiles:

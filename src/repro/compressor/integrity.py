@@ -1,0 +1,74 @@
+"""Payload checksums for the container formats.
+
+A flipped bit in a stored container must never surface as silently
+wrong samples: error-resilient coded storage treats *detection* as a
+first-class layer below decoding.  This module provides the checksum
+primitive the tiled container writer/reader use to protect the header,
+the TOC and every tile payload.
+
+The preferred algorithm is CRC32C (Castagnoli), whose hardware-backed
+implementations ship in the optional ``crc32c`` package; when that is
+not importable the stdlib's zlib CRC-32 is used instead.  Containers
+record *which* algorithm produced their checksums (``checksums`` header
+field), so a reader facing an algorithm it cannot compute degrades to
+"unverified" rather than raising false corruption alarms — absent or
+unknown checksums verify as **unknown**, never as failures.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+__all__ = [
+    "CHECKSUM_ALGORITHM",
+    "checksum",
+    "checksum_named",
+    "supported_algorithms",
+]
+
+try:  # pragma: no cover - depends on the environment
+    import crc32c as _crc32c_mod
+
+    def _crc32c(data: bytes) -> int:
+        return _crc32c_mod.crc32c(data) & 0xFFFFFFFF
+
+    _HAVE_CRC32C = True
+except ImportError:  # pragma: no cover - stdlib fallback
+    _crc32c = None
+    _HAVE_CRC32C = False
+
+
+def _crc32(data: bytes) -> int:
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+_ALGORITHMS = {"crc32": _crc32}
+if _HAVE_CRC32C:  # pragma: no cover - depends on the environment
+    _ALGORITHMS["crc32c"] = _crc32c
+
+#: algorithm new containers are written with (the best available)
+CHECKSUM_ALGORITHM = "crc32c" if _HAVE_CRC32C else "crc32"
+
+
+def supported_algorithms() -> tuple[str, ...]:
+    """Names this build can both write and verify."""
+    return tuple(sorted(_ALGORITHMS))
+
+
+def checksum(data: bytes) -> int:
+    """32-bit checksum of *data* under :data:`CHECKSUM_ALGORITHM`."""
+    return _ALGORITHMS[CHECKSUM_ALGORITHM](bytes(data))
+
+
+def checksum_named(algorithm: str, data: bytes) -> int | None:
+    """Checksum under a *named* algorithm, ``None`` when unsupported.
+
+    Readers call this with whatever algorithm a container's header
+    recorded; an unknown name means the container cannot be verified
+    here (e.g. written with hardware CRC32C, read on a build without
+    it) and the caller must treat integrity as *unknown*.
+    """
+    fn = _ALGORITHMS.get(algorithm)
+    if fn is None:
+        return None
+    return fn(bytes(data))

@@ -12,21 +12,36 @@ regions of huge compressed snapshots — get a serving layer here:
   (``repro serve``) with JSON metadata and binary ``.npy`` region
   reads;
 * :class:`~repro.service.client.ArrayClient` — the matching stdlib
-  client (``repro remote-read`` / ``remote-put`` / ``remote-stat``).
+  client (``repro remote-read`` / ``remote-put`` / ``remote-stat``)
+  with an opt-in :class:`~repro.service.client.RetryPolicy`;
+* :mod:`~repro.service.faults` /
+  :mod:`~repro.service.recovery` — deterministic fault injection and
+  the crash-recovery pass behind :meth:`ArrayStore.recover`.
 """
 
 from repro.service.cache import CacheStats, TileLRUCache
-from repro.service.client import ArrayClient, ServiceError
+from repro.service.client import ArrayClient, RetryPolicy, ServiceError
+from repro.service.faults import FaultInjector, SimulatedCrash
+from repro.service.recovery import RecoveryReport
 from repro.service.server import ArrayServer, serve
-from repro.service.store import ArrayStore, RegionResult
+from repro.service.store import (
+    ArrayStore,
+    DatasetCorruptError,
+    RegionResult,
+)
 
 __all__ = [
     "ArrayStore",
+    "DatasetCorruptError",
     "RegionResult",
     "TileLRUCache",
     "CacheStats",
     "ArrayServer",
     "serve",
     "ArrayClient",
+    "RetryPolicy",
     "ServiceError",
+    "FaultInjector",
+    "SimulatedCrash",
+    "RecoveryReport",
 ]

@@ -52,6 +52,9 @@ class CacheStats:
     bytes_cached: int
     byte_budget: int
     shards: int
+    #: loader exceptions seen by get_or_load — a growing count under a
+    #: steady workload is the cache-side smoke signal of data damage
+    load_failures: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -70,6 +73,7 @@ class CacheStats:
             "bytes_cached": self.bytes_cached,
             "byte_budget": self.byte_budget,
             "shards": self.shards,
+            "load_failures": self.load_failures,
             "hit_rate": round(self.hit_rate, 6),
         }
 
@@ -98,6 +102,7 @@ class _Shard:
         self.misses = 0
         self.evictions = 0
         self.coalesced = 0
+        self.load_failures = 0
 
     def insert(self, key: Hashable, value: np.ndarray) -> None:
         """Insert under the budget; caller holds the lock."""
@@ -205,6 +210,7 @@ class TileLRUCache:
             flight.error = exc
             with shard.lock:
                 shard.inflight.pop(key, None)
+                shard.load_failures += 1
             flight.event.set()
             raise
         with shard.lock:
@@ -253,7 +259,7 @@ class TileLRUCache:
     def stats(self) -> CacheStats:
         """Aggregate counters across shards."""
         hits = misses = evictions = coalesced = entries = cached = 0
-        budget = 0
+        budget = failures = 0
         for shard in self._shards:
             with shard.lock:
                 hits += shard.hits
@@ -263,6 +269,7 @@ class TileLRUCache:
                 entries += len(shard.entries)
                 cached += shard.bytes_cached
                 budget += shard.byte_budget
+                failures += shard.load_failures
         return CacheStats(
             hits=hits,
             misses=misses,
@@ -272,4 +279,5 @@ class TileLRUCache:
             bytes_cached=cached,
             byte_budget=budget,
             shards=len(self._shards),
+            load_failures=failures,
         )

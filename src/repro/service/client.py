@@ -11,22 +11,44 @@ Usage::
     client.put("pressure", field, eb=1e-3, tile=(64, 64))
     roi = client.read_region("pressure", "0:32,16:48")
     print(client.stat("pressure")["container"]["tile_map"]["n_tiles"])
+
+Resilience
+----------
+
+Pass a :class:`RetryPolicy` to opt into transparent retries::
+
+    client = ArrayClient(url, retry=RetryPolicy(max_attempts=5))
+
+Retries use capped exponential backoff with jitter, honour the
+server's ``Retry-After`` on 503, and respect an overall ``deadline``.
+Transport failures (connection refused/reset, truncated responses,
+timeouts) and retryable statuses are retried for idempotent requests.
+Writes are safe to retry too: every ``put``/``put_snapshot`` carries a
+per-call idempotency token, so a retry whose first attempt actually
+committed converges on the recorded entry (the server answers 200 with
+``duplicate: true``) instead of double-appending.  The accounting of
+the most recent call lands in ``last_retry_stats``.
 """
 
 from __future__ import annotations
 
+import http.client
 import io
 import json
+import random
+import time
 import urllib.error
 import urllib.parse
 import urllib.request
+import uuid
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
 from repro.compressor.tiled_geometry import format_region
 
-__all__ = ["ArrayClient", "ServiceError"]
+__all__ = ["ArrayClient", "RetryPolicy", "ServiceError"]
 
 NPY_CONTENT_TYPE = "application/x-npy"
 
@@ -40,55 +62,192 @@ class ServiceError(Exception):
         self.message = message
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry schedule for transient transport/server failures.
+
+    Attempt *n* (0-based) sleeps ``base_delay * multiplier**n`` before
+    retrying, capped at ``max_delay``, plus up to ``jitter`` of itself
+    drawn uniformly at random (decorrelates clients hammering a
+    recovering server).  A 503's ``Retry-After`` header raises the
+    floor of that sleep.  ``deadline`` bounds the *total* time spent
+    across attempts and sleeps; exceeding it surfaces the last error
+    rather than sleeping again.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.25
+    deadline: float | None = None
+    retry_statuses: tuple = (503,)
+    #: seeding the jitter RNG makes a chaos run's timing reproducible
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+
+    def delay_for(self, retry_index: int, rng: random.Random) -> float:
+        """Backoff before the ``retry_index``-th retry (0-based)."""
+        delay = min(
+            self.max_delay,
+            self.base_delay * self.multiplier**retry_index,
+        )
+        if self.jitter:
+            delay += rng.random() * self.jitter * delay
+        return delay
+
+
+def _parse_retry_after(headers) -> float | None:
+    raw = headers.get("Retry-After") if headers is not None else None
+    if raw is None:
+        return None
+    try:
+        return max(0.0, float(raw))
+    except ValueError:
+        return None
+
+
 class ArrayClient:
     """Thin HTTP client; one instance per server base URL.
 
-    Stateless between calls apart from ``last_read_stats``, which holds
-    the accounting headers (tiles touched, cache hits/misses) of the
-    most recent :meth:`read_region`.
+    Stateless between calls apart from ``last_read_stats`` (accounting
+    headers of the most recent read) and ``last_retry_stats``
+    (attempt/backoff accounting of the most recent request).
     """
 
-    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 60.0,
+        retry: RetryPolicy | None = None,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retry = retry
+        self._rng = random.Random(retry.seed if retry else None)
         self.last_read_stats: dict = {}
+        self.last_retry_stats: dict = {}
 
     # -- transport -------------------------------------------------------------
 
-    def _request(
+    def _perform(
         self,
         method: str,
         path: str,
         params: dict | None = None,
         body: bytes | None = None,
         content_type: str | None = None,
-    ):
+        idempotent: bool = True,
+    ) -> tuple[int, object, bytes]:
+        """One request through the retry loop.
+
+        Returns ``(status, headers, payload)`` with the body fully
+        read, so a mid-body truncation (``IncompleteRead``) is caught
+        here and retried like any other transport failure.  Only
+        *idempotent* requests retry — PUTs qualify because they carry
+        an idempotency token (see :meth:`put`).
+        """
         url = f"{self.base_url}{path}"
         if params:
             url += "?" + urllib.parse.urlencode(params)
-        request = urllib.request.Request(url, data=body, method=method)
-        if content_type:
-            request.add_header("Content-Type", content_type)
-        try:
-            return urllib.request.urlopen(request, timeout=self.timeout)
-        except urllib.error.HTTPError as exc:
-            try:
-                message = json.loads(exc.read().decode()).get(
-                    "error", exc.reason
-                )
-            except (json.JSONDecodeError, UnicodeDecodeError):
-                message = str(exc.reason)
-            raise ServiceError(exc.code, message) from None
+        policy = self.retry
+        max_attempts = (
+            policy.max_attempts if policy and idempotent else 1
+        )
+        attempts = 0
+        slept = 0.0
+        started = time.monotonic()
 
-    def _json(self, method: str, path: str, **kwargs) -> dict:
-        with self._request(method, path, **kwargs) as response:
-            return json.loads(response.read().decode())
+        def _record() -> None:
+            self.last_retry_stats = {
+                "attempts": attempts,
+                "retries": attempts - 1,
+                "slept": slept,
+            }
+
+        while True:
+            attempts += 1
+            retry_after = None
+            try:
+                request = urllib.request.Request(
+                    url, data=body, method=method
+                )
+                if content_type:
+                    request.add_header("Content-Type", content_type)
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout
+                ) as response:
+                    payload = response.read()
+                    _record()
+                    return response.status, response.headers, payload
+            except urllib.error.HTTPError as exc:
+                retry_after = _parse_retry_after(exc.headers)
+                try:
+                    message = json.loads(exc.read().decode()).get(
+                        "error", exc.reason
+                    )
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    message = str(exc.reason)
+                error: Exception = ServiceError(exc.code, message)
+                retryable = (
+                    policy is not None
+                    and exc.code in policy.retry_statuses
+                )
+            except (
+                urllib.error.URLError,
+                http.client.HTTPException,
+                OSError,
+            ) as exc:
+                # connection refused/reset, dropped sockets, timeouts,
+                # truncated bodies (IncompleteRead) all land here
+                error = exc
+                retryable = True
+
+            if not retryable or attempts >= max_attempts:
+                _record()
+                raise error from None
+            delay = policy.delay_for(attempts - 1, self._rng)
+            if retry_after is not None:
+                delay = max(delay, retry_after)
+            elapsed = time.monotonic() - started
+            if (
+                policy.deadline is not None
+                and elapsed + delay > policy.deadline
+            ):
+                _record()
+                raise error from None
+            time.sleep(delay)
+            slept += delay
+
+    def _json(
+        self, method: str, path: str, idempotent: bool = True, **kwargs
+    ) -> dict:
+        _status, _headers, payload = self._perform(
+            method, path, idempotent=idempotent, **kwargs
+        )
+        return json.loads(payload.decode())
+
+    @staticmethod
+    def _fresh_token() -> str:
+        # one token per *logical* write, minted before the retry loop:
+        # retries of the same call repeat it (the server deduplicates),
+        # while a genuinely new call never collides with an old one
+        return uuid.uuid4().hex
 
     # -- API -------------------------------------------------------------------
 
     def health(self) -> dict:
-        """Server liveness probe."""
+        """Server liveness probe (dataset count included)."""
         return self._json("GET", "/v1/health")
+
+    def healthz(self) -> dict:
+        """Bare liveness probe; 503 while the server is draining."""
+        return self._json("GET", "/healthz")
 
     def list_datasets(self) -> list[dict]:
         """Metadata of every stored dataset."""
@@ -116,6 +275,7 @@ class ArrayClient:
             "lossless": lossless,
             "adaptive": int(bool(adaptive)),
             "overwrite": int(bool(overwrite)),
+            "token": self._fresh_token(),
         }
         if tile is not None:
             params["tile"] = ",".join(str(int(t)) for t in tile)
@@ -154,6 +314,7 @@ class ArrayClient:
             "mode": mode,
             "lossless": lossless,
             "snapshot": 1,
+            "token": self._fresh_token(),
         }
         if tile is not None:
             params["tile"] = ",".join(str(int(t)) for t in tile)
@@ -186,13 +347,17 @@ class ArrayClient:
         name: str,
         region: str | Sequence[slice | int] | slice | int,
         version: int | None = None,
+        allow_degraded: bool = True,
     ) -> np.ndarray:
         """Fetch a decoded hyperslab of dataset *name*.
 
         ``version`` addresses one snapshot of the dataset's chain
-        (default: the latest).  Read accounting (tiles touched, cache
-        hits/misses, version, chain depth) lands in
-        ``self.last_read_stats``.
+        (default: the latest).  With ``allow_degraded`` (the default),
+        a corrupt snapshot is served from the nearest intact keyframe
+        at or below it and ``last_read_stats["degraded"]`` is set;
+        pass ``False`` to make corruption fail the read instead.
+        Read accounting (tiles touched, cache hits/misses, version,
+        chain depth) lands in ``self.last_read_stats``.
         """
         slab = (
             region if isinstance(region, str) else format_region(region)
@@ -200,24 +365,20 @@ class ArrayClient:
         params = {"slab": slab}
         if version is not None:
             params["version"] = int(version)
+        if not allow_degraded:
+            params["degraded"] = 0
         path = f"/v1/datasets/{urllib.parse.quote(name)}/region"
-        with self._request("GET", path, params=params) as response:
-            payload = response.read()
-            self.last_read_stats = {
-                "tiles_touched": int(
-                    response.headers.get("X-Tiles-Touched", 0)
-                ),
-                "cache_hits": int(
-                    response.headers.get("X-Cache-Hits", 0)
-                ),
-                "cache_misses": int(
-                    response.headers.get("X-Cache-Misses", 0)
-                ),
-                "version": int(response.headers.get("X-Version", 0)),
-                "chain_depth": int(
-                    response.headers.get("X-Chain-Depth", 1)
-                ),
-            }
+        _status, headers, payload = self._perform(
+            "GET", path, params=params
+        )
+        self.last_read_stats = {
+            "tiles_touched": int(headers.get("X-Tiles-Touched", 0)),
+            "cache_hits": int(headers.get("X-Cache-Hits", 0)),
+            "cache_misses": int(headers.get("X-Cache-Misses", 0)),
+            "version": int(headers.get("X-Version", 0)),
+            "chain_depth": int(headers.get("X-Chain-Depth", 1)),
+            "degraded": bool(int(headers.get("X-Degraded", 0))),
+        }
         return np.load(io.BytesIO(payload), allow_pickle=False)
 
     def read_range(
@@ -226,12 +387,14 @@ class ArrayClient:
         region: str | Sequence[slice | int] | slice | int,
         start_version: int,
         stop_version: int,
+        allow_degraded: bool = True,
     ) -> np.ndarray:
         """Fetch a hyperslab across a version range, stacked on axis 0.
 
         The result's leading axis runs over versions ``start..stop``
         inclusive; aggregate accounting lands in
-        ``self.last_read_stats``.
+        ``self.last_read_stats`` (``degraded_versions`` lists the
+        requested versions that were served by keyframe fallback).
         """
         slab = (
             region if isinstance(region, str) else format_region(region)
@@ -242,29 +405,31 @@ class ArrayClient:
             "t0": int(start_version),
             "t1": int(stop_version),
         }
-        with self._request("GET", path, params=params) as response:
-            payload = response.read()
-            self.last_read_stats = {
-                "tiles_touched": int(
-                    response.headers.get("X-Tiles-Touched", 0)
-                ),
-                "cache_hits": int(
-                    response.headers.get("X-Cache-Hits", 0)
-                ),
-                "cache_misses": int(
-                    response.headers.get("X-Cache-Misses", 0)
-                ),
-                "versions": response.headers.get("X-Versions", ""),
-                "chain_depth": int(
-                    response.headers.get("X-Chain-Depth", 1)
-                ),
-            }
+        if not allow_degraded:
+            params["degraded"] = 0
+        _status, headers, payload = self._perform(
+            "GET", path, params=params
+        )
+        raw_degraded = headers.get("X-Degraded-Versions", "")
+        self.last_read_stats = {
+            "tiles_touched": int(headers.get("X-Tiles-Touched", 0)),
+            "cache_hits": int(headers.get("X-Cache-Hits", 0)),
+            "cache_misses": int(headers.get("X-Cache-Misses", 0)),
+            "versions": headers.get("X-Versions", ""),
+            "chain_depth": int(headers.get("X-Chain-Depth", 1)),
+            "degraded": bool(int(headers.get("X-Degraded", 0))),
+            "degraded_versions": [
+                int(v) for v in raw_degraded.split(",") if v
+            ],
+        }
         return np.load(io.BytesIO(payload), allow_pickle=False)
 
     def delete(self, name: str) -> dict:
         """Remove dataset *name* from the store."""
         return self._json(
-            "DELETE", f"/v1/datasets/{urllib.parse.quote(name)}"
+            "DELETE",
+            f"/v1/datasets/{urllib.parse.quote(name)}",
+            idempotent=False,
         )
 
     def cache_stats(self) -> dict:

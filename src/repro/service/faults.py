@@ -1,0 +1,188 @@
+"""Deterministic, seed-driven fault injection for the serving stack.
+
+Fault tolerance claims are only as good as the faults they were tested
+against, so the store and server expose seams a :class:`FaultInjector`
+can be threaded through:
+
+* **crash points** — named locations inside the store's write paths
+  (``version_tmp_written``, ``intent_written``, ``manifest_renamed``,
+  ...).  The store calls :meth:`FaultInjector.crash` at each; an armed
+  point raises :class:`SimulatedCrash`, freezing the directory exactly
+  as a process kill at that instant would, so recovery tests can
+  enumerate every interruption boundary.
+* **stored-blob corruption** — :meth:`corrupt_file` /
+  :meth:`corrupt_blob` flip seeded-random bits in a container, the
+  disk-rot case the checksum layer exists for.
+* **HTTP response faults** — :meth:`http_response_fault` tells the
+  server's test seam to drop, truncate or delay a response, the cases
+  the client's retry policy exists for.
+
+Everything is driven by one seeded :class:`random.Random`, so a chaos
+run is exactly reproducible from its seed.  The injector records every
+fault it fires in :attr:`FaultInjector.events` for assertions.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+from dataclasses import dataclass, field
+
+__all__ = [
+    "CRASH_POINTS",
+    "FaultEvent",
+    "FaultInjector",
+    "SimulatedCrash",
+]
+
+
+class SimulatedCrash(Exception):
+    """An armed crash point fired.
+
+    Deliberately *not* a ``ValueError``/``OSError`` subclass: nothing
+    in the serving stack may handle it, mirroring a process kill.
+    Cleanup handlers in the store explicitly let it through without
+    deleting temp files, so the directory is left exactly as a real
+    crash would leave it.
+    """
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"simulated crash at {point!r}")
+        self.point = point
+
+
+#: every named interruption boundary in the store's write paths, in
+#: commit order — recovery property tests iterate this list
+CRASH_POINTS = (
+    "intent_written",
+    "version_tmp_written",
+    "version_file_synced",
+    "version_renamed",
+    "manifest_tmp_written",
+    "manifest_renamed",
+    "intent_cleared",
+)
+
+
+@dataclass
+class FaultEvent:
+    """One fault the injector fired (for test assertions)."""
+
+    kind: str  # "crash" | "bitflip" | "http"
+    detail: str
+
+
+@dataclass
+class FaultInjector:
+    """Seed-driven fault source; every decision comes from ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        Seeds the private RNG; equal seeds give equal fault schedules.
+    crash_points:
+        Which named crash points are armed.  An iterable of names arms
+        each for its first hit; a mapping ``{name: n}`` arms the n-th
+        hit (1-based), so a test can survive the first manifest write
+        and crash on the second.
+    http_failure_rate:
+        Probability that :meth:`http_response_fault` returns a fault
+        for a given response.
+    http_modes:
+        Fault kinds to draw from: ``"drop"`` (close the socket before
+        any bytes), ``"truncate"`` (send roughly half the body, then
+        close) and ``"delay"`` (stall ``delay_seconds`` first, then
+        answer normally).
+    delay_seconds:
+        Stall length for ``"delay"`` faults.
+    """
+
+    seed: int = 0
+    crash_points: object = None
+    http_failure_rate: float = 0.0
+    http_modes: tuple = ("drop", "truncate", "delay")
+    delay_seconds: float = 0.01
+    events: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+        self._lock = threading.Lock()
+        self.hits: dict[str, int] = {}
+        points = self.crash_points
+        if points is None:
+            self._armed: dict[str, int] = {}
+        elif isinstance(points, dict):
+            self._armed = {str(k): int(v) for k, v in points.items()}
+        else:
+            self._armed = {str(p): 1 for p in points}
+
+    # -- crash points ----------------------------------------------------------
+
+    def crash(self, point: str) -> None:
+        """Count a pass through *point*; raise if it is armed for it."""
+        with self._lock:
+            self.hits[point] = self.hits.get(point, 0) + 1
+            hit = self.hits[point]
+            armed_at = self._armed.get(point)
+        if armed_at is not None and hit == armed_at:
+            self.events.append(FaultEvent("crash", point))
+            raise SimulatedCrash(point)
+
+    # -- stored-blob corruption ------------------------------------------------
+
+    def corrupt_blob(self, blob: bytes, nbits: int = 1) -> bytes:
+        """Return *blob* with ``nbits`` seeded-random bits flipped."""
+        if not blob:
+            return blob
+        damaged = bytearray(blob)
+        with self._lock:
+            for _ in range(nbits):
+                index = self._rng.randrange(len(damaged) * 8)
+                damaged[index // 8] ^= 1 << (index % 8)
+                self.events.append(
+                    FaultEvent("bitflip", f"bit {index}")
+                )
+        return bytes(damaged)
+
+    def corrupt_file(self, path: str | os.PathLike, nbits: int = 1) -> int:
+        """Flip ``nbits`` seeded-random bits of the file at *path*.
+
+        Returns the file's size in bytes (handy for logging).
+        """
+        with open(path, "rb") as fh:
+            blob = fh.read()
+        damaged = self.corrupt_blob(blob, nbits=nbits)
+        with open(path, "wb") as fh:
+            fh.write(damaged)
+        return len(blob)
+
+    # -- HTTP response faults --------------------------------------------------
+
+    def http_response_fault(self) -> tuple | None:
+        """Fault to apply to the next HTTP response, or ``None``.
+
+        Returns ``("drop",)``, ``("truncate",)`` or
+        ``("delay", seconds)``; the server's test seam interprets it.
+        """
+        with self._lock:
+            if (
+                not self.http_failure_rate
+                or self._rng.random() >= self.http_failure_rate
+            ):
+                return None
+            mode = self._rng.choice(tuple(self.http_modes))
+        self.events.append(FaultEvent("http", mode))
+        if mode == "delay":
+            return ("delay", self.delay_seconds)
+        return (mode,)
+
+    # -- accounting ------------------------------------------------------------
+
+    def fired(self, kind: str | None = None) -> int:
+        """How many faults fired (optionally of one *kind*)."""
+        return sum(
+            1
+            for event in self.events
+            if kind is None or event.kind == kind
+        )

@@ -40,7 +40,9 @@ from __future__ import annotations
 import io
 import json
 import logging
+import signal
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, unquote, urlparse
 
@@ -48,6 +50,7 @@ import numpy as np
 
 from repro.compressor import CompressionConfig, ErrorBoundMode
 from repro.compressor.tiled_geometry import parse_region_text
+from repro.service.faults import FaultInjector
 from repro.service.store import ArrayStore, DatasetCorruptError
 
 __all__ = ["ArrayServer", "serve"]
@@ -117,6 +120,14 @@ def _config_from_query(query: dict) -> tuple[CompressionConfig, bool]:
     return config, _parse_bool(query, "overwrite")
 
 
+def _parse_bool_default(
+    values: dict, key: str, default: bool
+) -> bool:
+    if key not in values:
+        return default
+    return _parse_bool(values, key)
+
+
 def _parse_int(query: dict, key: str) -> int | None:
     if key not in query:
         return None
@@ -144,19 +155,55 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, fmt: str, *args: object) -> None:
         logger.debug("%s %s", self.address_string(), fmt % args)
 
-    def _send_json(
-        self, payload: dict, status: int = 200, close: bool = False
+    def _transmit(
+        self,
+        status: int,
+        content_type: str,
+        body: bytes,
+        extra_headers: dict | None = None,
+        close: bool = False,
     ) -> None:
-        body = json.dumps(payload, sort_keys=True).encode()
+        """Write one response — through the fault seam when armed.
+
+        An armed :class:`FaultInjector` may drop the connection before
+        any bytes, truncate the body mid-stream, or stall before
+        answering; this is how the chaos suite exercises the client's
+        retry policy against a real socket.
+        """
+        fault = None
+        injector: FaultInjector | None = getattr(
+            self.server, "faults", None
+        )
+        if injector is not None:
+            fault = injector.http_response_fault()
+        if fault is not None and fault[0] == "drop":
+            self.close_connection = True
+            return
+        if fault is not None and fault[0] == "delay":
+            time.sleep(fault[1])
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for key, value in (extra_headers or {}).items():
+            self.send_header(key, str(value))
         if close:
             # send_header("Connection", "close") also flips
             # self.close_connection, so the socket really drops
             self.send_header("Connection", "close")
         self.end_headers()
+        if fault is not None and fault[0] == "truncate":
+            self.wfile.write(body[: max(1, len(body) // 2)])
+            self.close_connection = True
+            return
         self.wfile.write(body)
+
+    def _send_json(
+        self, payload: dict, status: int = 200, close: bool = False
+    ) -> None:
+        body = json.dumps(payload, sort_keys=True).encode()
+        self._transmit(
+            status, "application/json", body, close=close
+        )
 
     def _send_error_json(self, status: int, message: str) -> None:
         # an error may be sent before a request body was consumed
@@ -170,14 +217,9 @@ class _Handler(BaseHTTPRequestHandler):
     ) -> None:
         buf = io.BytesIO()
         np.save(buf, np.ascontiguousarray(data), allow_pickle=False)
-        body = buf.getvalue()
-        self.send_response(200)
-        self.send_header("Content-Type", NPY_CONTENT_TYPE)
-        self.send_header("Content-Length", str(len(body)))
-        for key, value in (extra_headers or {}).items():
-            self.send_header(key, str(value))
-        self.end_headers()
-        self.wfile.write(body)
+        self._transmit(
+            200, NPY_CONTENT_TYPE, buf.getvalue(), extra_headers
+        )
 
     def _read_body_array(self) -> np.ndarray:
         length = int(self.headers.get("Content-Length") or 0)
@@ -203,6 +245,49 @@ class _Handler(BaseHTTPRequestHandler):
         parsed = urlparse(self.path)
         query = parse_qs(parsed.query)
         parts = [unquote(p) for p in parsed.path.strip("/").split("/")]
+        if parts in (["healthz"], ["v1", "healthz"]):
+            # liveness probe: always answered, never gated on
+            # saturation, reports draining with a non-200 so load
+            # balancers stop routing here during shutdown
+            self._handle_healthz(method)
+            return
+        server: ArrayServer = self.server  # type: ignore[assignment]
+        if server.draining.is_set():
+            self._send_busy("shutting down: draining in-flight requests")
+            return
+        if not server.try_acquire_slot():
+            self._send_busy(
+                "server saturated: too many concurrent requests"
+            )
+            return
+        try:
+            self._guarded_dispatch(method, parts, query)
+        finally:
+            server.release_slot()
+
+    def _send_busy(self, message: str) -> None:
+        body = json.dumps({"error": message}, sort_keys=True).encode()
+        self.send_response(503)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("Retry-After", "1")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _handle_healthz(self, method: str) -> None:
+        if method != "GET":
+            self._send_error_json(404, "healthz only answers GET")
+            return
+        server: ArrayServer = self.server  # type: ignore[assignment]
+        if server.draining.is_set():
+            self._send_busy("draining")
+            return
+        self._send_json({"status": "ok"})
+
+    def _guarded_dispatch(
+        self, method: str, parts: list[str], query: dict
+    ) -> None:
         try:
             self._dispatch(method, parts, query)
         except _ServiceError as exc:
@@ -283,6 +368,10 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _handle_put(self, name: str, query: dict) -> None:
         config, overwrite = _config_from_query(query)
+        # the idempotency token (the client's checksum of the body)
+        # lets a retried PUT whose first attempt committed converge on
+        # the recorded entry instead of appending/conflicting twice
+        token = query.get("token", [None])[-1] or None
         data = self._read_body_array()
         if _parse_bool(query, "snapshot"):
             try:
@@ -293,19 +382,22 @@ class _Handler(BaseHTTPRequestHandler):
                     keyframe_interval=_parse_int(
                         query, "keyframe_interval"
                     ),
+                    put_token=token,
                 )
             except ValueError as exc:
                 raise _ServiceError(400, str(exc)) from None
-            self._send_json(entry, status=201)
+            status = 200 if entry.get("duplicate") else 201
+            self._send_json(entry, status=status)
             return
         try:
             entry = self.store.create(
-                name, data, config, overwrite=overwrite
+                name, data, config, overwrite=overwrite, put_token=token
             )
         except ValueError as exc:
             status = 409 if "already exists" in str(exc) else 400
             raise _ServiceError(status, str(exc)) from None
-        self._send_json(entry, status=201)
+        status = 200 if entry.get("duplicate") else 201
+        self._send_json(entry, status=status)
 
     def _handle_region(self, name: str, query: dict) -> None:
         if "slab" not in query:
@@ -314,7 +406,10 @@ class _Handler(BaseHTTPRequestHandler):
             )
         region = parse_region_text(query["slab"][-1])
         result = self.store.read_region(
-            name, region, version=_parse_int(query, "version")
+            name,
+            region,
+            version=_parse_int(query, "version"),
+            allow_degraded=_parse_bool_default(query, "degraded", True),
         )
         self._send_npy(
             result.data,
@@ -324,6 +419,7 @@ class _Handler(BaseHTTPRequestHandler):
                 "X-Cache-Misses": result.cache_misses,
                 "X-Version": result.version,
                 "X-Chain-Depth": result.chain_depth,
+                "X-Degraded": int(result.degraded),
             },
         )
 
@@ -339,8 +435,17 @@ class _Handler(BaseHTTPRequestHandler):
                 400, "missing required parameters 't0'/'t1'"
             )
         region = parse_region_text(query["slab"][-1])
-        results = self.store.read_range(name, region, t0, t1)
+        results = self.store.read_range(
+            name,
+            region,
+            t0,
+            t1,
+            allow_degraded=_parse_bool_default(query, "degraded", True),
+        )
         stacked = np.stack([r.data for r in results])
+        degraded = [
+            str(t0 + i) for i, r in enumerate(results) if r.degraded
+        ]
         self._send_npy(
             stacked,
             extra_headers={
@@ -356,6 +461,10 @@ class _Handler(BaseHTTPRequestHandler):
                 "X-Chain-Depth": max(
                     r.chain_depth for r in results
                 ),
+                "X-Degraded": int(any(r.degraded for r in results)),
+                # which requested versions were served by a keyframe
+                # fallback (comma-separated, empty when none)
+                "X-Degraded-Versions": ",".join(degraded),
             },
         )
 
@@ -388,9 +497,20 @@ class ArrayServer(ThreadingHTTPServer):
         self,
         store: ArrayStore,
         address: tuple[str, int] = ("127.0.0.1", 0),
+        max_inflight: int | None = None,
+        faults: FaultInjector | None = None,
     ) -> None:
         super().__init__(address, _Handler)
         self.store = store
+        #: cap on concurrently dispatched requests; beyond it new
+        #: requests get 503 + Retry-After instead of queuing threads
+        self.max_inflight = max_inflight
+        #: test seam: armed injector perturbs responses in _transmit
+        self.faults = faults
+        #: once set, every non-healthz request is refused with 503
+        self.draining = threading.Event()
+        self._inflight = 0
+        self._inflight_cond = threading.Condition()
 
     @property
     def url(self) -> str:
@@ -406,6 +526,35 @@ class ArrayServer(ThreadingHTTPServer):
         thread.start()
         return thread
 
+    # -- saturation + drain accounting -----------------------------------------
+
+    def try_acquire_slot(self) -> bool:
+        """Claim a dispatch slot; ``False`` means answer 503-busy."""
+        with self._inflight_cond:
+            if (
+                self.max_inflight is not None
+                and self._inflight >= self.max_inflight
+            ):
+                return False
+            self._inflight += 1
+            return True
+
+    def release_slot(self) -> None:
+        with self._inflight_cond:
+            self._inflight = max(0, self._inflight - 1)
+            self._inflight_cond.notify_all()
+
+    def begin_drain(self) -> None:
+        """Stop accepting work; in-flight requests keep running."""
+        self.draining.set()
+
+    def wait_drained(self, timeout: float | None = None) -> bool:
+        """Block until in-flight requests finish (or *timeout*)."""
+        with self._inflight_cond:
+            return self._inflight_cond.wait_for(
+                lambda: self._inflight == 0, timeout=timeout
+            )
+
 
 def serve(
     root: str,
@@ -414,12 +563,19 @@ def serve(
     cache_bytes: int | None = None,
     workers: int | None = None,
     parallel_backend: str | None = None,
+    max_inflight: int | None = None,
+    drain_timeout: float = 10.0,
 ) -> None:
     """Blocking entry point behind ``repro serve``.
 
     ``parallel_backend`` selects the codec executor for dataset puts
     and cache-miss tile decodes (``"process"`` keeps slow decodes off
     the serving threads; see :mod:`repro.compressor.executor`).
+
+    SIGTERM (and Ctrl-C) triggers a graceful drain: the listener stops
+    accepting work (new requests get 503 + Retry-After), in-flight
+    requests run to completion (up to ``drain_timeout`` seconds), the
+    manifest is flushed, and only then does the process exit.
     """
     from repro.service.cache import TileLRUCache
 
@@ -434,7 +590,16 @@ def serve(
         workers=workers,
         parallel_backend=parallel_backend,
     )
-    server = ArrayServer(store, (host, port))
+    server = ArrayServer(store, (host, port), max_inflight=max_inflight)
+
+    def _terminate(signum: int, _frame: object) -> None:
+        print(f"signal {signum}: draining", flush=True)
+        server.begin_drain()
+        # serve_forever runs on *this* thread — shutdown() must be
+        # called from another one or it deadlocks waiting for the loop
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous = signal.signal(signal.SIGTERM, _terminate)
     print(
         f"serving store {root!r} ({len(store.names())} datasets) "
         f"on {server.url}"
@@ -442,7 +607,12 @@ def serve(
     try:
         server.serve_forever()
     except KeyboardInterrupt:
+        server.begin_drain()
         print("shutting down")
     finally:
+        signal.signal(signal.SIGTERM, previous)
+        if not server.wait_drained(timeout=drain_timeout):
+            print("drain timeout: abandoning in-flight requests")
         server.server_close()
+        store.flush()
         store.close()

@@ -64,6 +64,7 @@ from repro.compressor.tiled_geometry import (
     normalize_region,
 )
 from repro.service.cache import TileLRUCache
+from repro.service.faults import FaultInjector
 
 __all__ = ["ArrayStore", "RegionResult", "DatasetCorruptError"]
 
@@ -77,10 +78,31 @@ class DatasetCorruptError(RuntimeError):
     """
 
 MANIFEST_NAME = "store.json"
+#: write-ahead intent record bracketing multi-file operations
+INTENT_NAME = "store.json.intent"
 _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$")
 #: default keyframe cadence of snapshot chains: random access to any
 #: version decodes at most this many containers
 DEFAULT_KEYFRAME_INTERVAL = 4
+
+
+def _fsync_path(path: str) -> None:
+    """fsync a file (or, on platforms that allow it, a directory).
+
+    Directory fsync makes the rename that committed a file durable;
+    where the platform refuses to open directories the rename is
+    already the best available barrier, so failures are ignored.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 @dataclass(frozen=True)
@@ -93,6 +115,11 @@ class RegionResult:
     hit/miss counters cover the requested snapshot's tiles only —
     reference tiles fetched while reconstructing temporal tiles are
     accounted to the cache, not to this read.
+
+    ``degraded`` marks a fallback read: the requested version was
+    unreadable (corrupt delta, damaged container) and the data comes
+    from the nearest intact keyframe instead — ``version`` always
+    names the snapshot actually served, never the one requested.
     """
 
     data: np.ndarray
@@ -101,6 +128,7 @@ class RegionResult:
     cache_misses: int
     version: int = 0
     chain_depth: int = 1
+    degraded: bool = False
 
 
 class ArrayStore:
@@ -144,6 +172,7 @@ class ArrayStore:
         parallel_backend: str | None = None,
         plan_cache=None,
         keyframe_interval: int = DEFAULT_KEYFRAME_INTERVAL,
+        faults: FaultInjector | None = None,
     ) -> None:
         if keyframe_interval < 1:
             raise ValueError("keyframe_interval must be at least 1")
@@ -154,6 +183,9 @@ class ArrayStore:
         self._factory = factory
         self._backend = parallel_backend
         self._keyframe_interval = int(keyframe_interval)
+        # test seam: an armed FaultInjector turns the named crash
+        # points in the write paths into simulated process kills
+        self._faults = faults
         # PlannerCache instance or path: successive puts of the same
         # dataset name reuse the previous adaptive plan when tile stats
         # have not drifted.  A factory carries its own plan_cache
@@ -189,8 +221,16 @@ class ArrayStore:
     def _manifest_path(self) -> str:
         return os.path.join(self.root, MANIFEST_NAME)
 
+    def _intent_path(self) -> str:
+        return os.path.join(self.root, INTENT_NAME)
+
     def _container_path(self, name: str) -> str:
         return os.path.join(self.root, f"{name}.rqsz")
+
+    def _crash(self, point: str) -> None:
+        """Pass a named crash point (no-op without a fault injector)."""
+        if self._faults is not None:
+            self._faults.crash(point)
 
     def _snapshot_file(self, name: str, version: int) -> str:
         """Basename of one chain version's container.
@@ -205,12 +245,54 @@ class ArrayStore:
         return f"{name}@v{version}.rqsz"
 
     def _persist(self) -> None:
-        """Atomically rewrite the manifest (caller holds the lock)."""
+        """Crash-safely rewrite the manifest (caller holds the lock).
+
+        tempfile + fsync + rename + directory fsync: a crash at any
+        instant leaves either the old or the new manifest on disk,
+        never a torn one.
+        """
         tmp = self._manifest_path() + ".tmp"
         with open(tmp, "w", encoding="utf-8") as fh:
             json.dump(self._manifest, fh, indent=2, sort_keys=True)
             fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._crash("manifest_tmp_written")
         os.replace(tmp, self._manifest_path())
+        _fsync_path(self.root)
+        self._crash("manifest_renamed")
+
+    def _write_intent(self, record: dict) -> None:
+        """Durably record the intent of an in-flight multi-file op.
+
+        Written *before* any rename of version files, so recovery can
+        always tell an interrupted operation's orphans from committed
+        state (the manifest stays the single source of truth).
+        """
+        tmp = self._intent_path() + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(record, fh, sort_keys=True)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self._intent_path())
+        _fsync_path(self.root)
+        self._crash("intent_written")
+
+    def _clear_intent(self) -> None:
+        path = self._intent_path()
+        if os.path.exists(path):
+            os.remove(path)
+            _fsync_path(self.root)
+        self._crash("intent_cleared")
+
+    def _commit_version_file(self, tmp: str, path: str) -> None:
+        """Durably move a finished container from *tmp* into place."""
+        self._crash("version_tmp_written")
+        _fsync_path(tmp)
+        self._crash("version_file_synced")
+        os.replace(tmp, path)
+        _fsync_path(self.root)
+        self._crash("version_renamed")
 
     @staticmethod
     def _check_name(name: str) -> str:
@@ -229,17 +311,27 @@ class ArrayStore:
         data: np.ndarray,
         config: CompressionConfig,
         overwrite: bool = False,
+        put_token: str | None = None,
     ) -> dict:
         """Compress *data* into the store as dataset *name*.
 
         The container is tiled (``config.tile_shape``; a ``None`` tile
         shape stores one whole-array tile) and adaptive when
         ``config.adaptive`` is set.  Returns the recorded metadata.
+
+        ``put_token`` is the idempotency precondition for retries: a
+        create finding the dataset already present *with the same
+        token* returns the existing entry (marked ``duplicate``)
+        instead of raising — so a client whose first attempt committed
+        but whose response was lost can safely retry.
         """
         self._check_name(name)
         data = np.asarray(data)
         with self._lock:
             if name in self._manifest["datasets"] and not overwrite:
+                duplicate = self._duplicate_create(name, put_token)
+                if duplicate is not None:
+                    return duplicate
                 raise ValueError(
                     f"dataset {name!r} already exists "
                     "(pass overwrite to replace)"
@@ -269,12 +361,23 @@ class ArrayStore:
             if name in self._manifest["datasets"]:
                 if not overwrite:
                     os.remove(tmp)
+                    duplicate = self._duplicate_create(name, put_token)
+                    if duplicate is not None:
+                        return duplicate
                     raise ValueError(
                         f"dataset {name!r} already exists "
                         "(pass overwrite to replace)"
                     )
                 self.delete(name)
-            os.replace(tmp, path)
+            self._write_intent(
+                {
+                    "op": "put",
+                    "name": name,
+                    "version": 0,
+                    "file": os.path.basename(path),
+                }
+            )
+            self._commit_version_file(tmp, path)
             generation = self._bump_generation(name)
             created = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime())
             entry = {
@@ -296,11 +399,13 @@ class ArrayStore:
                     "adaptive": bool(config.adaptive),
                 },
                 "keyframe_interval": self._keyframe_interval,
+                "put_token": put_token,
                 "latest_version": 0,
                 "snapshots": [
                     {
                         "version": 0,
                         "file": os.path.basename(path),
+                        "put_token": put_token,
                         "keyframe": True,
                         "ref_version": None,
                         "raw_bytes": int(result.original_bytes),
@@ -315,7 +420,19 @@ class ArrayStore:
             }
             self._manifest["datasets"][name] = entry
             self._persist()
+            self._clear_intent()
             return dict(entry, name=name)
+
+    def _duplicate_create(
+        self, name: str, put_token: str | None
+    ) -> dict | None:
+        """Existing entry iff it was created with the same put token."""
+        if put_token is None:
+            return None
+        entry = self._manifest["datasets"][name]
+        if entry.get("put_token") != put_token:
+            return None
+        return dict(entry, name=name, duplicate=True)
 
     def _bump_generation(self, name: str) -> int:
         """Next generation for *name*; survives deletes (caller locks).
@@ -375,6 +492,7 @@ class ArrayStore:
         data: np.ndarray,
         config: CompressionConfig,
         keyframe_interval: int | None = None,
+        put_token: str | None = None,
     ) -> dict:
         """Append one snapshot version to dataset *name*'s chain.
 
@@ -390,6 +508,12 @@ class ArrayStore:
         The chain's shape, dtype and tile grid are fixed by version 0;
         mismatching snapshots are rejected.  Returns the snapshot's
         manifest record (plus ``name`` and ``version``).
+
+        ``put_token`` makes appends retry-safe: when the chain's
+        latest snapshot already carries the same token, this append
+        was a retry of an operation that committed but whose response
+        was lost — the recorded snapshot is returned (marked
+        ``duplicate``) instead of appending the payload twice.
         """
         self._check_name(name)
         data = np.asarray(data)
@@ -405,6 +529,9 @@ class ArrayStore:
                     )
             else:
                 entry = self._entry(name)
+                duplicate = self._duplicate_snapshot(entry, put_token)
+                if duplicate is not None:
+                    return dict(duplicate, name=name)
                 interval = int(
                     keyframe_interval
                     or entry.get(
@@ -432,6 +559,7 @@ class ArrayStore:
                 name,
                 data,
                 replace(config, temporal=False),
+                put_token=put_token,
             )
             with self._lock:
                 entry = self._entry(name)
@@ -483,15 +611,27 @@ class ArrayStore:
             entry = self._entry(name)
             if int(entry.get("latest_version", 0)) != version - 1:
                 os.remove(tmp)
+                duplicate = self._duplicate_snapshot(entry, put_token)
+                if duplicate is not None:
+                    return dict(duplicate, name=name)
                 raise ValueError(
                     f"concurrent append to dataset {name!r} "
                     f"(expected latest version {version - 1})"
                 )
-            os.replace(tmp, path)
+            self._write_intent(
+                {
+                    "op": "put",
+                    "name": name,
+                    "version": version,
+                    "file": os.path.basename(path),
+                }
+            )
+            self._commit_version_file(tmp, path)
             stats = result.stats
             record = {
                 "version": version,
                 "file": os.path.basename(path),
+                "put_token": put_token,
                 "keyframe": bool(result.keyframe),
                 "ref_version": None if result.keyframe else version - 1,
                 "raw_bytes": int(result.original_bytes),
@@ -518,7 +658,20 @@ class ArrayStore:
                 int(s.get("compressed_bytes", 0)) for s in snapshots
             )
             self._persist()
+            self._clear_intent()
             return dict(record, name=name)
+
+    @staticmethod
+    def _duplicate_snapshot(
+        entry: dict, put_token: str | None
+    ) -> dict | None:
+        """Latest snapshot record iff it carries the same put token."""
+        if put_token is None:
+            return None
+        latest = ArrayStore._snapshots(entry)[-1]
+        if latest.get("put_token") != put_token:
+            return None
+        return dict(latest, duplicate=True)
 
     def versions(self, name: str) -> list[dict]:
         """Chain topology of dataset *name*, oldest first."""
@@ -539,6 +692,17 @@ class ArrayStore:
             for key in [k for k in self._readers if k[0] == name]:
                 self._readers.pop(key, None)
                 self._tile_index.pop(key, None)
+            # the intent lets recovery finish a delete interrupted
+            # between the manifest rewrite and the file removals
+            self._write_intent(
+                {
+                    "op": "delete",
+                    "name": name,
+                    "files": [
+                        snap["file"] for snap in self._snapshots(entry)
+                    ],
+                }
+            )
             del self._manifest["datasets"][name]
             self._bump_generation(name)
             self._persist()
@@ -546,6 +710,7 @@ class ArrayStore:
                 path = os.path.join(self.root, snap["file"])
                 if os.path.exists(path):
                     os.remove(path)
+            self._clear_intent()
         self.cache.invalidate_where(lambda key: key[0] == name)
 
     # -- metadata --------------------------------------------------------------
@@ -733,6 +898,7 @@ class ArrayStore:
         name: str,
         region: Sequence[slice | int] | slice | int,
         version: int | None = None,
+        allow_degraded: bool = False,
     ) -> RegionResult:
         """Decode the hyperslab *region* of dataset *name*.
 
@@ -745,7 +911,54 @@ class ArrayStore:
         the misses of one request are fetched concurrently — decodes
         run on the configured executor backend — so a single slow tile
         never serializes the rest of the request.
+
+        ``allow_degraded`` controls what happens when the requested
+        snapshot is unreadable (corrupt delta or damaged container):
+        by default the :class:`DatasetCorruptError` propagates; with
+        ``allow_degraded=True`` the read falls back to the nearest
+        intact keyframe at or below the requested version and the
+        result carries ``degraded=True`` with ``version`` naming the
+        snapshot actually served — stale-but-correct bytes, explicitly
+        marked, never silently wrong ones.
         """
+        try:
+            return self._read_region_exact(name, region, version)
+        except DatasetCorruptError as exc:
+            if not allow_degraded:
+                raise
+            original = exc
+        with self._lock:
+            entry = self._entry(name)
+            resolved = self._resolve_version(entry, version)
+            snapshots = self._snapshots(entry)
+        fallbacks = sorted(
+            (
+                int(snap["version"])
+                for snap in snapshots[: resolved + 1]
+                if snap.get("keyframe", True)
+                and int(snap["version"]) < resolved
+            ),
+            reverse=True,
+        )
+        for keyframe_version in fallbacks:
+            try:
+                result = self._read_region_exact(
+                    name, region, keyframe_version
+                )
+            except DatasetCorruptError:
+                continue
+            return replace(result, degraded=True)
+        raise DatasetCorruptError(
+            f"dataset {name!r} version {resolved} is unreadable and "
+            "no intact keyframe at or below it exists to degrade to"
+        ) from original
+
+    def _read_region_exact(
+        self,
+        name: str,
+        region: Sequence[slice | int] | slice | int,
+        version: int | None = None,
+    ) -> RegionResult:
         reader, generation, resolved, depth = self._reader(
             name, version
         )
@@ -800,13 +1013,16 @@ class ArrayStore:
         region: Sequence[slice | int] | slice | int,
         start_version: int,
         stop_version: int,
+        allow_degraded: bool = False,
     ) -> list[RegionResult]:
         """Decode *region* for every version in ``[start, stop]``.
 
         Versions are read in increasing order, so each delta's
         reference tiles are warm in the cache by the time the next
         version needs them — the whole range decodes every chain tile
-        at most once.
+        at most once.  With ``allow_degraded`` a corrupt version in
+        the middle of the range serves its nearest intact keyframe
+        (marked ``degraded``) instead of failing the whole range.
         """
         with self._lock:
             entry = self._entry(name)
@@ -817,7 +1033,9 @@ class ArrayStore:
                 f"empty version range {start_version}..{stop_version}"
             )
         return [
-            self.read_region(name, region, version=v)
+            self.read_region(
+                name, region, version=v, allow_degraded=allow_degraded
+            )
             for v in range(lo, hi + 1)
         ]
 
@@ -830,6 +1048,28 @@ class ArrayStore:
         return self.read_region(
             name, tuple(slice(0, n) for n in shape), version=resolved
         ).data
+
+    def flush(self) -> None:
+        """Durably rewrite the manifest (graceful-shutdown hook)."""
+        with self._lock:
+            self._persist()
+
+    def recover(self, deep: bool = False):
+        """Repair this store's directory after a crash.
+
+        Removes stale temp files, resolves a pending write-ahead
+        intent record against the manifest, quarantines partial or
+        corrupt version files and truncates broken chain tails back to
+        the last intact version (a broken version 0 quarantines the
+        dataset).  Returns the
+        :class:`repro.service.recovery.RecoveryReport` describing what
+        was done; on a healthy store it is a cheap no-op with
+        ``report.clean == True``.  ``deep`` re-checksums every tile
+        payload instead of just headers and TOCs.
+        """
+        from repro.service.recovery import recover_store
+
+        return recover_store(self, deep=deep)
 
     def close(self) -> None:
         """Close every open container reader and the read fan-out pool."""

@@ -39,6 +39,13 @@ def snapshot_stream(tmp_path_factory):
     )
 
 
+@pytest.fixture(scope="module")
+def chaos(tmp_path_factory):
+    return bench_throughput._measure_chaos(
+        tmp_path_factory.mktemp("chaos")
+    )
+
+
 PLANNER_COUNTER_KEYS = {
     "tiles_planned",
     "tiles_modeled",
@@ -153,6 +160,41 @@ def test_snapshot_stream_shape(snapshot_stream):
         "cold_keyframe_ms",
     }
     json.loads(json.dumps(snapshot_stream, allow_nan=False))
+
+
+def test_chaos_shape(chaos):
+    assert set(chaos) == {
+        "field",
+        "faults",
+        "requests",
+        "served",
+        "failed",
+        "availability",
+        "wrong_bytes_responses",
+        "retry",
+        "elapsed_s",
+        "checksum_overhead",
+    }
+    assert set(chaos["faults"]) == {
+        "seed",
+        "http_failure_rate",
+        "injected",
+    }
+    assert set(chaos["retry"]) == {
+        "mean_attempts",
+        "total_backoff_s",
+    }
+    json.loads(json.dumps(chaos, allow_nan=False))
+
+
+def test_chaos_counters(chaos):
+    assert chaos["served"] + chaos["failed"] == chaos["requests"]
+    # the headline guarantee: under the fault storm, every byte the
+    # client accepted was correct
+    assert chaos["wrong_bytes_responses"] == 0
+    assert chaos["faults"]["injected"] > 0
+    assert chaos["retry"]["mean_attempts"] >= 1.0
+    assert 0 <= chaos["checksum_overhead"] <= 0.01
 
 
 def test_snapshot_stream_counters(snapshot_stream):

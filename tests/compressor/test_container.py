@@ -194,12 +194,15 @@ class TestTiledFormat:
         assert reader.version == container.VERSION_ADAPTIVE
         assert [t.config for t in reader.tiles] == [cfg_a, cfg_b, cfg_a]
         # two distinct configs palettized once despite three tiles
+        # (checksummed containers carry a 4-byte TOC crc before the
+        # trailing length word)
         import json as _json
 
         toc_len = int.from_bytes(blob[-8:], "little")
-        toc = _json.loads(blob[-8 - toc_len : -8])
+        toc = _json.loads(blob[-12 - toc_len : -12])
         assert len(toc["configs"]) == 2
         assert toc["tile_configs"] == [0, 1, 0]
+        assert len(toc["tile_crcs"]) == 3
 
     @pytest.mark.parametrize("keep", [1, 0])
     def test_v5_mismatched_tile_configs_rejected(self, keep):
@@ -208,16 +211,21 @@ class TestTiledFormat:
         # silently drop trailing tiles
         import json as _json
 
+        from repro.compressor.integrity import checksum
+
         sink = io.BytesIO()
         self._write_adaptive(sink)
         blob = sink.getvalue()
         toc_len = int.from_bytes(blob[-8:], "little")
-        toc = _json.loads(blob[-8 - toc_len : -8])
+        toc = _json.loads(blob[-12 - toc_len : -12])
         toc["tile_configs"] = toc["tile_configs"][:keep]
         bad_toc = _json.dumps(toc).encode()
+        # recompute the TOC crc so structural validation (not the
+        # checksum) is what rejects the mismatched tile_configs
         bad = (
-            blob[: -8 - toc_len]
+            blob[: -12 - toc_len]
             + bad_toc
+            + checksum(bad_toc).to_bytes(4, "little")
             + len(bad_toc).to_bytes(8, "little")
         )
         with pytest.raises(ValueError, match="corrupt tile TOC"):

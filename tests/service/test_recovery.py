@@ -1,0 +1,321 @@
+"""Crash safety and recovery of the array store.
+
+The detected-or-correct guarantee, store edition: interrupting a write
+at *every* named crash boundary must leave a directory that
+``recover()`` returns to a fully serving, bound-holding state, and
+corruption of any chain file must be quarantined/truncated — never
+silently served.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.compressor import CompressionConfig
+from repro.service.faults import (
+    CRASH_POINTS,
+    FaultInjector,
+    SimulatedCrash,
+)
+from repro.service.recovery import QUARANTINE_DIR
+from repro.service.store import ArrayStore, DatasetCorruptError
+from tests.conftest import assert_error_bounded, smooth_field
+
+EB = 1e-3
+SHAPE = (24, 24)
+
+
+def _config():
+    return CompressionConfig(error_bound=EB, tile_shape=(12, 12))
+
+
+def _snapshots(n, seed=3):
+    base = smooth_field(SHAPE, seed=seed)
+    return [
+        base + 0.05 * i * np.sin(base * (i + 1)) for i in range(n)
+    ]
+
+
+def _build_chain(root, arrays, keyframe_interval=4):
+    store = ArrayStore(root, keyframe_interval=keyframe_interval)
+    for data in arrays:
+        store.put_snapshot("wave", data, _config())
+    store.close()
+    return store
+
+
+def _assert_chain_serves(root, arrays):
+    """Every recorded version decodes within the bound."""
+    with ArrayStore(root) as store:
+        latest = int(store.info("wave")["latest_version"])
+        for version in range(latest + 1):
+            back = store.read_full("wave", version=version)
+            assert_error_bounded(arrays[version], back, EB)
+        return latest
+
+
+class TestRecoverClean:
+    def test_healthy_store_is_a_noop(self, tmp_path):
+        root = tmp_path / "store"
+        _build_chain(root, _snapshots(3))
+        with ArrayStore(root) as store:
+            report = store.recover()
+        assert report.clean
+        assert report.to_json()["clean"] is True
+        _assert_chain_serves(root, _snapshots(3))
+
+    def test_deep_recover_checksums_every_tile(self, tmp_path):
+        root = tmp_path / "store"
+        _build_chain(root, _snapshots(2))
+        with ArrayStore(root) as store:
+            assert store.recover(deep=True).clean
+
+    def test_empty_store_recovers(self, tmp_path):
+        with ArrayStore(tmp_path / "store") as store:
+            assert store.recover().clean
+
+
+class TestCrashAtEveryBoundary:
+    """The satellite property test: interrupt ``put_snapshot`` at every
+    fsync/rename boundary; ``recover()`` must always restore a
+    readable, bound-holding chain the store can keep appending to."""
+
+    @pytest.mark.parametrize("point", CRASH_POINTS)
+    def test_put_snapshot_interrupted(self, tmp_path, point):
+        arrays = _snapshots(5)
+        root = tmp_path / "store"
+        _build_chain(root, arrays[:3])  # versions 0..2, v3 is a delta
+
+        injector = FaultInjector(crash_points=[point])
+        crashed = ArrayStore(root, faults=injector)
+        with pytest.raises(SimulatedCrash):
+            crashed.put_snapshot("wave", arrays[3], _config())
+        assert injector.fired("crash") == 1
+
+        with ArrayStore(root) as store:
+            report = store.recover()
+            # every surviving version decodes within the bound
+            latest = int(store.info("wave")["latest_version"])
+            assert latest in (2, 3)
+            for version in range(latest + 1):
+                back = store.read_full("wave", version=version)
+                assert_error_bounded(arrays[version], back, EB)
+            # the repaired store accepts the next append
+            entry = store.put_snapshot(
+                "wave", arrays[latest + 1], _config()
+            )
+            assert entry["version"] == latest + 1
+            back = store.read_full("wave")
+            assert_error_bounded(arrays[latest + 1], back, EB)
+        # no stale temps or intent survive recovery
+        leftovers = [
+            f
+            for f in os.listdir(root)
+            if ".tmp" in f or f.endswith(".intent")
+        ]
+        assert leftovers == []
+        # commits that completed must not have been rolled back
+        if point == "intent_cleared":
+            assert report.clean
+
+    @pytest.mark.parametrize(
+        "point", ["intent_written", "manifest_tmp_written"]
+    )
+    def test_create_interrupted(self, tmp_path, point):
+        root = tmp_path / "store"
+        field = smooth_field(SHAPE, seed=9)
+        injector = FaultInjector(crash_points=[point])
+        crashed = ArrayStore(root, faults=injector)
+        with pytest.raises(SimulatedCrash):
+            crashed.create("press", field, _config())
+        with ArrayStore(root) as store:
+            store.recover()
+            assert store.names() == []
+            store.create("press", field, _config())
+            assert_error_bounded(field, store.read_full("press"), EB)
+
+    def test_delete_interrupted_completes_on_recovery(self, tmp_path):
+        root = tmp_path / "store"
+        arrays = _snapshots(3)
+        _build_chain(root, arrays)
+        # crash between the manifest rewrite and the file removals
+        injector = FaultInjector(crash_points=["manifest_renamed"])
+        crashed = ArrayStore(root, faults=injector)
+        with pytest.raises(SimulatedCrash):
+            crashed.delete("wave")
+        with ArrayStore(root) as store:
+            report = store.recover()
+            assert "delete" in (report.intent_resolved or "")
+            assert store.names() == []
+        assert not [
+            f for f in os.listdir(root) if f.endswith(".rqsz")
+        ]
+
+
+class TestCorruptionRepair:
+    def test_stale_temp_files_removed(self, tmp_path):
+        root = tmp_path / "store"
+        _build_chain(root, _snapshots(2))
+        for name in ("store.json.tmp", "wave@v9.rqsz.tmp-123"):
+            with open(root / name, "w") as fh:
+                fh.write("junk")
+        with ArrayStore(root) as store:
+            report = store.recover()
+        assert sorted(report.removed_temps) == [
+            "store.json.tmp",
+            "wave@v9.rqsz.tmp-123",
+        ]
+
+    def test_corrupt_delta_truncates_chain_tail(self, tmp_path):
+        root = tmp_path / "store"
+        arrays = _snapshots(4)
+        _build_chain(root, arrays)  # v0 keyframe, v1..v3 deltas
+        FaultInjector(seed=7).corrupt_file(root / "wave@v2.rqsz")
+        # a payload bit-flip needs the deep (every-tile) verify pass;
+        # the shallow default still catches header/TOC damage
+        with ArrayStore(root) as store:
+            report = store.recover(deep=True)
+            assert report.truncated == {"wave": [3, 1]}
+            assert int(store.info("wave")["latest_version"]) == 1
+        # v2 and the now-dangling v3 are quarantined, not deleted
+        qdir = root / QUARANTINE_DIR
+        assert sorted(os.listdir(qdir)) == [
+            "wave@v2.rqsz",
+            "wave@v3.rqsz",
+        ]
+        assert _assert_chain_serves(root, arrays) == 1
+
+    def test_corrupt_version_zero_drops_dataset(self, tmp_path):
+        root = tmp_path / "store"
+        arrays = _snapshots(2)
+        _build_chain(root, arrays)
+        FaultInjector(seed=5).corrupt_file(root / "wave.rqsz")
+        with ArrayStore(root) as store:
+            report = store.recover(deep=True)
+            assert report.dropped == ["wave"]
+            assert store.names() == []
+        assert sorted(os.listdir(root / QUARANTINE_DIR)) == [
+            "wave.rqsz",
+            "wave@v1.rqsz",
+        ]
+
+    def test_truncated_container_detected_without_checksums(
+        self, tmp_path
+    ):
+        # even a physically truncated file (no checksum needed) is
+        # caught by the structural open and repaired
+        root = tmp_path / "store"
+        _build_chain(root, _snapshots(2))
+        path = root / "wave@v1.rqsz"
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with ArrayStore(root) as store:
+            report = store.recover()
+        assert report.truncated == {"wave": [1, 0]}
+
+
+class TestDegradedReads:
+    def test_corrupt_delta_degrades_to_keyframe(self, tmp_path):
+        root = tmp_path / "store"
+        arrays = _snapshots(4)
+        _build_chain(root, arrays)  # v0 keyframe, deltas after
+        FaultInjector(seed=11).corrupt_file(root / "wave@v2.rqsz")
+        with ArrayStore(root) as store:
+            # strict read surfaces the corruption as a structured error
+            with pytest.raises(DatasetCorruptError):
+                store.read_region("wave", (slice(None), slice(None)), 2)
+            result = store.read_region(
+                "wave",
+                (slice(None), slice(None)),
+                version=2,
+                allow_degraded=True,
+            )
+            assert result.degraded is True
+            assert result.version == 0  # the nearest intact keyframe
+            assert_error_bounded(arrays[0], result.data, EB)
+
+    def test_range_read_marks_only_corrupt_versions(self, tmp_path):
+        root = tmp_path / "store"
+        arrays = _snapshots(4)
+        _build_chain(root, arrays)
+        FaultInjector(seed=2).corrupt_file(root / "wave@v2.rqsz")
+        with ArrayStore(root) as store:
+            results = store.read_range(
+                "wave",
+                (slice(None), slice(None)),
+                0,
+                3,
+                allow_degraded=True,
+            )
+        flags = [r.degraded for r in results]
+        assert flags[0] is False and flags[1] is False
+        # v2 is corrupt, and v3 is a delta chained through it
+        assert flags[2] is True and flags[3] is True
+        for version in (0, 1):
+            assert_error_bounded(
+                arrays[version], results[version].data, EB
+            )
+        for result in results[2:]:
+            assert result.version == 0
+            assert_error_bounded(arrays[0], result.data, EB)
+
+    def test_intact_keyframe_read_never_degrades(self, tmp_path):
+        root = tmp_path / "store"
+        arrays = _snapshots(2)
+        _build_chain(root, arrays)
+        with ArrayStore(root) as store:
+            result = store.read_region(
+                "wave",
+                (slice(None), slice(None)),
+                version=1,
+                allow_degraded=True,
+            )
+        assert result.degraded is False
+        assert result.version == 1
+
+    def test_corrupt_keyframe_without_fallback_still_fails(
+        self, tmp_path
+    ):
+        root = tmp_path / "store"
+        arrays = _snapshots(1)
+        _build_chain(root, arrays)
+        FaultInjector(seed=1).corrupt_file(root / "wave.rqsz")
+        with ArrayStore(root) as store:
+            with pytest.raises(DatasetCorruptError):
+                store.read_region(
+                    "wave",
+                    (slice(None), slice(None)),
+                    allow_degraded=True,
+                )
+
+
+class TestIntentRecord:
+    def test_unreadable_intent_is_discarded(self, tmp_path):
+        root = tmp_path / "store"
+        _build_chain(root, _snapshots(1))
+        with open(root / "store.json.intent", "w") as fh:
+            fh.write("{not json")
+        with ArrayStore(root) as store:
+            report = store.recover()
+        assert "unreadable" in report.intent_resolved
+        assert not os.path.exists(root / "store.json.intent")
+
+    def test_completed_put_intent_is_cleared(self, tmp_path):
+        root = tmp_path / "store"
+        _build_chain(root, _snapshots(2))
+        with open(root / "store.json.intent", "w") as fh:
+            json.dump(
+                {
+                    "op": "put",
+                    "name": "wave",
+                    "version": 1,
+                    "file": "wave@v1.rqsz",
+                },
+                fh,
+            )
+        with ArrayStore(root) as store:
+            report = store.recover()
+            assert "committed" in report.intent_resolved
+            assert int(store.info("wave")["latest_version"]) == 1
